@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the bandwidth allocator (Algorithm 1) and
+//! the fitness evaluation — the inner loop of every optimizer, executed once
+//! per sampled mapping (10 000 times per search in the paper's setup).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magma_m3e::{M3e, Mapping, Objective};
+use magma_model::{TaskType, WorkloadSpec};
+use magma_platform::{settings, Setting};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fitness_evaluation(c: &mut Criterion) {
+    for (setting, label) in [(Setting::S2, "s2_small"), (Setting::S4, "s4_large")] {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 100, 0);
+        let platform = settings::build(setting);
+        let num_accels = platform.num_sub_accels();
+        let m3e = M3e::new(platform, group, Objective::Throughput);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mapping = Mapping::random(&mut rng, 100, num_accels);
+
+        c.bench_function(&format!("bw_allocator/fitness_mix100_{label}"), |b| {
+            b.iter(|| m3e.evaluate(black_box(&mapping)))
+        });
+        c.bench_function(&format!("bw_allocator/schedule_mix100_{label}"), |b| {
+            b.iter(|| m3e.schedule(black_box(&mapping)))
+        });
+    }
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mapping = Mapping::random(&mut rng, 100, 8);
+    c.bench_function("encoding/decode_100_jobs", |b| b.iter(|| black_box(&mapping).decode()));
+}
+
+criterion_group!(benches, bench_fitness_evaluation, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the analytical cost model and the job
+//! analyzer — the components queried for every (job, core) pair before each
+//! search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magma_cost::{best_flexible_shape, CostModel, DataflowStyle, SubAccelConfig};
+use magma_m3e::JobAnalyzer;
+use magma_model::{LayerShape, TaskType, WorkloadSpec};
+use magma_platform::{settings, Setting};
+
+fn bench_single_estimate(c: &mut Criterion) {
+    let model = CostModel::default();
+    let hb = SubAccelConfig::new("hb", 128, 64, DataflowStyle::HighBandwidth, 580 * 1024);
+    let conv = LayerShape::Conv2d { k: 256, c: 256, y: 14, x: 14, r: 3, s: 3, stride: 1 };
+    let fc = LayerShape::FullyConnected { out_features: 4096, in_features: 4096 };
+
+    c.bench_function("cost_model/conv_estimate", |b| {
+        b.iter(|| model.estimate(black_box(&conv), 4, &hb))
+    });
+    c.bench_function("cost_model/fc_estimate", |b| {
+        b.iter(|| model.estimate(black_box(&fc), 4, &hb))
+    });
+    c.bench_function("cost_model/flexible_shape_search", |b| {
+        b.iter(|| best_flexible_shape(&model, black_box(&conv), 4, &hb))
+    });
+}
+
+fn bench_job_analyzer(c: &mut Criterion) {
+    let group = WorkloadSpec::single_group(TaskType::Mix, 100, 0);
+    let platform = settings::build(Setting::S4);
+    let analyzer = JobAnalyzer::new();
+    c.bench_function("job_analyzer/mix_100_jobs_s4", |b| {
+        b.iter(|| analyzer.analyze(black_box(&group), black_box(&platform)))
+    });
+}
+
+criterion_group!(benches, bench_single_estimate, bench_job_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Criterion benchmarks of the paper's evaluation experiments at reduced
+//! scale: one benchmark per figure/table family, timing a representative
+//! slice of the experiment so regressions in any crate show up here.
+//!
+//! The full-fidelity reproductions (paper-scale group size and budget) are
+//! the binaries in `src/bin/`; these benches keep the sampling budgets small
+//! so `cargo bench` completes in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magma::experiments;
+use magma::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GS: usize = 20;
+const BUDGET: usize = 200;
+
+/// Fig. 7 — job analysis.
+fn bench_fig07(c: &mut Criterion) {
+    c.bench_function("fig07/job_analysis", |b| b.iter(|| experiments::fig7_job_analysis(4)));
+}
+
+/// Fig. 8 / Fig. 9 — a single optimizer run per mapper family on S1 and S2.
+fn bench_fig08_fig09(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_fig09/mappers");
+    group.sample_size(10);
+    for (setting, label) in [(Setting::S1, "S1_homog"), (Setting::S2, "S2_hetero")] {
+        let problem = MapperBuilder::new()
+            .setting(setting)
+            .task(TaskType::Mix)
+            .group_size(GS)
+            .seed(0)
+            .build_problem();
+        for algo in [Algorithm::HeraldLike, Algorithm::StdGa, Algorithm::Magma] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), label),
+                &problem,
+                |b, p| {
+                    b.iter(|| {
+                        algo.build().search(p, BUDGET, &mut StdRng::seed_from_u64(0)).best_fitness
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 10 / Fig. 11 — MAGMA vs random search convergence.
+fn bench_fig10_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_fig11/convergence");
+    group.sample_size(10);
+    let problem = MapperBuilder::new()
+        .setting(Setting::S2)
+        .task(TaskType::Mix)
+        .group_size(GS)
+        .seed(0)
+        .build_problem();
+    group.bench_function("magma", |b| {
+        b.iter(|| Magma::default().search(&problem, BUDGET, &mut StdRng::seed_from_u64(1)))
+    });
+    group.bench_function("random_reference", |b| {
+        b.iter(|| RandomSearch::new().search(&problem, BUDGET, &mut StdRng::seed_from_u64(1)))
+    });
+    group.finish();
+}
+
+/// Fig. 12 — one bandwidth point of the sweep.
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12/bw_sweep_point");
+    group.sample_size(10);
+    group.bench_function("s2_mix_bw1", |b| {
+        b.iter(|| {
+            experiments::bw_sweep(Setting::S2, TaskType::Mix, &[1.0], GS, 60, 0)
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 13 — the sub-accelerator combination study at one bandwidth.
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13/subaccel_combos");
+    group.sample_size(10);
+    group.bench_function("bw64", |b| {
+        b.iter(|| experiments::subaccel_combination_study(TaskType::Mix, &[64.0], GS, BUDGET, 0))
+    });
+    group.finish();
+}
+
+/// Fig. 14 — fixed vs flexible arrays.
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14/flexible");
+    group.sample_size(10);
+    group.bench_function("s1_mix_bw16", |b| {
+        b.iter(|| experiments::flexible_vs_fixed(Setting::S1, TaskType::Mix, 16.0, GS, BUDGET, 0))
+    });
+    group.finish();
+}
+
+/// Fig. 15 — schedule comparison.
+fn bench_fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15/schedule");
+    group.sample_size(10);
+    group.bench_function("s5_mix_bw1", |b| {
+        b.iter(|| experiments::schedule_comparison(Setting::S5, TaskType::Mix, 1.0, GS, BUDGET, 0))
+    });
+    group.finish();
+}
+
+/// Fig. 16 — operator ablation.
+fn bench_fig16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16/operator_ablation");
+    group.sample_size(10);
+    group.bench_function("s2_vision", |b| {
+        b.iter(|| {
+            experiments::operator_ablation(
+                Setting::S2,
+                TaskType::Vision,
+                Some(16.0),
+                GS,
+                BUDGET,
+                5,
+                0,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 17 — group-size sweep (two sizes).
+fn bench_fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17/group_size");
+    group.sample_size(10);
+    group.bench_function("sizes_10_40", |b| {
+        b.iter(|| {
+            experiments::group_size_sweep(Setting::S2, TaskType::Mix, Some(16.0), &[10, 40], BUDGET, 0)
+        })
+    });
+    group.finish();
+}
+
+/// Table V — warm-start study with one transfer instance.
+fn bench_tab05(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab05/warm_start");
+    group.sample_size(10);
+    group.bench_function("s2_lang_one_instance", |b| {
+        b.iter(|| {
+            experiments::warm_start_study(Setting::S2, TaskType::Language, Some(16.0), 16, 1, 0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig07,
+    bench_fig08_fig09,
+    bench_fig10_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_tab05
+);
+criterion_main!(benches);

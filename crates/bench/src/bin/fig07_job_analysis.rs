@@ -1,0 +1,24 @@
+//! Fig. 7 — per-model and per-task no-stall latency / required bandwidth on
+//! the HB and LB dataflow styles.
+
+use magma_bench::{banner, dump_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 7 — job analysis (HB vs LB dataflow styles)", &scale);
+
+    let (rows, averages) = magma::experiments::fig7_job_analysis(4);
+
+    println!(
+        "\n{:<16} {:>8} {:>14} {:>14} {:>12} {:>12}",
+        "model", "task", "HB lat (cyc)", "LB lat (cyc)", "HB BW (GB/s)", "LB BW (GB/s)"
+    );
+    for r in rows.iter().chain(averages.iter()) {
+        println!(
+            "{:<16} {:>8} {:>14.2e} {:>14.2e} {:>12.2e} {:>12.2e}",
+            r.model, r.task.short_name(), r.hb_latency_cycles, r.lb_latency_cycles, r.hb_bw_gbps, r.lb_bw_gbps
+        );
+    }
+
+    dump_json("fig07_job_analysis", &(rows, averages));
+}

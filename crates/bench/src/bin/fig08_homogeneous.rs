@@ -1,0 +1,26 @@
+//! Fig. 8 — all ten mappers on the small homogeneous accelerator (S1,
+//! BW = 16 GB/s) across the four task types.
+
+use magma::experiments::compare_all_mappers;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, print_scores, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 8 — homogeneous small accelerator (S1, BW=16 GB/s)", &scale);
+
+    let mut all = Vec::new();
+    for task in TaskType::ALL {
+        let scores = compare_all_mappers(
+            Setting::S1,
+            task,
+            Some(16.0),
+            scale.group_size,
+            scale.budget,
+            scale.seed,
+        );
+        print_scores(&format!("S1 / {task}"), &scores);
+        all.push((task, scores));
+    }
+    dump_json("fig08_homogeneous", &all);
+}

@@ -1,0 +1,33 @@
+//! Fig. 9 — all ten mappers on the heterogeneous accelerators: S2 (small,
+//! BW = 16 GB/s) and S4 (large, BW = 256 GB/s), Vision and Mix tasks.
+
+use magma::experiments::compare_all_mappers;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, print_scores, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 9 — heterogeneous accelerators (S2 BW=16, S4 BW=256)", &scale);
+
+    let cases = [
+        (Setting::S2, TaskType::Vision, 16.0),
+        (Setting::S2, TaskType::Mix, 16.0),
+        (Setting::S4, TaskType::Vision, 256.0),
+        (Setting::S4, TaskType::Mix, 256.0),
+    ];
+
+    let mut all = Vec::new();
+    for (setting, task, bw) in cases {
+        let scores = compare_all_mappers(
+            setting,
+            task,
+            Some(bw),
+            scale.group_size,
+            scale.budget,
+            scale.seed,
+        );
+        print_scores(&format!("{setting} / {task} / BW={bw}"), &scores);
+        all.push((setting.to_string(), task, bw, scores));
+    }
+    dump_json("fig09_heterogeneous", &all);
+}

@@ -1,0 +1,30 @@
+//! Fig. 10 — exploration study on (Mix, S2, BW=16): throughput reached by
+//! MAGMA, PPO2, stdGA, PSO and CMA at the sampling budget, against a
+//! best-effort random-sampling reference.
+
+use magma::experiments::exploration_study;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, print_scores, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 10 — explored map space and reached performance (Mix, S2, BW=16)", &scale);
+
+    // The paper's "exhaustively sampled" reference uses ~1M random samples;
+    // scale it to 10x the per-method budget here.
+    let reference_budget = scale.budget * 10;
+    let scores = exploration_study(
+        Setting::S2,
+        TaskType::Mix,
+        Some(16.0),
+        scale.group_size,
+        scale.budget,
+        reference_budget,
+        scale.seed,
+    );
+    print_scores(
+        &format!("Mix / S2 / BW=16 (reference budget {reference_budget})"),
+        &scores,
+    );
+    dump_json("fig10_exploration", &scores);
+}

@@ -1,0 +1,39 @@
+//! Fig. 11 — convergence curves of every mapper on (Vision, S2, BW=16) and
+//! (Mix, S3, BW=16).
+
+use magma::experiments::convergence_curves;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 11 — convergence curves", &scale);
+
+    for (setting, task) in [(Setting::S2, TaskType::Vision), (Setting::S3, TaskType::Mix)] {
+        println!("\n[{setting} / {task} / BW=16]");
+        let curves = convergence_curves(
+            setting,
+            task,
+            Some(16.0),
+            scale.group_size,
+            scale.budget,
+            10,
+            scale.seed,
+        );
+        // Print a compact table: one row per method, best GFLOP/s at 10
+        // checkpoints.
+        print!("{:<22}", "mapper \\ samples");
+        for (samples, _) in &curves.last().unwrap().points {
+            print!("{samples:>9}");
+        }
+        println!();
+        for c in &curves {
+            print!("{:<22}", c.method);
+            for (_, v) in &c.points {
+                print!("{v:>9.1}");
+            }
+            println!();
+        }
+        dump_json(&format!("fig11_convergence_{setting}_{task}"), &curves);
+    }
+}

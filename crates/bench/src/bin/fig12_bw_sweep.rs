@@ -1,0 +1,27 @@
+//! Fig. 12 — bandwidth sweep on the heterogeneous accelerators: Herald-like,
+//! RL A2C, RL PPO2 and MAGMA on S2 (1–16 GB/s) and S4 (1–256 GB/s), Mix task.
+
+use magma::experiments::bw_sweep;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, print_scores, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 12 — BW sweep (Mix task)", &scale);
+
+    for setting in [Setting::S2, Setting::S4] {
+        let bws = setting.bw_sweep_gbps();
+        let rows = bw_sweep(
+            setting,
+            TaskType::Mix,
+            &bws,
+            scale.group_size,
+            scale.budget,
+            scale.seed,
+        );
+        for (bw, scores) in &rows {
+            print_scores(&format!("{setting} / Mix / BW={bw}"), scores);
+        }
+        dump_json(&format!("fig12_bw_sweep_{setting}"), &rows);
+    }
+}

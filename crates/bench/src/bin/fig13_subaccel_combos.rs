@@ -1,0 +1,43 @@
+//! Fig. 13 — sub-accelerator combinations: job analysis and MAGMA throughput
+//! on S3 (homogeneous), S4 (heterogeneous) and S5 (BigLittle) at BW = 1 and
+//! 64 GB/s.
+
+use magma::experiments::subaccel_combination_study;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 13 — S3 vs S4 vs S5 under different bandwidths (Mix task)", &scale);
+
+    let rows = subaccel_combination_study(
+        TaskType::Mix,
+        &[1.0, 64.0],
+        scale.group_size,
+        scale.budget,
+        scale.seed,
+    );
+
+    println!(
+        "\n{:<8} {:>10} {:>18} {:>18} {:>16}",
+        "setting", "BW (GB/s)", "avg lat (cycles)", "avg req BW (GB/s)", "MAGMA GFLOP/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>10.0} {:>18.2e} {:>18.2} {:>16.1}",
+            r.setting, r.bw_gbps, r.avg_no_stall_cycles, r.avg_required_bw_gbps, r.magma_gflops
+        );
+    }
+
+    // Normalized view per bandwidth (the paper normalizes by S5).
+    for bw in [1.0, 64.0] {
+        let per_bw: Vec<&_> = rows.iter().filter(|r| r.bw_gbps == bw).collect();
+        if let Some(s5) = per_bw.iter().find(|r| r.setting == "S5") {
+            println!("\nBW={bw} GB/s (normalized by S5):");
+            for r in &per_bw {
+                println!("  {:<4} {:.2}", r.setting, r.magma_gflops / s5.magma_gflops);
+            }
+        }
+    }
+    dump_json("fig13_subaccel_combos", &rows);
+}

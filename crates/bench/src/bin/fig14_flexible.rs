@@ -1,0 +1,45 @@
+//! Fig. 14 — fixed vs flexible PE arrays: MAGMA on the fixed S1/S3 settings
+//! versus their flexible-array variants, Vision and Mix tasks, at low and
+//! high bandwidth.
+
+use magma::experiments::flexible_vs_fixed;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 14 — fixed vs flexible PE arrays", &scale);
+
+    let cases = [
+        (Setting::S1, TaskType::Vision, 1.0),
+        (Setting::S1, TaskType::Vision, 16.0),
+        (Setting::S1, TaskType::Mix, 1.0),
+        (Setting::S1, TaskType::Mix, 16.0),
+        (Setting::S3, TaskType::Vision, 1.0),
+        (Setting::S3, TaskType::Vision, 256.0),
+        (Setting::S3, TaskType::Mix, 1.0),
+        (Setting::S3, TaskType::Mix, 256.0),
+    ];
+
+    println!(
+        "\n{:<10} {:>8} {:>6} {:>14} {:>14} {:>8} {:>16} {:>16}",
+        "setting", "task", "BW", "fixed GFLOP/s", "flex GFLOP/s", "ratio", "fixed lat (cyc)", "flex lat (cyc)"
+    );
+    let mut rows = Vec::new();
+    for (setting, task, bw) in cases {
+        let r = flexible_vs_fixed(setting, task, bw, scale.group_size, scale.budget, scale.seed);
+        println!(
+            "{:<10} {:>8} {:>6.0} {:>14.1} {:>14.1} {:>8.2} {:>16.2e} {:>16.2e}",
+            r.setting,
+            task.short_name(),
+            bw,
+            r.fixed_gflops,
+            r.flexible_gflops,
+            r.flexible_gflops / r.fixed_gflops,
+            r.fixed_avg_latency,
+            r.flexible_avg_latency
+        );
+        rows.push(r);
+    }
+    dump_json("fig14_flexible", &rows);
+}

@@ -1,0 +1,38 @@
+//! Fig. 16 — ablation of MAGMA's genetic operators: mutation only, mutation +
+//! Crossover-gen, and the full operator set, on (Vision, S2, BW=16) and
+//! (Mix, S3, BW=16).
+
+use magma::experiments::operator_ablation;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 16 — genetic-operator ablation", &scale);
+
+    for (setting, task) in [(Setting::S2, TaskType::Vision), (Setting::S3, TaskType::Mix)] {
+        println!("\n[{setting} / {task} / BW=16]");
+        let curves = operator_ablation(
+            setting,
+            task,
+            Some(16.0),
+            scale.group_size,
+            scale.budget,
+            10,
+            scale.seed,
+        );
+        print!("{:<30}", "operator set \\ samples");
+        for (samples, _) in &curves.last().unwrap().points {
+            print!("{samples:>9}");
+        }
+        println!();
+        for c in &curves {
+            print!("{:<30}", c.method);
+            for (_, v) in &c.points {
+                print!("{v:>9.1}");
+            }
+            println!();
+        }
+        dump_json(&format!("fig16_operator_ablation_{setting}_{task}"), &curves);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 17 — group-size sweep: MAGMA throughput on (Mix, S2, BW=16) for group
+//! sizes from 4 to 1000, normalized by the largest group.
+
+use magma::experiments::group_size_sweep;
+use magma::prelude::*;
+use magma_bench::{banner, dump_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 17 — group-size sweep (Mix, S2, BW=16)", &scale);
+
+    let full = std::env::var("MAGMA_FULL_SCALE").map(|v| v == "1").unwrap_or(false);
+    let sizes: Vec<usize> = if full {
+        vec![4, 10, 20, 40, 50, 100, 200, 500, 1000]
+    } else {
+        vec![4, 10, 20, 40, 60, 100]
+    };
+
+    let rows = group_size_sweep(
+        Setting::S2,
+        TaskType::Mix,
+        Some(16.0),
+        &sizes,
+        scale.budget,
+        scale.seed,
+    );
+
+    let reference = rows.last().map(|(_, g)| *g).unwrap_or(1.0);
+    println!("\n{:>12} {:>14} {:>12}", "group size", "GFLOP/s", "normalized");
+    for (gs, gflops) in &rows {
+        println!("{:>12} {:>14.1} {:>12.2}", gs, gflops, gflops / reference);
+    }
+    dump_json("fig17_group_size", &rows);
+}

@@ -1,0 +1,113 @@
+//! Shared plumbing for the experiment-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the paper.
+//! By default the binaries run at a *reduced* scale so they finish in seconds
+//! on a laptop; set the environment variable `MAGMA_FULL_SCALE=1` to run at
+//! the paper's scale (group size 100, 10 000-sample budget), or override the
+//! individual knobs with `MAGMA_GROUP_SIZE` and `MAGMA_BUDGET`.
+
+use magma::experiments::MethodScore;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Scale parameters shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of jobs per group.
+    pub group_size: usize,
+    /// Sampling budget per optimizer run.
+    pub budget: usize,
+    /// Workload / search seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Reads the scale from the environment: paper scale when
+    /// `MAGMA_FULL_SCALE=1`, reduced scale otherwise, with per-knob
+    /// overrides via `MAGMA_GROUP_SIZE` / `MAGMA_BUDGET` / `MAGMA_SEED`.
+    pub fn from_env() -> Self {
+        let full = std::env::var("MAGMA_FULL_SCALE").map(|v| v == "1").unwrap_or(false);
+        let mut scale = if full {
+            Scale { group_size: 100, budget: 10_000, seed: 0 }
+        } else {
+            Scale { group_size: 30, budget: 1_000, seed: 0 }
+        };
+        if let Ok(v) = std::env::var("MAGMA_GROUP_SIZE") {
+            if let Ok(n) = v.parse() {
+                scale.group_size = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MAGMA_BUDGET") {
+            if let Ok(n) = v.parse() {
+                scale.budget = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MAGMA_SEED") {
+            if let Ok(n) = v.parse() {
+                scale.seed = n;
+            }
+        }
+        scale
+    }
+}
+
+/// Prints a banner naming the experiment and the scale it runs at.
+pub fn banner(title: &str, scale: &Scale) {
+    println!("==============================================================");
+    println!("{title}");
+    println!(
+        "group size {}, budget {} samples, seed {} (set MAGMA_FULL_SCALE=1 for paper scale)",
+        scale.group_size, scale.budget, scale.seed
+    );
+    println!("==============================================================");
+}
+
+/// Prints a normalized-throughput table in the layout of the paper's bar
+/// charts (one row per mapper).
+pub fn print_scores(label: &str, scores: &[MethodScore]) {
+    println!("\n[{label}]");
+    println!("{:<22} {:>14} {:>12}", "mapper", "GFLOP/s", "norm (MAGMA=1)");
+    for s in scores {
+        println!("{:<22} {:>14.2} {:>12.3}", s.method, s.gflops, s.normalized);
+    }
+}
+
+/// Writes any serializable result next to the printed table as JSON so the
+/// numbers can be post-processed/plotted. Files land in
+/// `target/experiment-results/`.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target/experiment-results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                println!("\n(raw data written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_scale_defaults_are_modest() {
+        // The default (no env override) must stay laptop-friendly.
+        let s = Scale { group_size: 30, budget: 1_000, seed: 0 };
+        assert!(s.group_size <= 100);
+        assert!(s.budget <= 10_000);
+    }
+
+    #[test]
+    fn print_scores_does_not_panic() {
+        print_scores(
+            "test",
+            &[MethodScore { method: "MAGMA".into(), gflops: 10.0, normalized: 1.0 }],
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Dataflow (local mapping) styles supported by the sub-accelerators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dataflow style — the *local mapping* — a sub-accelerator employs.
+///
+/// The paper's heterogeneous accelerators combine two styles with opposite
+/// compute/bandwidth trade-offs (Section VI-A3); this enum captures those two
+/// plus their key scheduling-visible properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataflowStyle {
+    /// NVDLA-inspired weight-stationary dataflow.
+    ///
+    /// Parallelizes across input/output channel dimensions; weights are
+    /// pinned in the local scratchpads while activations stream through, so
+    /// the style is compute-efficient on channel-heavy layers but demands
+    /// high DRAM bandwidth.
+    HighBandwidth,
+    /// Eyeriss-inspired row-stationary dataflow.
+    ///
+    /// Parallelizes across activation (spatial) dimensions and maximizes
+    /// local reuse, so it needs very little DRAM bandwidth, but it utilizes
+    /// the PE array poorly on layers without spatial extent (FC/GEMM).
+    LowBandwidth,
+}
+
+impl DataflowStyle {
+    /// The two styles used throughout the paper's evaluation.
+    pub const ALL: [DataflowStyle; 2] = [DataflowStyle::HighBandwidth, DataflowStyle::LowBandwidth];
+
+    /// Short label used in tables ("HB" / "LB").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DataflowStyle::HighBandwidth => "HB",
+            DataflowStyle::LowBandwidth => "LB",
+        }
+    }
+
+    /// Whether this style keeps weights stationary (true for HB).
+    pub fn is_weight_stationary(self) -> bool {
+        matches!(self, DataflowStyle::HighBandwidth)
+    }
+}
+
+impl fmt::Display for DataflowStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+impl Default for DataflowStyle {
+    fn default() -> Self {
+        DataflowStyle::HighBandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(DataflowStyle::HighBandwidth.to_string(), "HB");
+        assert_eq!(DataflowStyle::LowBandwidth.to_string(), "LB");
+    }
+
+    #[test]
+    fn stationarity() {
+        assert!(DataflowStyle::HighBandwidth.is_weight_stationary());
+        assert!(!DataflowStyle::LowBandwidth.is_weight_stationary());
+    }
+
+    #[test]
+    fn all_lists_both() {
+        assert_eq!(DataflowStyle::ALL.len(), 2);
+        assert_ne!(DataflowStyle::ALL[0], DataflowStyle::ALL[1]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The Job Analyzer and the Job Analysis Table (Section IV-D2/D4).
+//!
+//! Before the search starts, every job in the group is profiled on every
+//! sub-accelerator with the analytical cost model. The resulting table of
+//! (no-stall latency, required bandwidth) pairs is the only thing the
+//! optimization loop consults — the cost model is never queried inside the
+//! loop, exactly as in the paper.
+
+use magma_cost::{best_flexible_shape, CostEstimate, CostModel};
+use magma_model::{Group, JobId, TaskType};
+use magma_platform::AcceleratorPlatform;
+use serde::{Deserialize, Serialize};
+
+/// The Job Analyzer: profiles a group of jobs against a platform.
+#[derive(Debug, Clone, Default)]
+pub struct JobAnalyzer {
+    cost_model: CostModel,
+}
+
+impl JobAnalyzer {
+    /// Creates an analyzer with the default cost-model constants.
+    pub fn new() -> Self {
+        JobAnalyzer { cost_model: CostModel::default() }
+    }
+
+    /// Creates an analyzer with a custom cost model.
+    pub fn with_cost_model(cost_model: CostModel) -> Self {
+        JobAnalyzer { cost_model }
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Profiles every job of `group` on every sub-accelerator of `platform`,
+    /// producing the Job Analysis Table.
+    ///
+    /// Cores whose PE-array shape is flexible are profiled with the best
+    /// per-layer factorization (Section VI-F).
+    pub fn analyze(&self, group: &Group, platform: &AcceleratorPlatform) -> JobAnalysisTable {
+        let mut entries = Vec::with_capacity(group.len());
+        for job in group.iter() {
+            let mut per_accel = Vec::with_capacity(platform.num_sub_accels());
+            for accel in platform.sub_accels() {
+                let est = if accel.flexible_shape() {
+                    best_flexible_shape(&self.cost_model, job.layer(), job.batch(), accel).estimate
+                } else {
+                    self.cost_model.estimate(job.layer(), job.batch(), accel)
+                };
+                per_accel.push(est);
+            }
+            entries.push(per_accel);
+        }
+        let tasks = group.iter().map(|j| j.task()).collect();
+        let flops = group.iter().map(|j| j.flops()).collect();
+        let freqs = platform.sub_accels().iter().map(|a| a.frequency_hz()).collect();
+        JobAnalysisTable { entries, tasks, flops, frequencies_hz: freqs }
+    }
+}
+
+/// The Job Analysis Table: per (job, sub-accelerator) cost estimates plus the
+/// per-job metadata the evaluator needs (task tag, FLOPs) and the per-core
+/// clock frequencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobAnalysisTable {
+    /// `entries[job][accel]`.
+    entries: Vec<Vec<CostEstimate>>,
+    tasks: Vec<TaskType>,
+    flops: Vec<u64>,
+    frequencies_hz: Vec<f64>,
+}
+
+impl JobAnalysisTable {
+    /// Number of jobs in the table.
+    pub fn num_jobs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of sub-accelerators in the table.
+    pub fn num_accels(&self) -> usize {
+        self.frequencies_hz.len()
+    }
+
+    /// The cost estimate for running `job` on `accel`.
+    pub fn estimate(&self, job: JobId, accel: usize) -> &CostEstimate {
+        &self.entries[job.0][accel]
+    }
+
+    /// No-stall latency in *seconds* for `job` on `accel` (cycles divided by
+    /// that core's clock).
+    pub fn no_stall_seconds(&self, job: JobId, accel: usize) -> f64 {
+        self.entries[job.0][accel].no_stall_cycles as f64 / self.frequencies_hz[accel]
+    }
+
+    /// Required (no-stall) bandwidth in GB/s for `job` on `accel`.
+    pub fn required_bw_gbps(&self, job: JobId, accel: usize) -> f64 {
+        self.entries[job.0][accel].required_bw_gbps
+    }
+
+    /// FLOPs of `job` (independent of where it runs).
+    pub fn flops(&self, job: JobId) -> u64 {
+        self.flops[job.0]
+    }
+
+    /// Task category of `job`.
+    pub fn task(&self, job: JobId) -> TaskType {
+        self.tasks[job.0]
+    }
+
+    /// Clock frequency (Hz) of a sub-accelerator.
+    pub fn frequency_hz(&self, accel: usize) -> f64 {
+        self.frequencies_hz[accel]
+    }
+
+    /// Total FLOPs across all jobs — the numerator of the throughput
+    /// objective.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// Average no-stall latency (cycles) across all jobs and cores —
+    /// the per-job statistic plotted in Fig. 7(b) and Fig. 13(a).
+    pub fn avg_no_stall_cycles(&self) -> f64 {
+        let total: u64 = self
+            .entries
+            .iter()
+            .flat_map(|row| row.iter().map(|e| e.no_stall_cycles))
+            .sum();
+        total as f64 / (self.num_jobs() * self.num_accels()) as f64
+    }
+
+    /// Average required bandwidth (GB/s) across all jobs and cores —
+    /// the statistic plotted in Fig. 7(c) and Fig. 13(b).
+    pub fn avg_required_bw_gbps(&self) -> f64 {
+        let total: f64 = self
+            .entries
+            .iter()
+            .flat_map(|row| row.iter().map(|e| e.required_bw_gbps))
+            .sum();
+        total / (self.num_jobs() * self.num_accels()) as f64
+    }
+
+    /// The sub-accelerator with the lowest no-stall latency for a job
+    /// (used by the Herald-like affinity heuristic).
+    pub fn fastest_accel(&self, job: JobId) -> usize {
+        (0..self.num_accels())
+            .min_by(|&a, &b| {
+                self.no_stall_seconds(job, a)
+                    .partial_cmp(&self.no_stall_seconds(job, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("table has at least one accelerator")
+    }
+
+    /// The sub-accelerator with the lowest required bandwidth for a job
+    /// (used by heuristics in bandwidth-starved regimes).
+    pub fn most_bw_frugal_accel(&self, job: JobId) -> usize {
+        (0..self.num_accels())
+            .min_by(|&a, &b| {
+                self.required_bw_gbps(job, a)
+                    .partial_cmp(&self.required_bw_gbps(job, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("table has at least one accelerator")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_model::{TaskType, WorkloadSpec};
+    use magma_platform::{settings, Setting};
+
+    fn table(task: TaskType, n: usize, setting: Setting) -> JobAnalysisTable {
+        let group = WorkloadSpec::single_group(task, n, 0);
+        let platform = settings::build(setting);
+        JobAnalyzer::new().analyze(&group, &platform)
+    }
+
+    #[test]
+    fn dimensions_match_group_and_platform() {
+        let t = table(TaskType::Mix, 24, Setting::S2);
+        assert_eq!(t.num_jobs(), 24);
+        assert_eq!(t.num_accels(), 4);
+        assert!(t.total_flops() > 0);
+    }
+
+    #[test]
+    fn latencies_and_bw_are_positive() {
+        let t = table(TaskType::Mix, 16, Setting::S4);
+        for j in 0..t.num_jobs() {
+            for a in 0..t.num_accels() {
+                assert!(t.no_stall_seconds(JobId(j), a) > 0.0);
+                assert!(t.required_bw_gbps(JobId(j), a) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn vision_has_lower_bw_need_than_recommendation() {
+        // Fig. 7: Vision has the lowest BW requirement, Recommendation the
+        // highest.
+        let v = table(TaskType::Vision, 40, Setting::S1).avg_required_bw_gbps();
+        let r = table(TaskType::Recommendation, 40, Setting::S1).avg_required_bw_gbps();
+        assert!(r > v, "recom {r} should exceed vision {v}");
+    }
+
+    #[test]
+    fn vision_has_higher_latency_than_recommendation() {
+        let v = table(TaskType::Vision, 40, Setting::S1).avg_no_stall_cycles();
+        let r = table(TaskType::Recommendation, 40, Setting::S1).avg_no_stall_cycles();
+        assert!(v > r, "vision {v} should exceed recom {r}");
+    }
+
+    #[test]
+    fn fastest_accel_is_consistent_with_latencies() {
+        let t = table(TaskType::Mix, 10, Setting::S5);
+        for j in 0..t.num_jobs() {
+            let best = t.fastest_accel(JobId(j));
+            for a in 0..t.num_accels() {
+                assert!(
+                    t.no_stall_seconds(JobId(j), best) <= t.no_stall_seconds(JobId(j), a) + 1e-15
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_platform_gives_different_estimates_per_core() {
+        let t = table(TaskType::Language, 10, Setting::S2);
+        // At least one job must see different latencies on HB vs LB cores.
+        let any_diff = (0..t.num_jobs()).any(|j| {
+            let first = t.estimate(JobId(j), 0).no_stall_cycles;
+            (1..t.num_accels()).any(|a| t.estimate(JobId(j), a).no_stall_cycles != first)
+        });
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn flexible_platform_is_not_slower() {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 20, 1);
+        let fixed = settings::build(Setting::S1);
+        let flex = settings::build_flexible(Setting::S1, 16.0);
+        let analyzer = JobAnalyzer::new();
+        let tf = analyzer.analyze(&group, &fixed);
+        let tx = analyzer.analyze(&group, &flex);
+        // Flexible shapes never *increase* latency on the same PE budget with
+        // the bigger flexible buffers.
+        assert!(tx.avg_no_stall_cycles() <= tf.avg_no_stall_cycles() * 1.05);
+    }
+}

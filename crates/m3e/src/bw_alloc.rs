@@ -1,0 +1,314 @@
+//! The Bandwidth Allocator — Algorithm 1 of the paper.
+//!
+//! The system bandwidth is a shared resource across the sub-accelerator
+//! cores. Instead of splitting it evenly, the allocator re-divides it among
+//! the *live* jobs in proportion to their required (no-stall) bandwidth at
+//! every job-completion event: memory-intensive jobs receive more bandwidth,
+//! compute-intensive jobs only what they need. A job whose granted bandwidth
+//! is below its requirement stretches proportionally (it becomes
+//! memory-bound).
+
+use crate::analyzer::JobAnalysisTable;
+use crate::encoding::DecodedMapping;
+use crate::schedule::{BwSlice, Schedule, ScheduleSegment};
+use magma_model::JobId;
+
+/// Absolute tolerance (in bytes of remaining traffic) below which a job is
+/// considered finished; one byte is far below any job's real traffic and
+/// avoids pathological floating-point tail iterations.
+const REMAINING_EPS: f64 = 1.0;
+
+/// The bandwidth allocator (Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BwAllocator;
+
+/// Per-core execution state during the replay.
+#[derive(Debug, Clone)]
+struct CoreState {
+    /// Index of the next job in this core's queue.
+    next: usize,
+    /// Currently running job, if any.
+    current: Option<RunningJob>,
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    job: JobId,
+    /// Remaining "work" expressed in bytes of DRAM traffic still to stream
+    /// (`no-stall latency × required BW`, the `CurJobs` quantity of
+    /// Algorithm 1).
+    remaining_bytes: f64,
+    /// The job's no-stall bandwidth requirement in GB/s.
+    required_bw_gbps: f64,
+    /// When the job started executing.
+    start_sec: f64,
+}
+
+impl BwAllocator {
+    /// Creates an allocator.
+    pub fn new() -> Self {
+        BwAllocator
+    }
+
+    /// Replays a decoded mapping against the job-analysis table under the
+    /// given system-bandwidth budget and returns the resulting schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system_bw_gbps` is not positive or if the decoded mapping
+    /// and the table disagree on the number of sub-accelerators.
+    pub fn allocate(
+        &self,
+        mapping: &DecodedMapping,
+        table: &JobAnalysisTable,
+        system_bw_gbps: f64,
+    ) -> Schedule {
+        assert!(system_bw_gbps > 0.0, "system bandwidth must be positive");
+        assert_eq!(
+            mapping.num_accels(),
+            table.num_accels(),
+            "mapping and analysis table describe different platforms"
+        );
+        let num_accels = table.num_accels();
+        let mut cores: Vec<CoreState> =
+            (0..num_accels).map(|_| CoreState { next: 0, current: None }).collect();
+
+        let mut now = 0.0_f64;
+        let mut segments = Vec::with_capacity(mapping.num_jobs());
+        let mut bw_trace = Vec::new();
+        let mut total_energy_nj = 0.0;
+
+        // Launch the first job on every non-empty queue.
+        for (accel, core) in cores.iter_mut().enumerate() {
+            Self::launch_next(core, accel, mapping, table, now);
+        }
+
+        loop {
+            // Gather the live jobs.
+            let live: Vec<usize> =
+                (0..num_accels).filter(|&a| cores[a].current.is_some()).collect();
+            if live.is_empty() {
+                break;
+            }
+
+            // Proportional bandwidth division (Algorithm 1, lines 5–9).
+            let sum_req: f64 = live
+                .iter()
+                .map(|&a| cores[a].current.as_ref().unwrap().required_bw_gbps)
+                .sum();
+            let scale = if sum_req <= system_bw_gbps { 1.0 } else { system_bw_gbps / sum_req };
+            let mut alloc = vec![0.0_f64; num_accels];
+            for &a in &live {
+                alloc[a] = cores[a].current.as_ref().unwrap().required_bw_gbps * scale;
+            }
+
+            // Smallest time to the next completion under this allocation.
+            let dt = live
+                .iter()
+                .map(|&a| {
+                    let rj = cores[a].current.as_ref().unwrap();
+                    rj.remaining_bytes / (alloc[a] * 1e9)
+                })
+                .fold(f64::INFINITY, f64::min)
+                .max(0.0);
+
+            bw_trace.push(BwSlice { start_sec: now, end_sec: now + dt, alloc_gbps: alloc.clone() });
+
+            // Advance every live job by dt.
+            now += dt;
+            for &a in &live {
+                let finished = {
+                    let rj = cores[a].current.as_mut().unwrap();
+                    rj.remaining_bytes -= dt * alloc[a] * 1e9;
+                    rj.remaining_bytes <= REMAINING_EPS
+                };
+                if finished {
+                    let rj = cores[a].current.take().unwrap();
+                    total_energy_nj += table.estimate(rj.job, a).energy_nj;
+                    segments.push(ScheduleSegment {
+                        job: rj.job,
+                        accel: a,
+                        start_sec: rj.start_sec,
+                        end_sec: now,
+                    });
+                    Self::launch_next(&mut cores[a], a, mapping, table, now);
+                }
+            }
+        }
+
+        Schedule::new(segments, bw_trace, now, table.total_flops(), total_energy_nj, num_accels)
+    }
+
+    fn launch_next(
+        core: &mut CoreState,
+        accel: usize,
+        mapping: &DecodedMapping,
+        table: &JobAnalysisTable,
+        now: f64,
+    ) {
+        let queue = mapping.queue(accel);
+        if core.next < queue.len() {
+            let job = queue[core.next];
+            core.next += 1;
+            let lat = table.no_stall_seconds(job, accel);
+            let bw = table.required_bw_gbps(job, accel);
+            core.current = Some(RunningJob {
+                job,
+                remaining_bytes: lat * bw * 1e9,
+                required_bw_gbps: bw,
+                start_sec: now,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::JobAnalyzer;
+    use crate::encoding::Mapping;
+    use magma_model::{TaskType, WorkloadSpec};
+    use magma_platform::{settings, Setting};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(
+        task: TaskType,
+        n: usize,
+        setting: Setting,
+        seed: u64,
+    ) -> (JobAnalysisTable, Mapping) {
+        let group = WorkloadSpec::single_group(task, n, seed);
+        let platform = settings::build(setting);
+        let table = JobAnalyzer::new().analyze(&group, &platform);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::random(&mut rng, n, platform.num_sub_accels());
+        (table, mapping)
+    }
+
+    #[test]
+    fn every_job_is_scheduled_exactly_once() {
+        let (table, mapping) = setup(TaskType::Mix, 40, Setting::S2, 1);
+        let sched = BwAllocator::new().allocate(&mapping.decode(), &table, 16.0);
+        assert_eq!(sched.segments().len(), 40);
+        let mut seen = vec![false; 40];
+        for s in sched.segments() {
+            assert!(!seen[s.job.0], "job {} scheduled twice", s.job.0);
+            seen[s.job.0] = true;
+        }
+        assert!(seen.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn jobs_on_same_core_do_not_overlap() {
+        let (table, mapping) = setup(TaskType::Mix, 30, Setting::S2, 2);
+        let sched = BwAllocator::new().allocate(&mapping.decode(), &table, 16.0);
+        for a in 0..table.num_accels() {
+            let segs = sched.segments_for(a);
+            for w in segs.windows(2) {
+                assert!(w[1].start_sec >= w[0].end_sec - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bw_never_exceeds_system_budget() {
+        let (table, mapping) = setup(TaskType::Recommendation, 30, Setting::S2, 3);
+        let bw = 4.0;
+        let sched = BwAllocator::new().allocate(&mapping.decode(), &table, bw);
+        for slice in sched.bw_trace() {
+            let sum: f64 = slice.alloc_gbps.iter().sum();
+            assert!(sum <= bw * (1.0 + 1e-9), "slice draws {sum} > {bw}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_bw_gives_no_stall_execution() {
+        let (table, mapping) = setup(TaskType::Vision, 20, Setting::S1, 4);
+        // Absurdly high system BW: every job should run at its no-stall latency.
+        let sched = BwAllocator::new().allocate(&mapping.decode(), &table, 1e9);
+        for seg in sched.segments() {
+            let expect = table.no_stall_seconds(seg.job, seg.accel);
+            let actual = seg.duration_sec();
+            assert!(
+                (actual - expect).abs() / expect < 1e-6,
+                "job {} took {actual}, expected {expect}",
+                seg.job.0
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bw_never_improves_makespan() {
+        let (table, mapping) = setup(TaskType::Mix, 40, Setting::S2, 5);
+        let alloc = BwAllocator::new();
+        let decoded = mapping.decode();
+        let high = alloc.allocate(&decoded, &table, 16.0);
+        let low = alloc.allocate(&decoded, &table, 1.0);
+        assert!(low.makespan_sec() >= high.makespan_sec());
+        assert!(low.throughput_gflops() <= high.throughput_gflops());
+    }
+
+    #[test]
+    fn makespan_at_least_longest_single_job() {
+        let (table, mapping) = setup(TaskType::Mix, 25, Setting::S4, 6);
+        let sched = BwAllocator::new().allocate(&mapping.decode(), &table, 256.0);
+        let longest = (0..25)
+            .map(|j| {
+                (0..table.num_accels())
+                    .map(|a| table.no_stall_seconds(JobId(j), a))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max);
+        assert!(sched.makespan_sec() >= longest * 0.999);
+    }
+
+    #[test]
+    fn memory_intensive_jobs_get_proportionally_more_bw() {
+        // Two cores, constrained BW: the core running the more BW-hungry job
+        // must be granted more bandwidth in the first slice.
+        let group = WorkloadSpec::single_group(TaskType::Mix, 8, 0);
+        let platform = settings::build(Setting::S2).with_system_bw_gbps(2.0);
+        let table = JobAnalyzer::new().analyze(&group, &platform);
+        // Pick two jobs with very different BW needs on cores 0 and 1.
+        let mut jobs: Vec<usize> = (0..8).collect();
+        jobs.sort_by(|&a, &b| {
+            table
+                .required_bw_gbps(JobId(a), 0)
+                .partial_cmp(&table.required_bw_gbps(JobId(b), 0))
+                .unwrap()
+        });
+        let frugal = jobs[0];
+        let hungry = jobs[7];
+        let mut accel_sel = vec![0usize; 8];
+        accel_sel[hungry] = 1;
+        // Give the two interesting jobs top priority on their cores.
+        let mut prio = vec![0.9; 8];
+        prio[frugal] = 0.0;
+        prio[hungry] = 0.0;
+        let mapping = Mapping::new(accel_sel, prio, 4);
+        let sched = BwAllocator::new().allocate(&mapping.decode(), &table, 2.0);
+        let first = &sched.bw_trace()[0];
+        let req_f = table.required_bw_gbps(JobId(frugal), 0);
+        let req_h = table.required_bw_gbps(JobId(hungry), 1);
+        if req_h > req_f {
+            assert!(first.alloc_gbps[1] >= first.alloc_gbps[0]);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn allocator_terminates_and_covers_all_jobs(
+            n in 4usize..60, seed in 0u64..20, bw in 1.0f64..64.0,
+        ) {
+            let (table, mapping) = setup(TaskType::Mix, n, Setting::S2, seed);
+            let sched = BwAllocator::new().allocate(&mapping.decode(), &table, bw);
+            prop_assert_eq!(sched.segments().len(), n);
+            prop_assert!(sched.makespan_sec() > 0.0);
+            prop_assert!(sched.throughput_gflops() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The mapping encoding and decoder (Section IV-A, Fig. 5a).
+//!
+//! A mapping for a group of `n` jobs on `m` sub-accelerators is encoded as
+//! two genomes of length `n`:
+//!
+//! * the **sub-accelerator selection** genome — gene `i` is the core index
+//!   (`0..m`) that job `i` runs on;
+//! * the **job prioritization** genome — gene `i` is a priority in `[0, 1)`;
+//!   jobs assigned to the same core execute in ascending priority order
+//!   (0 is the highest priority).
+
+use magma_model::JobId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An encoded mapping: the individual the optimizers evolve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    accel_sel: Vec<usize>,
+    priority: Vec<f64>,
+    num_accels: usize,
+}
+
+impl Mapping {
+    /// Creates a mapping from explicit genomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genomes have different lengths, are empty, if any
+    /// accelerator gene is out of range, or if any priority is outside
+    /// `[0, 1]`.
+    pub fn new(accel_sel: Vec<usize>, priority: Vec<f64>, num_accels: usize) -> Self {
+        assert!(!accel_sel.is_empty(), "a mapping must cover at least one job");
+        assert_eq!(accel_sel.len(), priority.len(), "genome lengths must match");
+        assert!(num_accels > 0, "need at least one sub-accelerator");
+        assert!(
+            accel_sel.iter().all(|&a| a < num_accels),
+            "sub-accelerator gene out of range"
+        );
+        assert!(
+            priority.iter().all(|p| (0.0..=1.0).contains(p)),
+            "priorities must be in [0, 1]"
+        );
+        Mapping { accel_sel, priority, num_accels }
+    }
+
+    /// Samples a uniformly random mapping for `num_jobs` jobs on
+    /// `num_accels` cores.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, num_jobs: usize, num_accels: usize) -> Self {
+        assert!(num_jobs > 0 && num_accels > 0);
+        let accel_sel = (0..num_jobs).map(|_| rng.gen_range(0..num_accels)).collect();
+        let priority = (0..num_jobs).map(|_| rng.gen_range(0.0..1.0)).collect();
+        Mapping { accel_sel, priority, num_accels }
+    }
+
+    /// Number of jobs this mapping covers (the group size).
+    pub fn num_jobs(&self) -> usize {
+        self.accel_sel.len()
+    }
+
+    /// Number of sub-accelerators the selection genes index into.
+    pub fn num_accels(&self) -> usize {
+        self.num_accels
+    }
+
+    /// The sub-accelerator selection genome.
+    pub fn accel_sel(&self) -> &[usize] {
+        &self.accel_sel
+    }
+
+    /// The job prioritization genome.
+    pub fn priority(&self) -> &[f64] {
+        &self.priority
+    }
+
+    /// Mutable access to the selection genome (gene values must stay within
+    /// `0..num_accels`; the GA operators uphold this).
+    pub fn accel_sel_mut(&mut self) -> &mut [usize] {
+        &mut self.accel_sel
+    }
+
+    /// Mutable access to the priority genome (values must stay in `[0, 1]`).
+    pub fn priority_mut(&mut self) -> &mut [f64] {
+        &mut self.priority
+    }
+
+    /// Decodes the genomes into per-core ordered job queues (Fig. 4a / 5a).
+    ///
+    /// Ties in priority are broken by job id so decoding is deterministic.
+    pub fn decode(&self) -> DecodedMapping {
+        let mut queues: Vec<Vec<JobId>> = vec![Vec::new(); self.num_accels];
+        let mut order: Vec<usize> = (0..self.num_jobs()).collect();
+        order.sort_by(|&a, &b| {
+            self.priority[a]
+                .partial_cmp(&self.priority[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for job in order {
+            queues[self.accel_sel[job]].push(JobId(job));
+        }
+        DecodedMapping { queues }
+    }
+
+    /// Flattens the mapping into a continuous vector in `[0, 1]^(2n)` — the
+    /// representation the continuous black-box optimizers (DE, CMA-ES, PSO,
+    /// TBPSA) operate on. The first `n` entries encode the accelerator
+    /// selection as `accel / num_accels` bucket midpoints; the last `n` are
+    /// the priorities.
+    pub fn to_vector(&self) -> Vec<f64> {
+        let n = self.num_jobs();
+        let mut v = Vec::with_capacity(2 * n);
+        for &a in &self.accel_sel {
+            v.push((a as f64 + 0.5) / self.num_accels as f64);
+        }
+        for &p in &self.priority {
+            v.push(p);
+        }
+        v
+    }
+
+    /// Reconstructs a mapping from a continuous vector (the inverse of
+    /// [`Mapping::to_vector`], with values clamped into range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length is odd or zero.
+    pub fn from_vector(v: &[f64], num_accels: usize) -> Self {
+        assert!(!v.is_empty() && v.len() % 2 == 0, "vector length must be 2 × num_jobs");
+        let n = v.len() / 2;
+        let accel_sel = v[..n]
+            .iter()
+            .map(|&x| {
+                let x = x.clamp(0.0, 1.0 - f64::EPSILON);
+                ((x * num_accels as f64) as usize).min(num_accels - 1)
+            })
+            .collect();
+        let priority = v[n..].iter().map(|&x| x.clamp(0.0, 1.0)).collect();
+        Mapping { accel_sel, priority, num_accels }
+    }
+
+    /// Returns how many jobs are assigned to each sub-accelerator.
+    pub fn load_per_accel(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.num_accels];
+        for &a in &self.accel_sel {
+            loads[a] += 1;
+        }
+        loads
+    }
+}
+
+/// A decoded mapping: for each sub-accelerator, the ordered queue of jobs it
+/// will execute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodedMapping {
+    queues: Vec<Vec<JobId>>,
+}
+
+impl DecodedMapping {
+    /// The per-core job queues, indexed by sub-accelerator.
+    pub fn queues(&self) -> &[Vec<JobId>] {
+        &self.queues
+    }
+
+    /// The queue of one sub-accelerator.
+    pub fn queue(&self, accel: usize) -> &[JobId] {
+        &self.queues[accel]
+    }
+
+    /// Number of sub-accelerators.
+    pub fn num_accels(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total number of jobs across all queues.
+    pub fn num_jobs(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+/// Log10 of the size of the full mapping search space for `group_size` jobs
+/// on `num_accels` cores: `group_size!` orderings (the paper's Section IV-F
+/// derivation: `(n!)/(k!)^m × (k!)^m = n!`).
+pub fn search_space_log10(group_size: usize, _num_accels: usize) -> f64 {
+    // log10(n!) via the log-gamma-free running sum (exact enough for display).
+    (1..=group_size).map(|i| (i as f64).log10()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_example_decodes_correctly() {
+        // Fig. 5(a): accel_sel = [1,2,2,1,2], priorities = [0.1,0.8,0.4,0.7,0.3]
+        // (1-indexed accels in the paper; 0-indexed here).
+        let m = Mapping::new(
+            vec![0, 1, 1, 0, 1],
+            vec![0.1, 0.8, 0.4, 0.7, 0.3],
+            2,
+        );
+        let d = m.decode();
+        let q0: Vec<usize> = d.queue(0).iter().map(|j| j.0).collect();
+        let q1: Vec<usize> = d.queue(1).iter().map(|j| j.0).collect();
+        assert_eq!(q0, vec![0, 3]); // J1 then J4
+        assert_eq!(q1, vec![4, 2, 1]); // J5, J3, J2
+    }
+
+    #[test]
+    fn decode_is_deterministic_on_ties() {
+        let m = Mapping::new(vec![0, 0, 0], vec![0.5, 0.5, 0.5], 1);
+        let q: Vec<usize> = m.decode().queue(0).iter().map(|j| j.0).collect();
+        assert_eq!(q, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn random_mapping_is_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mapping::random(&mut rng, 50, 4);
+        assert_eq!(m.num_jobs(), 50);
+        assert!(m.accel_sel().iter().all(|&a| a < 4));
+        assert!(m.priority().iter().all(|&p| (0.0..1.0).contains(&p)));
+        assert_eq!(m.decode().num_jobs(), 50);
+    }
+
+    #[test]
+    fn vector_round_trip_preserves_decoding() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Mapping::random(&mut rng, 30, 5);
+        let back = Mapping::from_vector(&m.to_vector(), 5);
+        assert_eq!(m.accel_sel(), back.accel_sel());
+        assert_eq!(m.decode(), back.decode());
+    }
+
+    #[test]
+    fn load_per_accel_sums_to_jobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Mapping::random(&mut rng, 40, 3);
+        assert_eq!(m.load_per_accel().iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn accel_gene_out_of_range_panics() {
+        let _ = Mapping::new(vec![0, 3], vec![0.1, 0.2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_genomes_panic() {
+        let _ = Mapping::new(vec![0, 1], vec![0.1], 2);
+    }
+
+    #[test]
+    fn search_space_matches_paper_magnitude() {
+        // Section IV-F: 4 sub-accelerators, group size 60 => 60! ≈ 1e81.
+        let log = search_space_log10(60, 4);
+        assert!((log - 81.0).abs() < 1.5, "log10(60!) = {log}");
+    }
+
+    proptest! {
+        #[test]
+        fn from_vector_always_valid(v in proptest::collection::vec(-2.0f64..3.0, 2..60)) {
+            let v = if v.len() % 2 == 1 { v[..v.len() - 1].to_vec() } else { v };
+            if v.is_empty() { return Ok(()); }
+            let m = Mapping::from_vector(&v, 4);
+            prop_assert!(m.accel_sel().iter().all(|&a| a < 4));
+            prop_assert!(m.priority().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+
+        #[test]
+        fn decode_partitions_all_jobs(n in 1usize..80, m in 1usize..8, seed in 0u64..20) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let map = Mapping::random(&mut rng, n, m);
+            let d = map.decode();
+            prop_assert_eq!(d.num_jobs(), n);
+            // Every job appears exactly once.
+            let mut seen = vec![false; n];
+            for q in d.queues() {
+                for j in q {
+                    prop_assert!(!seen[j.0]);
+                    seen[j.0] = true;
+                }
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+        }
+
+        #[test]
+        fn priorities_order_queues(n in 2usize..40, seed in 0u64..20) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let map = Mapping::random(&mut rng, n, 1);
+            let d = map.decode();
+            let q = d.queue(0);
+            for w in q.windows(2) {
+                prop_assert!(map.priority()[w[0].0] <= map.priority()[w[1].0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Objectives and the fitness function (Section IV-C).
+
+use crate::analyzer::JobAnalysisTable;
+use crate::bw_alloc::BwAllocator;
+use crate::encoding::Mapping;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The optimization objective. The paper uses throughput; the alternatives
+/// are provided because M3E accepts the objective as an input (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Objective {
+    /// Maximize group throughput in GFLOP/s (the paper's metric).
+    #[default]
+    Throughput,
+    /// Minimize the makespan (seconds); fitness is its negation.
+    Latency,
+    /// Minimize total energy (nJ); fitness is its negation.
+    Energy,
+    /// Minimize energy × delay; fitness is its negation.
+    EnergyDelayProduct,
+}
+
+impl Objective {
+    /// Extracts the fitness value (higher is always better) from a schedule.
+    pub fn fitness_of(&self, schedule: &Schedule) -> f64 {
+        match self {
+            Objective::Throughput => schedule.throughput_gflops(),
+            Objective::Latency => -schedule.makespan_sec(),
+            Objective::Energy => -schedule.total_energy_nj(),
+            Objective::EnergyDelayProduct => {
+                -(schedule.total_energy_nj() * schedule.makespan_sec())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The fitness function of M3E: decodes an encoded mapping, replays it through
+/// the bandwidth allocator under the system-BW constraint, and extracts the
+/// objective.
+#[derive(Debug, Clone)]
+pub struct FitnessEvaluator {
+    table: JobAnalysisTable,
+    system_bw_gbps: f64,
+    objective: Objective,
+    allocator: BwAllocator,
+}
+
+impl FitnessEvaluator {
+    /// Creates an evaluator from an analysis table, the system-bandwidth
+    /// constraint and the objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system_bw_gbps` is not positive.
+    pub fn new(table: JobAnalysisTable, system_bw_gbps: f64, objective: Objective) -> Self {
+        assert!(system_bw_gbps > 0.0, "system bandwidth must be positive");
+        FitnessEvaluator { table, system_bw_gbps, objective, allocator: BwAllocator::new() }
+    }
+
+    /// The job-analysis table this evaluator consults.
+    pub fn table(&self) -> &JobAnalysisTable {
+        &self.table
+    }
+
+    /// The system bandwidth constraint in GB/s.
+    pub fn system_bw_gbps(&self) -> f64 {
+        self.system_bw_gbps
+    }
+
+    /// The objective being optimized.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Evaluates a mapping and returns its fitness (higher is better).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping's job count or accelerator count do not match
+    /// the analysis table.
+    pub fn fitness(&self, mapping: &Mapping) -> f64 {
+        self.objective.fitness_of(&self.schedule(mapping))
+    }
+
+    /// Evaluates a mapping and returns the full schedule (used for the
+    /// schedule visualizations and detailed reports).
+    pub fn schedule(&self, mapping: &Mapping) -> Schedule {
+        assert_eq!(
+            mapping.num_jobs(),
+            self.table.num_jobs(),
+            "mapping covers a different number of jobs than the analysis table"
+        );
+        assert_eq!(
+            mapping.num_accels(),
+            self.table.num_accels(),
+            "mapping targets a different number of sub-accelerators than the table"
+        );
+        self.allocator.allocate(&mapping.decode(), &self.table, self.system_bw_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::JobAnalyzer;
+    use magma_model::{TaskType, WorkloadSpec};
+    use magma_platform::{settings, Setting};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn evaluator(obj: Objective) -> FitnessEvaluator {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 24, 0);
+        let platform = settings::build(Setting::S2);
+        let table = JobAnalyzer::new().analyze(&group, &platform);
+        FitnessEvaluator::new(table, platform.system_bw_gbps(), obj)
+    }
+
+    #[test]
+    fn throughput_fitness_positive() {
+        let ev = evaluator(Objective::Throughput);
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Mapping::random(&mut rng, 24, 4);
+        assert!(ev.fitness(&m) > 0.0);
+    }
+
+    #[test]
+    fn latency_and_energy_fitness_negative() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Mapping::random(&mut rng, 24, 4);
+        assert!(evaluator(Objective::Latency).fitness(&m) < 0.0);
+        assert!(evaluator(Objective::Energy).fitness(&m) < 0.0);
+        assert!(evaluator(Objective::EnergyDelayProduct).fitness(&m) < 0.0);
+    }
+
+    #[test]
+    fn fitness_matches_schedule_throughput() {
+        let ev = evaluator(Objective::Throughput);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mapping::random(&mut rng, 24, 4);
+        let s = ev.schedule(&m);
+        assert!((ev.fitness(&m) - s.throughput_gflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_mappings_give_different_fitness() {
+        let ev = evaluator(Objective::Throughput);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Mapping::random(&mut rng, 24, 4);
+        let b = Mapping::random(&mut rng, 24, 4);
+        // Not a strict requirement, but with 24 mixed jobs two random mappings
+        // almost surely differ in throughput.
+        assert_ne!(ev.fitness(&a), ev.fitness(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different number of jobs")]
+    fn wrong_job_count_panics() {
+        let ev = evaluator(Objective::Throughput);
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Mapping::random(&mut rng, 10, 4);
+        let _ = ev.fitness(&m);
+    }
+}

@@ -1,0 +1,237 @@
+//! The M3E façade and the problem interface the optimizers search against.
+
+use crate::analyzer::{JobAnalysisTable, JobAnalyzer};
+use crate::encoding::Mapping;
+use crate::evaluator::{FitnessEvaluator, Objective};
+use crate::schedule::Schedule;
+use magma_cost::CostModel;
+use magma_model::{Group, TaskType};
+use magma_platform::AcceleratorPlatform;
+
+/// Per-(job, core) profile information exposed to knowledge-based mappers.
+///
+/// The black-box optimizers never look at this; the manual-heuristic mappers
+/// (Herald-like, AI-MT-like) mirror the paper's mappers, which consult the
+/// job-analysis table directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobProfile {
+    /// No-stall latency of the job on the core, in seconds.
+    pub no_stall_seconds: f64,
+    /// Required (no-stall) bandwidth of the job on the core, in GB/s.
+    pub required_bw_gbps: f64,
+    /// FLOPs of the job (core-independent).
+    pub flops: u64,
+}
+
+/// The black-box problem interface exposed to the optimization algorithms.
+///
+/// Every optimizer in `magma-optim` (MAGMA, stdGA, DE, CMA-ES, PSO, TBPSA,
+/// the RL agents and the heuristics) only sees this trait: the dimensions of
+/// the encoding plus a fitness oracle. Higher fitness is always better.
+pub trait MappingProblem {
+    /// Number of jobs in the group (genome length).
+    fn num_jobs(&self) -> usize;
+
+    /// Number of sub-accelerator cores (range of the selection genes).
+    fn num_accels(&self) -> usize;
+
+    /// Evaluates a candidate mapping; higher is better.
+    fn evaluate(&self, mapping: &Mapping) -> f64;
+
+    /// The task category of the group being mapped, if known. Used by the
+    /// warm-start engine to decide whether previous solutions apply.
+    fn task_type(&self) -> Option<TaskType> {
+        None
+    }
+
+    /// Profile of one job on one core, if the problem exposes its analysis
+    /// table (the concrete [`M3e`] does). Heuristic mappers fall back to
+    /// uninformed choices when this returns `None`.
+    fn profile(&self, _job: usize, _accel: usize) -> Option<JobProfile> {
+        None
+    }
+}
+
+/// The Multi-workload Multi-accelerator Mapping Explorer.
+///
+/// `M3e` owns the platform description, the group of jobs, the job-analysis
+/// table produced by the [`JobAnalyzer`], and the [`FitnessEvaluator`]. It is
+/// the concrete [`MappingProblem`] handed to the optimizers.
+#[derive(Debug, Clone)]
+pub struct M3e {
+    platform: AcceleratorPlatform,
+    group: Group,
+    evaluator: FitnessEvaluator,
+    dominant_task: TaskType,
+}
+
+impl M3e {
+    /// Sets up the explorer: runs the Job Analyzer over `group` × `platform`
+    /// and prepares the fitness function for `objective`.
+    pub fn new(platform: AcceleratorPlatform, group: Group, objective: Objective) -> Self {
+        Self::with_cost_model(platform, group, objective, CostModel::default())
+    }
+
+    /// As [`M3e::new`] but with custom cost-model constants.
+    pub fn with_cost_model(
+        platform: AcceleratorPlatform,
+        group: Group,
+        objective: Objective,
+        cost_model: CostModel,
+    ) -> Self {
+        assert!(!group.is_empty(), "cannot optimize an empty group");
+        let table = JobAnalyzer::with_cost_model(cost_model).analyze(&group, &platform);
+        let evaluator = FitnessEvaluator::new(table, platform.system_bw_gbps(), objective);
+        let dominant_task = dominant_task(&group);
+        M3e { platform, group, evaluator, dominant_task }
+    }
+
+    /// The accelerator platform being mapped onto.
+    pub fn platform(&self) -> &AcceleratorPlatform {
+        &self.platform
+    }
+
+    /// The group of jobs being mapped.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The job-analysis table (no-stall latency and required BW per job per
+    /// core).
+    pub fn table(&self) -> &JobAnalysisTable {
+        self.evaluator.table()
+    }
+
+    /// The fitness evaluator.
+    pub fn evaluator(&self) -> &FitnessEvaluator {
+        &self.evaluator
+    }
+
+    /// Evaluates a mapping (same as [`MappingProblem::evaluate`]).
+    pub fn evaluate(&self, mapping: &Mapping) -> f64 {
+        self.evaluator.fitness(mapping)
+    }
+
+    /// Returns the full schedule for a mapping (Gantt + BW trace).
+    pub fn schedule(&self, mapping: &Mapping) -> Schedule {
+        self.evaluator.schedule(mapping)
+    }
+
+    /// The task category that dominates the group ([`TaskType::Mix`] when no
+    /// single category holds a strict majority).
+    pub fn dominant_task(&self) -> TaskType {
+        self.dominant_task
+    }
+}
+
+impl MappingProblem for M3e {
+    fn num_jobs(&self) -> usize {
+        self.group.len()
+    }
+
+    fn num_accels(&self) -> usize {
+        self.platform.num_sub_accels()
+    }
+
+    fn evaluate(&self, mapping: &Mapping) -> f64 {
+        self.evaluator.fitness(mapping)
+    }
+
+    fn task_type(&self) -> Option<TaskType> {
+        Some(self.dominant_task)
+    }
+
+    fn profile(&self, job: usize, accel: usize) -> Option<JobProfile> {
+        use magma_model::JobId;
+        if job >= self.num_jobs() || accel >= MappingProblem::num_accels(self) {
+            return None;
+        }
+        let table = self.table();
+        Some(JobProfile {
+            no_stall_seconds: table.no_stall_seconds(JobId(job), accel),
+            required_bw_gbps: table.required_bw_gbps(JobId(job), accel),
+            flops: table.flops(JobId(job)),
+        })
+    }
+}
+
+/// Determines the dominant task category of a group: the category of more
+/// than half the jobs, or [`TaskType::Mix`] otherwise.
+fn dominant_task(group: &Group) -> TaskType {
+    let hist = group.task_histogram();
+    let total: usize = hist.iter().sum();
+    for (i, &count) in hist.iter().enumerate() {
+        if count * 2 > total {
+            return TaskType::ALL[i];
+        }
+    }
+    TaskType::Mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_model::WorkloadSpec;
+    use magma_platform::{settings, Setting};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m3e(task: TaskType, n: usize) -> M3e {
+        let group = WorkloadSpec::single_group(task, n, 0);
+        let platform = settings::build(Setting::S2);
+        M3e::new(platform, group, Objective::Throughput)
+    }
+
+    #[test]
+    fn problem_dimensions() {
+        let p = m3e(TaskType::Mix, 30);
+        assert_eq!(p.num_jobs(), 30);
+        assert_eq!(p.num_accels(), 4);
+    }
+
+    #[test]
+    fn evaluate_positive_throughput() {
+        let p = m3e(TaskType::Vision, 20);
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Mapping::random(&mut rng, 20, 4);
+        assert!(p.evaluate(&m) > 0.0);
+        assert!(MappingProblem::evaluate(&p, &m) > 0.0);
+    }
+
+    #[test]
+    fn dominant_task_detection() {
+        assert_eq!(m3e(TaskType::Vision, 20).dominant_task(), TaskType::Vision);
+        assert_eq!(m3e(TaskType::Language, 20).dominant_task(), TaskType::Language);
+        // The Mix workload interleaves all 18 models; no category dominates.
+        assert_eq!(m3e(TaskType::Mix, 60).dominant_task(), TaskType::Mix);
+        assert_eq!(m3e(TaskType::Mix, 60).task_type(), Some(TaskType::Mix));
+    }
+
+    #[test]
+    fn schedule_covers_group() {
+        let p = m3e(TaskType::Mix, 25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mapping::random(&mut rng, 25, 4);
+        let s = p.schedule(&m);
+        assert_eq!(s.segments().len(), 25);
+        assert!((p.evaluate(&m) - s.throughput_gflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_bandwidth_platform_never_hurts() {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 30, 3);
+        let lo = M3e::new(
+            settings::build(Setting::S2).with_system_bw_gbps(1.0),
+            group.clone(),
+            Objective::Throughput,
+        );
+        let hi = M3e::new(
+            settings::build(Setting::S2).with_system_bw_gbps(16.0),
+            group,
+            Objective::Throughput,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Mapping::random(&mut rng, 30, 4);
+        assert!(hi.evaluate(&m) >= lo.evaluate(&m));
+    }
+}

@@ -1,0 +1,181 @@
+//! The warm-start engine (Section V-C).
+//!
+//! When the current group of jobs belongs to the same task category as a
+//! previously solved group, the previous best mapping is adapted and used to
+//! initialize the optimizer instead of a random population. The paper shows
+//! this recovers most of the benefit of a full search within one epoch
+//! (Table V).
+
+use crate::encoding::Mapping;
+use magma_model::TaskType;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stores the best known mapping per task category and seeds new searches
+/// from it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WarmStartEngine {
+    solutions: HashMap<TaskType, Mapping>,
+}
+
+impl WarmStartEngine {
+    /// Creates an empty engine (no previous knowledge).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the best mapping found for a task category, replacing any
+    /// previous entry.
+    pub fn record(&mut self, task: TaskType, best: Mapping) {
+        self.solutions.insert(task, best);
+    }
+
+    /// Whether previous knowledge exists for this task category.
+    pub fn has_knowledge(&self, task: TaskType) -> bool {
+        self.solutions.contains_key(&task)
+    }
+
+    /// The stored solution for a task category, if any.
+    pub fn stored(&self, task: TaskType) -> Option<&Mapping> {
+        self.solutions.get(&task)
+    }
+
+    /// Adapts the stored solution of `task` to a new problem of `num_jobs`
+    /// jobs on `num_accels` cores. Returns `None` when no knowledge exists.
+    ///
+    /// Adaptation wraps the stored genomes around (or truncates them) to the
+    /// new group size and re-maps accelerator genes modulo the new core
+    /// count — the new jobs of the same task category have statistically
+    /// similar profiles, which is exactly the assumption warm-start exploits.
+    pub fn adapt(&self, task: TaskType, num_jobs: usize, num_accels: usize) -> Option<Mapping> {
+        let stored = self.solutions.get(&task)?;
+        let accel_sel = (0..num_jobs)
+            .map(|i| stored.accel_sel()[i % stored.num_jobs()] % num_accels)
+            .collect();
+        let priority = (0..num_jobs)
+            .map(|i| stored.priority()[i % stored.num_jobs()])
+            .collect();
+        Some(Mapping::new(accel_sel, priority, num_accels))
+    }
+
+    /// Builds an initial population of `size` individuals for a new search:
+    /// the adapted previous solution plus jittered copies of it. Returns
+    /// `None` when no knowledge exists for the task category, in which case
+    /// the caller should fall back to random initialization.
+    pub fn seed_population<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        task: TaskType,
+        num_jobs: usize,
+        num_accels: usize,
+        size: usize,
+    ) -> Option<Vec<Mapping>> {
+        let base = self.adapt(task, num_jobs, num_accels)?;
+        let mut pop = Vec::with_capacity(size);
+        pop.push(base.clone());
+        while pop.len() < size {
+            let mut child = base.clone();
+            // Jitter ~10% of the genes so the population has diversity around
+            // the transferred solution.
+            let n = child.num_jobs();
+            let flips = (n / 10).max(1);
+            for _ in 0..flips {
+                let i = rng.gen_range(0..n);
+                child.accel_sel_mut()[i] = rng.gen_range(0..num_accels);
+                let j = rng.gen_range(0..n);
+                child.priority_mut()[j] = rng.gen_range(0.0..1.0);
+            }
+            pop.push(child);
+        }
+        Some(pop)
+    }
+
+    /// Number of task categories with stored knowledge.
+    pub fn num_entries(&self) -> usize {
+        self.solutions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mapping(n: usize, m: usize, seed: u64) -> Mapping {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mapping::random(&mut rng, n, m)
+    }
+
+    #[test]
+    fn empty_engine_has_no_knowledge() {
+        let e = WarmStartEngine::new();
+        assert!(!e.has_knowledge(TaskType::Vision));
+        assert!(e.adapt(TaskType::Vision, 10, 2).is_none());
+        assert_eq!(e.num_entries(), 0);
+    }
+
+    #[test]
+    fn record_and_adapt_same_shape() {
+        let mut e = WarmStartEngine::new();
+        let best = mapping(20, 4, 1);
+        e.record(TaskType::Mix, best.clone());
+        assert!(e.has_knowledge(TaskType::Mix));
+        let adapted = e.adapt(TaskType::Mix, 20, 4).unwrap();
+        assert_eq!(adapted, best);
+    }
+
+    #[test]
+    fn adapt_to_larger_group_wraps_genes() {
+        let mut e = WarmStartEngine::new();
+        e.record(TaskType::Language, mapping(10, 4, 2));
+        let adapted = e.adapt(TaskType::Language, 25, 4).unwrap();
+        assert_eq!(adapted.num_jobs(), 25);
+        let stored = e.stored(TaskType::Language).unwrap();
+        assert_eq!(adapted.accel_sel()[13], stored.accel_sel()[3]);
+    }
+
+    #[test]
+    fn adapt_to_fewer_accels_stays_in_range() {
+        let mut e = WarmStartEngine::new();
+        e.record(TaskType::Vision, mapping(10, 8, 3));
+        let adapted = e.adapt(TaskType::Vision, 10, 4).unwrap();
+        assert!(adapted.accel_sel().iter().all(|&a| a < 4));
+    }
+
+    #[test]
+    fn seed_population_has_requested_size_and_contains_base() {
+        let mut e = WarmStartEngine::new();
+        e.record(TaskType::Recommendation, mapping(30, 4, 4));
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop = e
+            .seed_population(&mut rng, TaskType::Recommendation, 30, 4, 16)
+            .unwrap();
+        assert_eq!(pop.len(), 16);
+        let base = e.adapt(TaskType::Recommendation, 30, 4).unwrap();
+        assert_eq!(pop[0], base);
+        // Jittered copies differ from the base but keep valid genes.
+        assert!(pop[1..].iter().any(|m| m != &base));
+        for m in &pop {
+            assert!(m.accel_sel().iter().all(|&a| a < 4));
+        }
+    }
+
+    #[test]
+    fn seed_population_none_without_knowledge() {
+        let e = WarmStartEngine::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(e.seed_population(&mut rng, TaskType::Mix, 10, 2, 4).is_none());
+    }
+
+    #[test]
+    fn recording_overwrites_previous_entry() {
+        let mut e = WarmStartEngine::new();
+        e.record(TaskType::Mix, mapping(10, 2, 7));
+        let second = mapping(10, 2, 8);
+        e.record(TaskType::Mix, second.clone());
+        assert_eq!(e.stored(TaskType::Mix), Some(&second));
+        assert_eq!(e.num_entries(), 1);
+    }
+}

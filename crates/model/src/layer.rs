@@ -1,0 +1,333 @@
+//! Tensor-shape descriptions of DNN layers and their arithmetic/data costs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a single DNN layer, as seen by the mapper.
+///
+/// All shapes describe the work for **one sample** (batch size 1); a
+/// [`Job`](crate::Job) multiplies by its mini-batch size. Dimension naming
+/// follows the MAESTRO convention used in the paper:
+///
+/// * `k` — output channels, `c` — input channels,
+/// * `y`/`x` — output feature-map height/width,
+/// * `r`/`s` — filter height/width,
+/// * FC/GEMM layers use `m`×`n`×`kdim` (`out_features` × `batch-dim` ×
+///   `in_features`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerShape {
+    /// Standard 2-D convolution.
+    Conv2d {
+        /// Output channels.
+        k: usize,
+        /// Input channels.
+        c: usize,
+        /// Output feature-map height.
+        y: usize,
+        /// Output feature-map width.
+        x: usize,
+        /// Filter height.
+        r: usize,
+        /// Filter width.
+        s: usize,
+        /// Convolution stride (same in both spatial dimensions).
+        stride: usize,
+    },
+    /// Depth-wise 2-D convolution (one filter per channel, no cross-channel
+    /// reduction). Memory-intensive relative to its MAC count.
+    DepthwiseConv2d {
+        /// Channels (input == output).
+        c: usize,
+        /// Output feature-map height.
+        y: usize,
+        /// Output feature-map width.
+        x: usize,
+        /// Filter height.
+        r: usize,
+        /// Filter width.
+        s: usize,
+        /// Convolution stride.
+        stride: usize,
+    },
+    /// Fully-connected layer / GEMV for one sample: `out_features` ×
+    /// `in_features` weight matrix applied to an `in_features` vector.
+    FullyConnected {
+        /// Output features.
+        out_features: usize,
+        /// Input features.
+        in_features: usize,
+    },
+    /// General matrix multiply `m × kdim` times `kdim × n` (used for
+    /// attention score/value matmuls where both operands are activations).
+    Gemm {
+        /// Rows of the output.
+        m: usize,
+        /// Columns of the output.
+        n: usize,
+        /// Contraction dimension.
+        kdim: usize,
+    },
+    /// Embedding-table lookup: `lookups` gathers of `dim`-wide rows.
+    ///
+    /// The paper keeps embedding lookups on the CPU host; they are included
+    /// here so model descriptions are complete, but workload generation skips
+    /// them (see [`LayerShape::runs_on_accelerator`]).
+    EmbeddingLookup {
+        /// Number of table lookups per sample.
+        lookups: usize,
+        /// Embedding dimension.
+        dim: usize,
+    },
+}
+
+impl LayerShape {
+    /// Convenience constructor for a pointwise (1×1) convolution.
+    pub fn pointwise(k: usize, c: usize, y: usize, x: usize) -> Self {
+        LayerShape::Conv2d { k, c, y, x, r: 1, s: 1, stride: 1 }
+    }
+
+    /// Number of multiply-accumulate operations for one sample.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerShape::Conv2d { k, c, y, x, r, s, .. } => {
+                k as u64 * c as u64 * y as u64 * x as u64 * r as u64 * s as u64
+            }
+            LayerShape::DepthwiseConv2d { c, y, x, r, s, .. } => {
+                c as u64 * y as u64 * x as u64 * r as u64 * s as u64
+            }
+            LayerShape::FullyConnected { out_features, in_features } => {
+                out_features as u64 * in_features as u64
+            }
+            LayerShape::Gemm { m, n, kdim } => m as u64 * n as u64 * kdim as u64,
+            // A lookup is a copy, not a MAC; count zero compute.
+            LayerShape::EmbeddingLookup { .. } => 0,
+        }
+    }
+
+    /// Floating-point operations (2 × MACs) for one sample.
+    pub fn flops(&self) -> u64 {
+        self.macs() * 2
+    }
+
+    /// Number of weight (parameter) elements that must be fetched.
+    pub fn weight_elems(&self) -> u64 {
+        match *self {
+            LayerShape::Conv2d { k, c, r, s, .. } => k as u64 * c as u64 * r as u64 * s as u64,
+            LayerShape::DepthwiseConv2d { c, r, s, .. } => c as u64 * r as u64 * s as u64,
+            LayerShape::FullyConnected { out_features, in_features } => {
+                out_features as u64 * in_features as u64
+            }
+            // Both GEMM operands are activations.
+            LayerShape::Gemm { .. } => 0,
+            LayerShape::EmbeddingLookup { lookups, dim } => lookups as u64 * dim as u64,
+        }
+    }
+
+    /// Number of input-activation elements for one sample.
+    pub fn input_elems(&self) -> u64 {
+        match *self {
+            LayerShape::Conv2d { c, y, x, r, s, stride, .. } => {
+                let in_y = y * stride + r.saturating_sub(stride);
+                let in_x = x * stride + s.saturating_sub(stride);
+                c as u64 * in_y as u64 * in_x as u64
+            }
+            LayerShape::DepthwiseConv2d { c, y, x, r, s, stride } => {
+                let in_y = y * stride + r.saturating_sub(stride);
+                let in_x = x * stride + s.saturating_sub(stride);
+                c as u64 * in_y as u64 * in_x as u64
+            }
+            LayerShape::FullyConnected { in_features, .. } => in_features as u64,
+            LayerShape::Gemm { m, n, kdim } => (m as u64 * kdim as u64) + (kdim as u64 * n as u64),
+            LayerShape::EmbeddingLookup { lookups, .. } => lookups as u64,
+        }
+    }
+
+    /// Number of output-activation elements for one sample.
+    pub fn output_elems(&self) -> u64 {
+        match *self {
+            LayerShape::Conv2d { k, y, x, .. } => k as u64 * y as u64 * x as u64,
+            LayerShape::DepthwiseConv2d { c, y, x, .. } => c as u64 * y as u64 * x as u64,
+            LayerShape::FullyConnected { out_features, .. } => out_features as u64,
+            LayerShape::Gemm { m, n, .. } => m as u64 * n as u64,
+            LayerShape::EmbeddingLookup { lookups, dim } => lookups as u64 * dim as u64,
+        }
+    }
+
+    /// Total tensor traffic (weights + inputs + outputs) for one sample, in
+    /// elements. This is the data that must cross the DRAM↔accelerator
+    /// boundary at least once.
+    pub fn total_data_elems(&self) -> u64 {
+        self.weight_elems() + self.input_elems() + self.output_elems()
+    }
+
+    /// Arithmetic intensity: MACs per element of data moved. Memory-bound
+    /// layers (depth-wise conv, small FCs) have low intensity.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let data = self.total_data_elems();
+        if data == 0 {
+            return 0.0;
+        }
+        self.macs() as f64 / data as f64
+    }
+
+    /// Whether this layer is executed on the accelerator at all. Embedding
+    /// lookups are kept on the CPU host, per the paper's assumption.
+    pub fn runs_on_accelerator(&self) -> bool {
+        !matches!(self, LayerShape::EmbeddingLookup { .. })
+    }
+
+    /// Whether this layer is convolution-like (has spatial reuse).
+    pub fn is_conv_like(&self) -> bool {
+        matches!(
+            self,
+            LayerShape::Conv2d { .. } | LayerShape::DepthwiseConv2d { .. }
+        )
+    }
+
+    /// Whether this layer is GEMM/FC-like (no spatial filter reuse).
+    pub fn is_gemm_like(&self) -> bool {
+        matches!(
+            self,
+            LayerShape::FullyConnected { .. } | LayerShape::Gemm { .. }
+        )
+    }
+
+    /// A short human-readable kind label, used in schedules and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            LayerShape::Conv2d { .. } => "CONV",
+            LayerShape::DepthwiseConv2d { .. } => "DWCONV",
+            LayerShape::FullyConnected { .. } => "FC",
+            LayerShape::Gemm { .. } => "GEMM",
+            LayerShape::EmbeddingLookup { .. } => "EMB",
+        }
+    }
+}
+
+impl fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LayerShape::Conv2d { k, c, y, x, r, s, stride } => {
+                write!(f, "CONV k{k} c{c} y{y} x{x} r{r} s{s} st{stride}")
+            }
+            LayerShape::DepthwiseConv2d { c, y, x, r, s, stride } => {
+                write!(f, "DWCONV c{c} y{y} x{x} r{r} s{s} st{stride}")
+            }
+            LayerShape::FullyConnected { out_features, in_features } => {
+                write!(f, "FC {out_features}x{in_features}")
+            }
+            LayerShape::Gemm { m, n, kdim } => write!(f, "GEMM {m}x{n}x{kdim}"),
+            LayerShape::EmbeddingLookup { lookups, dim } => write!(f, "EMB {lookups}x{dim}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conv_macs_and_weights() {
+        let l = LayerShape::Conv2d { k: 64, c: 3, y: 112, x: 112, r: 7, s: 7, stride: 2 };
+        assert_eq!(l.macs(), 64 * 3 * 112 * 112 * 7 * 7);
+        assert_eq!(l.weight_elems(), 64 * 3 * 7 * 7);
+        assert!(l.is_conv_like());
+        assert!(!l.is_gemm_like());
+    }
+
+    #[test]
+    fn pointwise_constructor_is_1x1() {
+        let l = LayerShape::pointwise(128, 64, 28, 28);
+        match l {
+            LayerShape::Conv2d { r, s, stride, .. } => {
+                assert_eq!((r, s, stride), (1, 1, 1));
+            }
+            _ => panic!("pointwise should be Conv2d"),
+        }
+        assert_eq!(l.macs(), 128 * 64 * 28 * 28);
+    }
+
+    #[test]
+    fn depthwise_has_low_intensity_vs_regular_conv() {
+        let dw = LayerShape::DepthwiseConv2d { c: 256, y: 14, x: 14, r: 3, s: 3, stride: 1 };
+        let conv = LayerShape::Conv2d { k: 256, c: 256, y: 14, x: 14, r: 3, s: 3, stride: 1 };
+        assert!(dw.arithmetic_intensity() < conv.arithmetic_intensity());
+    }
+
+    #[test]
+    fn fc_counts() {
+        let l = LayerShape::FullyConnected { out_features: 1000, in_features: 2048 };
+        assert_eq!(l.macs(), 1000 * 2048);
+        assert_eq!(l.weight_elems(), 1000 * 2048);
+        assert_eq!(l.input_elems(), 2048);
+        assert_eq!(l.output_elems(), 1000);
+        assert!(l.is_gemm_like());
+    }
+
+    #[test]
+    fn gemm_has_no_weights() {
+        let l = LayerShape::Gemm { m: 128, n: 128, kdim: 64 };
+        assert_eq!(l.weight_elems(), 0);
+        assert_eq!(l.macs(), 128 * 128 * 64);
+    }
+
+    #[test]
+    fn embedding_runs_on_host() {
+        let l = LayerShape::EmbeddingLookup { lookups: 26, dim: 64 };
+        assert!(!l.runs_on_accelerator());
+        assert_eq!(l.macs(), 0);
+        assert!(l.weight_elems() > 0);
+    }
+
+    #[test]
+    fn flops_is_twice_macs() {
+        let l = LayerShape::FullyConnected { out_features: 10, in_features: 20 };
+        assert_eq!(l.flops(), 2 * l.macs());
+    }
+
+    #[test]
+    fn display_contains_kind() {
+        let l = LayerShape::pointwise(8, 8, 4, 4);
+        assert!(l.to_string().contains("CONV"));
+        assert_eq!(l.kind_name(), "CONV");
+    }
+
+    #[test]
+    fn stride_one_input_size_includes_halo() {
+        let l = LayerShape::Conv2d { k: 1, c: 1, y: 10, x: 10, r: 3, s: 3, stride: 1 };
+        // 10*1 + 3-1 = 12
+        assert_eq!(l.input_elems(), 12 * 12);
+    }
+
+    proptest! {
+        #[test]
+        fn conv_macs_monotonic_in_channels(
+            k in 1usize..64, c in 1usize..64, y in 1usize..32, x in 1usize..32,
+            r in 1usize..5, s in 1usize..5,
+        ) {
+            let a = LayerShape::Conv2d { k, c, y, x, r, s, stride: 1 };
+            let b = LayerShape::Conv2d { k: k + 1, c, y, x, r, s, stride: 1 };
+            prop_assert!(b.macs() > a.macs());
+        }
+
+        #[test]
+        fn total_data_is_sum_of_parts(
+            m in 1usize..4096, n in 1usize..4096,
+        ) {
+            let l = LayerShape::FullyConnected { out_features: m, in_features: n };
+            prop_assert_eq!(
+                l.total_data_elems(),
+                l.weight_elems() + l.input_elems() + l.output_elems()
+            );
+        }
+
+        #[test]
+        fn arithmetic_intensity_nonnegative(
+            c in 1usize..512, y in 1usize..64, x in 1usize..64,
+        ) {
+            let l = LayerShape::DepthwiseConv2d { c, y, x, r: 3, s: 3, stride: 1 };
+            prop_assert!(l.arithmetic_intensity() >= 0.0);
+        }
+    }
+}

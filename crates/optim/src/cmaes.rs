@@ -1,0 +1,169 @@
+//! (Separable) Covariance Matrix Adaptation Evolution Strategy — the "CMA"
+//! baseline of Table IV.
+//!
+//! A full CMA-ES maintains a dense `d × d` covariance matrix; with
+//! `d = 2 × group size = 200` dimensions and a 10 K sample budget the
+//! separable (diagonal) variant is the standard choice and is what we
+//! implement: a per-dimension variance adapted from the elite half of every
+//! generation (the paper's configuration: the best 1/2 of individuals form
+//! the elite group).
+
+use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::vector::{clamp_unit, VectorProblem};
+use magma_m3e::{MappingProblem, SearchHistory};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// CMA-ES hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmaEsConfig {
+    /// Offspring per generation (λ).
+    pub population_size: usize,
+    /// Fraction of the population used as the elite (paper: 1/2).
+    pub elite_fraction: f64,
+    /// Initial global step size σ.
+    pub initial_sigma: f64,
+    /// Learning rate for the per-dimension variance update.
+    pub variance_learning_rate: f64,
+}
+
+impl Default for CmaEsConfig {
+    fn default() -> Self {
+        CmaEsConfig {
+            population_size: 40,
+            elite_fraction: 0.5,
+            initial_sigma: 0.3,
+            variance_learning_rate: 0.3,
+        }
+    }
+}
+
+/// The separable CMA-ES optimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CmaEs {
+    config: CmaEsConfig,
+}
+
+impl CmaEs {
+    /// Creates CMA-ES with the default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates CMA-ES with explicit hyper-parameters.
+    pub fn with_config(config: CmaEsConfig) -> Self {
+        CmaEs { config }
+    }
+}
+
+impl Optimizer for CmaEs {
+    fn name(&self) -> &str {
+        "CMA"
+    }
+
+    fn search(
+        &self,
+        problem: &dyn MappingProblem,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> SearchOutcome {
+        assert!(budget > 0, "sampling budget must be non-zero");
+        let vp = VectorProblem::new(problem);
+        let dims = vp.dims();
+        let lambda = self.config.population_size.max(4).min(budget.max(4));
+        let mu = ((lambda as f64 * self.config.elite_fraction) as usize).max(1);
+        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+
+        let mut history = SearchHistory::new();
+        let mut remaining = budget;
+
+        // Mean starts at the centre of the hyper-cube; per-dimension sigma at
+        // the configured initial step size.
+        let mut mean: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.3..0.7)).collect();
+        let mut sigma: Vec<f64> = vec![self.config.initial_sigma; dims];
+
+        while remaining > 0 {
+            let this_gen = lambda.min(remaining);
+            let mut samples: Vec<(Vec<f64>, f64)> = Vec::with_capacity(this_gen);
+            for _ in 0..this_gen {
+                let mut x: Vec<f64> = (0..dims)
+                    .map(|d| mean[d] + sigma[d] * normal.sample(rng))
+                    .collect();
+                clamp_unit(&mut x);
+                let f = vp.evaluate(&x, &mut history);
+                samples.push((x, f));
+            }
+            remaining -= this_gen;
+
+            samples.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let elites = &samples[..mu.min(samples.len())];
+
+            // Weighted (rank-linear) mean of the elites.
+            let weights: Vec<f64> = (0..elites.len())
+                .map(|r| (elites.len() - r) as f64)
+                .collect();
+            let wsum: f64 = weights.iter().sum();
+            let mut new_mean = vec![0.0; dims];
+            for (w, (x, _)) in weights.iter().zip(elites) {
+                for d in 0..dims {
+                    new_mean[d] += w * x[d] / wsum;
+                }
+            }
+
+            // Per-dimension variance from the elites around the *old* mean
+            // (rank-mu style update), blended with the previous sigma.
+            let lr = self.config.variance_learning_rate;
+            for d in 0..dims {
+                let var: f64 = elites
+                    .iter()
+                    .map(|(x, _)| (x[d] - mean[d]).powi(2))
+                    .sum::<f64>()
+                    / elites.len() as f64;
+                let new_sigma = var.sqrt().max(1e-4);
+                sigma[d] = (1.0 - lr) * sigma[d] + lr * new_sigma;
+            }
+            mean = new_mean;
+        }
+
+        SearchOutcome::from_history(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::test_support::ToyProblem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_toward_better_solutions() {
+        let p = ToyProblem { jobs: 16, accels: 4 };
+        let o = CmaEs::new().search(&p, 1_200, &mut StdRng::seed_from_u64(0));
+        let early = o.history.best_curve()[39];
+        assert!(o.best_fitness >= early);
+        assert!(o.best_fitness > 16.0); // better than the random-guess mean
+    }
+
+    #[test]
+    fn respects_budget_and_is_deterministic() {
+        let p = ToyProblem { jobs: 8, accels: 2 };
+        let a = CmaEs::new().search(&p, 123, &mut StdRng::seed_from_u64(3));
+        let b = CmaEs::new().search(&p, 123, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.history.num_samples(), 123);
+        assert_eq!(a.best_fitness, b.best_fitness);
+    }
+
+    #[test]
+    fn sigma_shrinks_as_population_concentrates() {
+        // Indirect check: on a smooth problem a long run must end with the
+        // best-so-far curve flat near its maximum (converged), which only
+        // happens if the sampling distribution contracted.
+        let p = ToyProblem { jobs: 10, accels: 2 };
+        let o = CmaEs::new().search(&p, 2_000, &mut StdRng::seed_from_u64(1));
+        let curve = o.history.best_curve();
+        let last_quarter = &curve[curve.len() * 3 / 4..];
+        let improvement = last_quarter.last().unwrap() - last_quarter.first().unwrap();
+        assert!(improvement <= 1.0, "still improving fast at the end: {improvement}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Hyper-parameter tuning for MAGMA (Section V-B3).
+//!
+//! The paper selects MAGMA's mutation/crossover rates with a Bayesian
+//! optimization framework run across multiple workloads. This module
+//! provides a lightweight equivalent: random search over the rate space with
+//! an exploitation phase around the incumbent (a simplified
+//! tree-structured-Parzen-estimator-style loop), scored as the average best
+//! fitness across a set of tuning problems.
+
+use crate::magma_ga::{Magma, MagmaConfig, OperatorSet};
+use crate::optimizer::Optimizer;
+use magma_m3e::MappingProblem;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One sampled hyper-parameter configuration and its tuning score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// The sampled rates.
+    pub mutation_rate: f64,
+    /// Crossover-gen rate.
+    pub crossover_gen_rate: f64,
+    /// Crossover-rg rate.
+    pub crossover_rg_rate: f64,
+    /// Crossover-accel rate.
+    pub crossover_accel_rate: f64,
+    /// Elite ratio.
+    pub elite_ratio: f64,
+    /// Mean best fitness across the tuning problems.
+    pub score: f64,
+}
+
+impl TrialResult {
+    /// Converts the trial into a full MAGMA configuration.
+    pub fn to_config(&self) -> MagmaConfig {
+        MagmaConfig {
+            population_size: None,
+            elite_ratio: self.elite_ratio,
+            mutation_rate: self.mutation_rate,
+            crossover_gen_rate: self.crossover_gen_rate,
+            crossover_rg_rate: self.crossover_rg_rate,
+            crossover_accel_rate: self.crossover_accel_rate,
+            operators: OperatorSet::all(),
+            initial_population: None,
+        }
+    }
+}
+
+/// Hyper-parameter tuner for MAGMA.
+#[derive(Debug, Clone, Copy)]
+pub struct HyperTuner {
+    /// Number of configurations to try.
+    pub trials: usize,
+    /// Sampling budget given to each MAGMA run during tuning.
+    pub budget_per_trial: usize,
+    /// Fraction of trials spent exploring uniformly before exploiting around
+    /// the incumbent.
+    pub exploration_fraction: f64,
+}
+
+impl Default for HyperTuner {
+    fn default() -> Self {
+        HyperTuner { trials: 20, budget_per_trial: 500, exploration_fraction: 0.5 }
+    }
+}
+
+impl HyperTuner {
+    /// Runs the tuning loop over the given problems and returns every trial,
+    /// sorted best-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `problems` is empty or `trials == 0`.
+    pub fn tune(
+        &self,
+        problems: &[&dyn MappingProblem],
+        rng: &mut StdRng,
+    ) -> Vec<TrialResult> {
+        assert!(!problems.is_empty(), "need at least one tuning problem");
+        assert!(self.trials > 0, "need at least one trial");
+        let explore_trials =
+            ((self.trials as f64 * self.exploration_fraction) as usize).max(1);
+        let mut results: Vec<TrialResult> = Vec::with_capacity(self.trials);
+
+        for t in 0..self.trials {
+            let candidate = if t < explore_trials || results.is_empty() {
+                self.sample_uniform(rng)
+            } else {
+                let best = &results[0];
+                self.sample_around(best, rng)
+            };
+            let config = candidate.to_config();
+            let mut score = 0.0;
+            for (i, p) in problems.iter().enumerate() {
+                let mut run_rng = StdRng::seed_from_u64(1000 + i as u64);
+                let outcome =
+                    Magma::with_config(config.clone()).search(*p, self.budget_per_trial, &mut run_rng);
+                score += outcome.best_fitness;
+            }
+            score /= problems.len() as f64;
+            let mut done = candidate;
+            done.score = score;
+            results.push(done);
+            results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        results
+    }
+
+    /// Returns the best configuration found by [`HyperTuner::tune`].
+    pub fn best_config(
+        &self,
+        problems: &[&dyn MappingProblem],
+        rng: &mut StdRng,
+    ) -> MagmaConfig {
+        self.tune(problems, rng)[0].to_config()
+    }
+
+    fn sample_uniform(&self, rng: &mut StdRng) -> TrialResult {
+        TrialResult {
+            mutation_rate: rng.gen_range(0.01..0.3),
+            crossover_gen_rate: rng.gen_range(0.3..0.95),
+            crossover_rg_rate: rng.gen_range(0.0..0.3),
+            crossover_accel_rate: rng.gen_range(0.0..0.3),
+            elite_ratio: rng.gen_range(0.1..0.5),
+            score: f64::NEG_INFINITY,
+        }
+    }
+
+    fn sample_around(&self, best: &TrialResult, rng: &mut StdRng) -> TrialResult {
+        let jitter = |v: f64, lo: f64, hi: f64, rng: &mut StdRng| {
+            (v + rng.gen_range(-0.05..0.05)).clamp(lo, hi)
+        };
+        TrialResult {
+            mutation_rate: jitter(best.mutation_rate, 0.01, 0.3, rng),
+            crossover_gen_rate: jitter(best.crossover_gen_rate, 0.3, 0.95, rng),
+            crossover_rg_rate: jitter(best.crossover_rg_rate, 0.0, 0.3, rng),
+            crossover_accel_rate: jitter(best.crossover_accel_rate, 0.0, 0.3, rng),
+            elite_ratio: jitter(best.elite_ratio, 0.1, 0.5, rng),
+            score: f64::NEG_INFINITY,
+        }
+    }
+}
+
+use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::test_support::ToyProblem;
+
+    #[test]
+    fn tuner_returns_sorted_trials() {
+        let p1 = ToyProblem { jobs: 10, accels: 2 };
+        let p2 = ToyProblem { jobs: 12, accels: 3 };
+        let tuner = HyperTuner { trials: 5, budget_per_trial: 100, exploration_fraction: 0.6 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let results = tuner.tune(&[&p1, &p2], &mut rng);
+        assert_eq!(results.len(), 5);
+        for w in results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn best_config_has_valid_rates() {
+        let p = ToyProblem { jobs: 8, accels: 2 };
+        let tuner = HyperTuner { trials: 3, budget_per_trial: 60, exploration_fraction: 1.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = tuner.best_config(&[&p], &mut rng);
+        assert!((0.01..=0.3).contains(&cfg.mutation_rate));
+        assert!((0.3..=0.95).contains(&cfg.crossover_gen_rate));
+        assert!((0.1..=0.5).contains(&cfg.elite_ratio));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuning problem")]
+    fn empty_problem_set_panics() {
+        let tuner = HyperTuner::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = tuner.tune(&[], &mut rng);
+    }
+}

@@ -1,0 +1,87 @@
+//! Optimization algorithms for the multi-DNN multi-core mapping problem.
+//!
+//! Every algorithm implements the [`Optimizer`] trait and searches a
+//! [`MappingProblem`](magma_m3e::MappingProblem) under a fixed sampling
+//! budget, mirroring Table IV of the paper:
+//!
+//! | Algorithm | Module | Notes |
+//! |---|---|---|
+//! | **MAGMA** (this paper) | [`magma_ga`] | GA with domain-aware operators: Mutation, Crossover-gen, Crossover-rg, Crossover-accel |
+//! | stdGA | [`stdga`] | standard genetic algorithm (mutation 0.1, crossover 0.1) |
+//! | DE | [`de`] | differential evolution (F = 0.8, CR = 0.8) |
+//! | CMA-ES | [`cmaes`] | (separable) covariance matrix adaptation evolution strategy |
+//! | PSO | [`pso`] | particle swarm optimization (c1 = c2 = 0.8) |
+//! | TBPSA | [`tbpsa`] | test-based population-size adaptation evolution strategy |
+//! | RL A2C | [`rl`] | advantage actor-critic, 3×128 MLP policy/critic |
+//! | RL PPO2 | [`rl`] | proximal policy optimization with clipping, 3×128 MLP |
+//! | Random | [`random`] | uniform random search (the "exhaustively sampled" reference of Fig. 10) |
+//! | Herald-like | [`heuristics`] | manual mapper tuned for heterogeneous cores |
+//! | AI-MT-like | [`heuristics`] | manual mapper tuned for homogeneous cores |
+//!
+//! # Example
+//!
+//! ```
+//! use magma_m3e::{M3e, Objective};
+//! use magma_model::{TaskType, WorkloadSpec};
+//! use magma_optim::{magma_ga::Magma, Optimizer};
+//! use magma_platform::{settings, Setting};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let group = WorkloadSpec::single_group(TaskType::Mix, 20, 0);
+//! let problem = M3e::new(settings::build(Setting::S2), group, Objective::Throughput);
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let outcome = Magma::default().search(&problem, 400, &mut rng);
+//! assert!(outcome.best_fitness > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cmaes;
+pub mod de;
+pub mod heuristics;
+pub mod hyper;
+pub mod magma_ga;
+pub mod optimizer;
+pub mod pso;
+pub mod random;
+pub mod rl;
+pub mod stdga;
+pub mod tbpsa;
+pub mod vector;
+
+pub use heuristics::{AiMtLike, HeraldLike};
+pub use magma_ga::{Magma, MagmaConfig, OperatorSet};
+pub use optimizer::{Optimizer, SearchOutcome};
+pub use random::RandomSearch;
+
+/// Builds every optimizer the paper compares (Table IV), in the order the
+/// figures list them: Herald-like, AI-MT-like, PSO, CMA, DE, TBPSA, stdGA,
+/// RL A2C, RL PPO2, MAGMA.
+pub fn all_mappers() -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(heuristics::HeraldLike::new()),
+        Box::new(heuristics::AiMtLike::new()),
+        Box::new(pso::Pso::default()),
+        Box::new(cmaes::CmaEs::default()),
+        Box::new(de::DifferentialEvolution::default()),
+        Box::new(tbpsa::Tbpsa::default()),
+        Box::new(stdga::StdGa::default()),
+        Box::new(rl::a2c::A2c::default()),
+        Box::new(rl::ppo::Ppo2::default()),
+        Box::new(magma_ga::Magma::default()),
+    ]
+}
+
+/// Builds the subset of mappers used in the bandwidth-sweep figure (Fig. 12):
+/// Herald-like, RL A2C, RL PPO2 and MAGMA.
+pub fn bw_sweep_mappers() -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(heuristics::HeraldLike::new()),
+        Box::new(rl::a2c::A2c::default()),
+        Box::new(rl::ppo::Ppo2::default()),
+        Box::new(magma_ga::Magma::default()),
+    ]
+}

@@ -1,0 +1,134 @@
+//! The common interface all mapping optimizers implement.
+
+use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use rand::rngs::StdRng;
+
+/// The result of one optimization run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best mapping found within the budget.
+    pub best_mapping: Mapping,
+    /// Its fitness (higher is better; GFLOP/s for the throughput objective).
+    pub best_fitness: f64,
+    /// Per-sample history (used for convergence curves and sample-efficiency
+    /// analysis).
+    pub history: SearchHistory,
+}
+
+impl SearchOutcome {
+    /// Builds an outcome from a completed history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty (an optimizer must evaluate at least
+    /// one sample).
+    pub fn from_history(history: SearchHistory) -> Self {
+        let best_mapping = history
+            .best_mapping()
+            .expect("an optimizer must evaluate at least one mapping")
+            .clone();
+        let best_fitness = history.best_fitness().unwrap();
+        SearchOutcome { best_mapping, best_fitness, history }
+    }
+}
+
+/// A mapping optimizer: given a black-box [`MappingProblem`] and a sampling
+/// budget, find the best mapping it can.
+///
+/// Implementations must be deterministic given the same `rng` seed so the
+/// paper's experiments are reproducible.
+pub trait Optimizer {
+    /// Human-readable name used in result tables (matches Table IV labels).
+    fn name(&self) -> &str;
+
+    /// Runs the search, evaluating at most `budget` candidate mappings.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `budget == 0`.
+    fn search(
+        &self,
+        problem: &dyn MappingProblem,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> SearchOutcome;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A cheap synthetic problem shared by the optimizer unit tests: fitness
+    //! rewards assigning job `i` to accelerator `i % m` and ordering jobs by
+    //! index. It has a known unique optimum, is smooth enough for every
+    //! optimizer family to make progress on, and costs nothing to evaluate.
+
+    use magma_m3e::{Mapping, MappingProblem};
+    use magma_model::TaskType;
+
+    pub struct ToyProblem {
+        pub jobs: usize,
+        pub accels: usize,
+    }
+
+    impl MappingProblem for ToyProblem {
+        fn num_jobs(&self) -> usize {
+            self.jobs
+        }
+
+        fn num_accels(&self) -> usize {
+            self.accels
+        }
+
+        fn evaluate(&self, mapping: &Mapping) -> f64 {
+            let mut score = 0.0;
+            for (i, &a) in mapping.accel_sel().iter().enumerate() {
+                if a == i % self.accels {
+                    score += 1.0;
+                }
+            }
+            // Reward priorities that are increasing with the job index.
+            for w in 0..mapping.num_jobs() - 1 {
+                if mapping.priority()[w] <= mapping.priority()[w + 1] {
+                    score += 0.5;
+                }
+            }
+            score
+        }
+
+        fn task_type(&self) -> Option<TaskType> {
+            Some(TaskType::Mix)
+        }
+    }
+
+    /// The maximum achievable fitness of [`ToyProblem`].
+    pub fn toy_optimum(jobs: usize) -> f64 {
+        jobs as f64 + 0.5 * (jobs - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_m3e::SearchHistory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outcome_from_history_takes_best() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut h = SearchHistory::new();
+        let a = Mapping::random(&mut rng, 4, 2);
+        let b = Mapping::random(&mut rng, 4, 2);
+        h.record(&a, 1.0);
+        h.record(&b, 3.0);
+        let o = SearchOutcome::from_history(h);
+        assert_eq!(o.best_fitness, 3.0);
+        assert_eq!(o.best_mapping, b);
+        assert_eq!(o.history.num_samples(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mapping")]
+    fn empty_history_panics() {
+        let _ = SearchOutcome::from_history(SearchHistory::new());
+    }
+}

@@ -1,0 +1,73 @@
+//! Uniform random search.
+//!
+//! Used both as a sanity baseline and as the "exhaustively sampled"
+//! best-effort reference of Fig. 10 (the paper runs ~1 M random samples to
+//! approximate the achievable optimum of a problem instance).
+
+use crate::optimizer::{Optimizer, SearchOutcome};
+use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use rand::rngs::StdRng;
+
+/// Uniform random sampling of the mapping space.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch;
+
+impl RandomSearch {
+    /// Creates a random-search optimizer.
+    pub fn new() -> Self {
+        RandomSearch
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn search(
+        &self,
+        problem: &dyn MappingProblem,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> SearchOutcome {
+        assert!(budget > 0, "sampling budget must be non-zero");
+        let mut history = SearchHistory::new();
+        for _ in 0..budget {
+            let m = Mapping::random(rng, problem.num_jobs(), problem.num_accels());
+            let f = problem.evaluate(&m);
+            history.record(&m, f);
+        }
+        SearchOutcome::from_history(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::test_support::ToyProblem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uses_exactly_the_budget() {
+        let p = ToyProblem { jobs: 8, accels: 2 };
+        let o = RandomSearch::new().search(&p, 50, &mut StdRng::seed_from_u64(0));
+        assert_eq!(o.history.num_samples(), 50);
+        assert!(o.best_fitness > 0.0);
+    }
+
+    #[test]
+    fn more_budget_never_hurts() {
+        let p = ToyProblem { jobs: 16, accels: 4 };
+        let small = RandomSearch::new().search(&p, 20, &mut StdRng::seed_from_u64(1));
+        let large = RandomSearch::new().search(&p, 500, &mut StdRng::seed_from_u64(1));
+        assert!(large.best_fitness >= small.best_fitness);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = ToyProblem { jobs: 8, accels: 2 };
+        let a = RandomSearch::new().search(&p, 40, &mut StdRng::seed_from_u64(9));
+        let b = RandomSearch::new().search(&p, 40, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.best_fitness, b.best_fitness);
+    }
+}

@@ -1,0 +1,206 @@
+//! Proximal Policy Optimization (PPO2), following the paper's configuration:
+//! 3 × 128 MLP policy and critic, discount 0.99, clip range 0.2, learning
+//! rate 2.5e-4, Adam.
+
+use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::rl::env::{
+    observation, observation_dim, EpisodeActions, RewardNormalizer, PRIORITY_BUCKETS,
+};
+use crate::rl::nn::{sample_categorical, softmax, GradOptimizer, Mlp};
+use magma_m3e::{MappingProblem, SearchHistory};
+use rand::rngs::StdRng;
+
+/// PPO2 hyper-parameters (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ppo2Config {
+    /// Hidden layer width (paper: 128, three layers).
+    pub hidden: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Clipping range ε.
+    pub clip_range: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Episodes collected per policy update.
+    pub episodes_per_batch: usize,
+    /// Optimization epochs per batch.
+    pub epochs: usize,
+}
+
+impl Default for Ppo2Config {
+    fn default() -> Self {
+        Ppo2Config {
+            hidden: 128,
+            gamma: 0.99,
+            clip_range: 0.2,
+            learning_rate: 2.5e-4,
+            episodes_per_batch: 8,
+            epochs: 4,
+        }
+    }
+}
+
+/// One transition stored in the rollout buffer.
+struct Transition {
+    obs: Vec<f64>,
+    accel: usize,
+    bucket: usize,
+    old_logp: f64,
+    ret: f64,
+}
+
+/// The PPO2 mapper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ppo2 {
+    config: Ppo2Config,
+}
+
+impl Ppo2 {
+    /// Creates PPO2 with the paper's hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates PPO2 with explicit hyper-parameters.
+    pub fn with_config(config: Ppo2Config) -> Self {
+        Ppo2 { config }
+    }
+}
+
+impl Optimizer for Ppo2 {
+    fn name(&self) -> &str {
+        "RL PPO2"
+    }
+
+    fn search(
+        &self,
+        problem: &dyn MappingProblem,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> SearchOutcome {
+        assert!(budget > 0, "sampling budget must be non-zero");
+        let n = problem.num_jobs();
+        let m = problem.num_accels();
+        let obs_dim = observation_dim(problem);
+        let h = self.config.hidden;
+        let act_dim = m + PRIORITY_BUCKETS;
+        let mut policy = Mlp::new(&[obs_dim, h, h, h, act_dim], rng);
+        let mut critic = Mlp::new(&[obs_dim, h, h, h, 1], rng);
+        let opt = GradOptimizer::Adam {
+            lr: self.config.learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+        };
+
+        let mut history = SearchHistory::new();
+        let mut normalizer = RewardNormalizer::new();
+        let mut episodes_done = 0usize;
+
+        while episodes_done < budget {
+            // ----- collect a batch of rollouts -----
+            let batch_episodes = self.config.episodes_per_batch.min(budget - episodes_done);
+            let mut buffer: Vec<Transition> = Vec::with_capacity(batch_episodes * n);
+            for _ in 0..batch_episodes {
+                let mut loads = vec![0.0f64; m];
+                let mut steps: Vec<(Vec<f64>, usize, usize, f64)> = Vec::with_capacity(n);
+                for step in 0..n {
+                    let obs = observation(problem, step, &loads);
+                    let logits = policy.forward(&obs);
+                    let pa = softmax(&logits[..m]);
+                    let pb = softmax(&logits[m..]);
+                    let a = sample_categorical(&pa, rng);
+                    let b = sample_categorical(&pb, rng);
+                    let logp = pa[a].max(1e-12).ln() + pb[b].max(1e-12).ln();
+                    loads[a] +=
+                        problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
+                    steps.push((obs, a, b, logp));
+                }
+                let mapping = EpisodeActions {
+                    accels: steps.iter().map(|s| s.1).collect(),
+                    buckets: steps.iter().map(|s| s.2).collect(),
+                }
+                .into_mapping(m);
+                let fitness = problem.evaluate(&mapping);
+                history.record(&mapping, fitness);
+                episodes_done += 1;
+                let norm_reward = normalizer.normalize(fitness);
+                for (step, (obs, a, b, logp)) in steps.into_iter().enumerate() {
+                    let ret = norm_reward * self.config.gamma.powi((n - 1 - step) as i32);
+                    buffer.push(Transition { obs, accel: a, bucket: b, old_logp: logp, ret });
+                }
+            }
+
+            // ----- clipped policy / value updates -----
+            for _ in 0..self.config.epochs {
+                for tr in &buffer {
+                    let (v_out, v_cache) = critic.forward_cached(&tr.obs);
+                    let advantage = tr.ret - v_out[0];
+                    critic.backward(&v_cache, &[2.0 * (v_out[0] - tr.ret)]);
+
+                    let (logits, p_cache) = policy.forward_cached(&tr.obs);
+                    let pa = softmax(&logits[..m]);
+                    let pb = softmax(&logits[m..]);
+                    let new_logp =
+                        pa[tr.accel].max(1e-12).ln() + pb[tr.bucket].max(1e-12).ln();
+                    let ratio = (new_logp - tr.old_logp).exp();
+                    let eps = self.config.clip_range;
+                    // The clipped-surrogate gradient is zero when the ratio is
+                    // outside the trust region on the side the advantage
+                    // pushes toward.
+                    let active = if advantage >= 0.0 { ratio <= 1.0 + eps } else { ratio >= 1.0 - eps };
+                    if active {
+                        let factor = ratio * advantage;
+                        let mut grad = Vec::with_capacity(act_dim);
+                        for (i, &p) in pa.iter().enumerate() {
+                            let onehot = if i == tr.accel { 1.0 } else { 0.0 };
+                            grad.push(factor * (p - onehot));
+                        }
+                        for (i, &p) in pb.iter().enumerate() {
+                            let onehot = if i == tr.bucket { 1.0 } else { 0.0 };
+                            grad.push(factor * (p - onehot));
+                        }
+                        policy.backward(&p_cache, &grad);
+                    }
+                }
+                policy.step(opt, buffer.len());
+                critic.step(opt, buffer.len());
+            }
+        }
+
+        SearchOutcome::from_history(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::test_support::ToyProblem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_budget_and_is_deterministic() {
+        let p = ToyProblem { jobs: 8, accels: 2 };
+        let a = Ppo2::new().search(&p, 48, &mut StdRng::seed_from_u64(0));
+        let b = Ppo2::new().search(&p, 48, &mut StdRng::seed_from_u64(0));
+        assert_eq!(a.history.num_samples(), 48);
+        assert_eq!(a.best_fitness, b.best_fitness);
+    }
+
+    #[test]
+    fn partial_final_batch_is_handled() {
+        let p = ToyProblem { jobs: 6, accels: 2 };
+        // 13 is not a multiple of the default batch size (8).
+        let o = Ppo2::new().search(&p, 13, &mut StdRng::seed_from_u64(1));
+        assert_eq!(o.history.num_samples(), 13);
+    }
+
+    #[test]
+    fn learning_does_not_collapse() {
+        let p = ToyProblem { jobs: 10, accels: 2 };
+        let o = Ppo2::new().search(&p, 400, &mut StdRng::seed_from_u64(2));
+        let samples = o.history.samples();
+        let early: f64 = samples[..80].iter().sum::<f64>() / 80.0;
+        let late: f64 = samples[samples.len() - 80..].iter().sum::<f64>() / 80.0;
+        assert!(late >= early * 0.95, "early {early:.2}, late {late:.2}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Continuous-vector view of the mapping problem.
+//!
+//! DE, CMA-ES, PSO and TBPSA are continuous black-box optimizers; they search
+//! the hyper-cube `[0, 1]^(2n)` and decode candidate vectors through
+//! [`Mapping::from_vector`]. This module centralizes that adapter so every
+//! vector optimizer evaluates candidates identically.
+
+use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Adapter exposing a [`MappingProblem`] as a bounded continuous function.
+pub struct VectorProblem<'a> {
+    problem: &'a dyn MappingProblem,
+}
+
+impl<'a> VectorProblem<'a> {
+    /// Wraps a mapping problem.
+    pub fn new(problem: &'a dyn MappingProblem) -> Self {
+        VectorProblem { problem }
+    }
+
+    /// Dimensionality of the continuous search space (2 × number of jobs).
+    pub fn dims(&self) -> usize {
+        2 * self.problem.num_jobs()
+    }
+
+    /// Decodes a vector into a mapping (values are clamped into `[0, 1]`).
+    pub fn decode(&self, x: &[f64]) -> Mapping {
+        Mapping::from_vector(x, self.problem.num_accels())
+    }
+
+    /// Evaluates a vector, recording the sample in `history`. Returns the
+    /// fitness (higher is better).
+    pub fn evaluate(&self, x: &[f64], history: &mut SearchHistory) -> f64 {
+        let mapping = self.decode(x);
+        let f = self.problem.evaluate(&mapping);
+        history.record(&mapping, f);
+        f
+    }
+
+    /// Samples a uniformly random point in the unit hyper-cube.
+    pub fn random_point(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.dims()).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+}
+
+/// Clamps every coordinate into the unit interval.
+pub fn clamp_unit(x: &mut [f64]) {
+    for v in x {
+        *v = v.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::test_support::ToyProblem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dims_and_decode() {
+        let p = ToyProblem { jobs: 7, accels: 3 };
+        let vp = VectorProblem::new(&p);
+        assert_eq!(vp.dims(), 14);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = vp.random_point(&mut rng);
+        let m = vp.decode(&x);
+        assert_eq!(m.num_jobs(), 7);
+        assert!(m.accel_sel().iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn evaluate_records_history() {
+        let p = ToyProblem { jobs: 5, accels: 2 };
+        let vp = VectorProblem::new(&p);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h = SearchHistory::new();
+        let f = vp.evaluate(&vp.random_point(&mut rng), &mut h);
+        assert_eq!(h.num_samples(), 1);
+        assert_eq!(h.best_fitness(), Some(f));
+    }
+
+    #[test]
+    fn clamp_unit_bounds_values() {
+        let mut x = vec![-0.5, 0.3, 1.7];
+        clamp_unit(&mut x);
+        assert_eq!(x, vec![0.0, 0.3, 1.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Multi-core accelerator platform model and the paper's S1–S6 settings.
+//!
+//! An [`AcceleratorPlatform`] is a set of sub-accelerator cores
+//! ([`SubAccelConfig`](magma_cost::SubAccelConfig)) that share the *system
+//! bandwidth* — the minimum of the host-memory bandwidth and the
+//! host-to-accelerator link bandwidth — through an interconnect the scheduler
+//! is agnostic to.
+//!
+//! The [`settings`] module constructs the six accelerator configurations of
+//! Table III (S1–S6) and their flexible-PE-array variants used in
+//! Section VI-F.
+//!
+//! # Example
+//!
+//! ```
+//! use magma_platform::{settings, Setting};
+//!
+//! let s4 = settings::build(Setting::S4).with_system_bw_gbps(256.0);
+//! assert_eq!(s4.num_sub_accels(), 8);
+//! assert!(!s4.is_homogeneous());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod platform;
+pub mod settings;
+
+pub use platform::AcceleratorPlatform;
+pub use settings::Setting;

@@ -1,0 +1,230 @@
+//! The six accelerator settings of Table III and their default bandwidths.
+
+use crate::platform::{AcceleratorPlatform, DEFAULT_LARGE_BW_GBPS, DEFAULT_SMALL_BW_GBPS};
+use magma_cost::{DataflowStyle, SubAccelConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The accelerator settings evaluated in the paper (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// Small homogeneous: 4 × (32-row PE array, HB dataflow, 146 KB buffer).
+    S1,
+    /// Small heterogeneous: 3 × (32, HB, 146 KB) + 1 × (32, LB, 110 KB).
+    S2,
+    /// Large homogeneous: 8 × (128, HB, 580 KB).
+    S3,
+    /// Large heterogeneous: 7 × (128, HB, 580 KB) + 1 × (128, LB, 434 KB).
+    S4,
+    /// Large heterogeneous Big.Little: 3 × (128, HB) + 1 × (128, LB) +
+    /// 3 × (64, HB) + 1 × (64, LB).
+    S5,
+    /// Large scale-up (16 cores): 7 × (128, HB) + 1 × (128, LB) +
+    /// 7 × (64, HB) + 1 × (64, LB).
+    S6,
+}
+
+impl Setting {
+    /// All six settings in Table III order.
+    pub const ALL: [Setting; 6] =
+        [Setting::S1, Setting::S2, Setting::S3, Setting::S4, Setting::S5, Setting::S6];
+
+    /// Whether the setting is one of the Small-class accelerators.
+    pub fn is_small(self) -> bool {
+        matches!(self, Setting::S1 | Setting::S2)
+    }
+
+    /// The default system bandwidth the paper pairs with this setting.
+    pub fn default_bw_gbps(self) -> f64 {
+        if self.is_small() {
+            DEFAULT_SMALL_BW_GBPS
+        } else {
+            DEFAULT_LARGE_BW_GBPS
+        }
+    }
+
+    /// The bandwidth sweep range the paper uses for this accelerator class
+    /// (DDR1–DDR4 / PCIe for Small, DDR4–HBM / PCIe3–6 for Large).
+    pub fn bw_sweep_gbps(self) -> Vec<f64> {
+        if self.is_small() {
+            vec![1.0, 4.0, 8.0, 16.0]
+        } else {
+            vec![1.0, 16.0, 64.0, 256.0]
+        }
+    }
+
+    /// The paper's descriptive name for the setting.
+    pub fn description(self) -> &'static str {
+        match self {
+            Setting::S1 => "Small Homogeneous",
+            Setting::S2 => "Small Heterogeneous",
+            Setting::S3 => "Large Homogeneous",
+            Setting::S4 => "Large Heterogeneous",
+            Setting::S5 => "Large Heterogeneous BigLittle",
+            Setting::S6 => "Large Scale-up",
+        }
+    }
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+const KB: usize = 1024;
+
+fn hb(name: String, rows: usize, sg_kb: usize) -> SubAccelConfig {
+    SubAccelConfig::new(name, rows, 64, DataflowStyle::HighBandwidth, sg_kb * KB)
+}
+
+fn lb(name: String, rows: usize, sg_kb: usize) -> SubAccelConfig {
+    SubAccelConfig::new(name, rows, 64, DataflowStyle::LowBandwidth, sg_kb * KB)
+}
+
+/// Builds a [`Setting`] with its default system bandwidth.
+pub fn build(setting: Setting) -> AcceleratorPlatform {
+    build_with_bw(setting, setting.default_bw_gbps())
+}
+
+/// Builds a [`Setting`] with an explicit system bandwidth in GB/s.
+pub fn build_with_bw(setting: Setting, bw_gbps: f64) -> AcceleratorPlatform {
+    let mut cores = Vec::new();
+    match setting {
+        Setting::S1 => {
+            for i in 0..4 {
+                cores.push(hb(format!("S1-hb{i}"), 32, 146));
+            }
+        }
+        Setting::S2 => {
+            for i in 0..3 {
+                cores.push(hb(format!("S2-hb{i}"), 32, 146));
+            }
+            cores.push(lb("S2-lb0".into(), 32, 110));
+        }
+        Setting::S3 => {
+            for i in 0..8 {
+                cores.push(hb(format!("S3-hb{i}"), 128, 580));
+            }
+        }
+        Setting::S4 => {
+            for i in 0..7 {
+                cores.push(hb(format!("S4-hb{i}"), 128, 580));
+            }
+            cores.push(lb("S4-lb0".into(), 128, 434));
+        }
+        Setting::S5 => {
+            for i in 0..3 {
+                cores.push(hb(format!("S5-big-hb{i}"), 128, 580));
+            }
+            cores.push(lb("S5-big-lb0".into(), 128, 434));
+            for i in 0..3 {
+                cores.push(hb(format!("S5-lit-hb{i}"), 64, 291));
+            }
+            cores.push(lb("S5-lit-lb0".into(), 64, 218));
+        }
+        Setting::S6 => {
+            for i in 0..7 {
+                cores.push(hb(format!("S6-big-hb{i}"), 128, 580));
+            }
+            cores.push(lb("S6-big-lb0".into(), 128, 434));
+            for i in 0..7 {
+                cores.push(hb(format!("S6-lit-hb{i}"), 64, 291));
+            }
+            cores.push(lb("S6-lit-lb0".into(), 64, 218));
+        }
+    }
+    AcceleratorPlatform::new(setting.to_string(), cores, bw_gbps)
+}
+
+/// Builds the flexible-PE-array variant of a setting (Section VI-F): the same
+/// cores with run-time configurable array shapes, 1 KB SLs and 2 MB SGs.
+pub fn build_flexible(setting: Setting, bw_gbps: f64) -> AcceleratorPlatform {
+    build_with_bw(setting, bw_gbps).into_flexible()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_counts_match_table_iii() {
+        assert_eq!(build(Setting::S1).num_sub_accels(), 4);
+        assert_eq!(build(Setting::S2).num_sub_accels(), 4);
+        assert_eq!(build(Setting::S3).num_sub_accels(), 8);
+        assert_eq!(build(Setting::S4).num_sub_accels(), 8);
+        assert_eq!(build(Setting::S5).num_sub_accels(), 8);
+        assert_eq!(build(Setting::S6).num_sub_accels(), 16);
+    }
+
+    #[test]
+    fn homogeneity_matches_table_iii() {
+        assert!(build(Setting::S1).is_homogeneous());
+        assert!(build(Setting::S3).is_homogeneous());
+        for s in [Setting::S2, Setting::S4, Setting::S5, Setting::S6] {
+            assert!(!build(s).is_homogeneous(), "{s} should be heterogeneous");
+        }
+    }
+
+    #[test]
+    fn default_bandwidths() {
+        assert_eq!(build(Setting::S1).system_bw_gbps(), 16.0);
+        assert_eq!(build(Setting::S4).system_bw_gbps(), 256.0);
+    }
+
+    #[test]
+    fn s5_is_a_strict_subset_of_s6_in_compute() {
+        assert!(build(Setting::S5).total_pes() < build(Setting::S4).total_pes());
+        assert!(build(Setting::S6).total_pes() > build(Setting::S4).total_pes());
+    }
+
+    #[test]
+    fn pe_array_widths_are_64() {
+        for s in Setting::ALL {
+            for c in build(s).sub_accels() {
+                assert_eq!(c.pe_cols(), 64, "{s} core {}", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_settings_contain_both_dataflows() {
+        for s in [Setting::S2, Setting::S4, Setting::S5, Setting::S6] {
+            let p = build(s);
+            let has_hb = p.sub_accels().iter().any(|c| c.dataflow() == DataflowStyle::HighBandwidth);
+            let has_lb = p.sub_accels().iter().any(|c| c.dataflow() == DataflowStyle::LowBandwidth);
+            assert!(has_hb && has_lb, "{s}");
+        }
+    }
+
+    #[test]
+    fn bw_sweep_ranges() {
+        assert_eq!(Setting::S2.bw_sweep_gbps(), vec![1.0, 4.0, 8.0, 16.0]);
+        assert_eq!(Setting::S4.bw_sweep_gbps(), vec![1.0, 16.0, 64.0, 256.0]);
+    }
+
+    #[test]
+    fn flexible_builder_marks_cores_flexible() {
+        let p = build_flexible(Setting::S1, 16.0);
+        assert!(p.sub_accels().iter().all(|c| c.flexible_shape()));
+    }
+
+    #[test]
+    fn core_names_are_unique() {
+        for s in Setting::ALL {
+            let p = build(s);
+            let mut names: Vec<&str> = p.sub_accels().iter().map(|c| c.name()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), p.num_sub_accels(), "{s}");
+        }
+    }
+
+    #[test]
+    fn descriptions_are_distinct() {
+        let mut d: Vec<&str> = Setting::ALL.iter().map(|s| s.description()).collect();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 6);
+    }
+}

@@ -1,0 +1,65 @@
+//! Warm-start in a long-running mapping service (Section V-C, Table V).
+//!
+//! A deployed mapper sees a stream of job groups from the same task mix. The
+//! warm-start engine remembers the best mapping per task category and seeds
+//! the next search with it, recovering most of the benefit of a full search
+//! within a single optimization epoch.
+//!
+//! Run with: `cargo run --release --example warm_start_service`
+
+use magma::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let setting = Setting::S2;
+    let task = TaskType::Language;
+    let group_size = 30;
+    let epoch = group_size; // one epoch = one population worth of samples
+
+    let mut engine = WarmStartEngine::new();
+
+    // --- Group 0: full optimization, store the result. ---
+    let first = MapperBuilder::new()
+        .setting(setting)
+        .task(task)
+        .group_size(group_size)
+        .budget(60 * epoch)
+        .seed(11)
+        .run();
+    engine.record(task, first.best_mapping.clone());
+    println!("group 0 (cold, 60 epochs): {:.1} GFLOP/s", first.throughput_gflops);
+
+    // --- Groups 1..4: new jobs of the same task arrive; warm-start. ---
+    for inst in 1..=4u64 {
+        let builder = MapperBuilder::new()
+            .setting(setting)
+            .task(task)
+            .group_size(group_size)
+            .seed(100 + inst);
+        let problem = builder.build_problem();
+
+        let mut rng = StdRng::seed_from_u64(100 + inst);
+        let seeded = engine
+            .seed_population(&mut rng, task, group_size, problem.platform().num_sub_accels(), epoch)
+            .expect("knowledge recorded for this task");
+
+        // Evaluate the transferred solution before any optimization ...
+        let transfer_only = problem.evaluate(&seeded[0]);
+        // ... and after a single warm-started epoch.
+        let mut rng = StdRng::seed_from_u64(100 + inst);
+        let one_epoch = Magma::with_warm_start(seeded.clone())
+            .search(&problem, epoch, &mut rng)
+            .best_fitness;
+        // Reference: a full cold optimization on this group.
+        let full = builder.clone().budget(60 * epoch).seed(100 + inst).run_on(&problem);
+
+        println!(
+            "group {inst}: transfer-only {:>6.1} | warm +1 epoch {:>6.1} | full {:>6.1} GFLOP/s  ({:.0}% of full after 1 epoch)",
+            transfer_only,
+            one_epoch,
+            full.throughput_gflops,
+            100.0 * one_epoch / full.throughput_gflops
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Reduced-scale runs of the experiment harness: every figure/table
+//! reproduction function executes end-to-end and reproduces the paper's
+//! qualitative trends.
+
+use magma::experiments;
+use magma::prelude::*;
+
+const GS: usize = 16;
+const BUDGET: usize = 200;
+
+/// Fig. 7: vision jobs are compute-heavy / bandwidth-light, recommendation
+/// jobs the opposite; HB is faster but hungrier than LB on language.
+#[test]
+fn fig7_trends() {
+    let (rows, averages) = experiments::fig7_job_analysis(4);
+    assert_eq!(rows.len(), 9);
+    let vision = &averages[0];
+    let lang = &averages[1];
+    let recom = &averages[2];
+    assert!(vision.hb_latency_cycles > recom.hb_latency_cycles);
+    assert!(recom.hb_bw_gbps > vision.hb_bw_gbps);
+    assert!(lang.hb_latency_cycles < vision.hb_latency_cycles);
+    for r in &rows {
+        assert!(r.hb_latency_cycles < r.lb_latency_cycles * 1.5, "{}", r.model);
+    }
+}
+
+/// Fig. 8: on the small homogeneous accelerator every mapper lands in the
+/// same ballpark and MAGMA is the reference (normalized 1.0).
+#[test]
+fn fig8_homogeneous_comparison_runs() {
+    let scores = experiments::compare_all_mappers(
+        Setting::S1,
+        TaskType::Vision,
+        Some(16.0),
+        GS,
+        BUDGET,
+        0,
+    );
+    assert_eq!(scores.len(), 10);
+    let magma = scores.iter().find(|s| s.method == "MAGMA").unwrap();
+    assert!((magma.normalized - 1.0).abs() < 1e-9);
+    // MAGMA is never (meaningfully) beaten on its own reference instance.
+    for s in &scores {
+        assert!(s.normalized <= 1.2, "{} at {}", s.method, s.normalized);
+    }
+}
+
+/// Fig. 9 (reduced): on a heterogeneous accelerator the AI-MT-like mapper
+/// falls far behind MAGMA, Herald-like stays closer.
+#[test]
+fn fig9_heterogeneous_gap() {
+    let scores = experiments::compare_all_mappers(
+        Setting::S2,
+        TaskType::Mix,
+        Some(16.0),
+        32,
+        600,
+        1,
+    );
+    let get = |name: &str| scores.iter().find(|s| s.method == name).unwrap().normalized;
+    assert!(get("AI-MT-like") < get("MAGMA"));
+    assert!(get("AI-MT-like") < get("Herald-like"));
+}
+
+/// Fig. 12 (reduced): MAGMA's advantage over the manual mapper does not
+/// shrink when bandwidth becomes scarce.
+#[test]
+fn fig12_bw_sweep_trend() {
+    let rows = experiments::bw_sweep(Setting::S2, TaskType::Mix, &[1.0, 16.0], 24, 400, 2);
+    assert_eq!(rows.len(), 2);
+    let herald_at = |i: usize| {
+        rows[i]
+            .1
+            .iter()
+            .find(|s| s.method == "Herald-like")
+            .unwrap()
+            .normalized
+    };
+    // Herald-like relative performance at 1 GB/s is no better than at 16 GB/s.
+    assert!(herald_at(0) <= herald_at(1) * 1.1);
+}
+
+/// Fig. 13 (reduced): with ample bandwidth the homogeneous S3 wins; the
+/// job analysis shows S4 requiring less bandwidth than S3.
+#[test]
+fn fig13_combination_trends() {
+    let rows =
+        experiments::subaccel_combination_study(TaskType::Mix, &[64.0], 24, 400, 3);
+    assert_eq!(rows.len(), 3);
+    let s3 = rows.iter().find(|r| r.setting == "S3").unwrap();
+    let s4 = rows.iter().find(|r| r.setting == "S4").unwrap();
+    let s5 = rows.iter().find(|r| r.setting == "S5").unwrap();
+    // S4 (heterogeneous) needs less average BW but has more latency than S3.
+    assert!(s4.avg_required_bw_gbps < s3.avg_required_bw_gbps);
+    assert!(s4.avg_no_stall_cycles >= s3.avg_no_stall_cycles);
+    // BigLittle has the smallest BW appetite of the three.
+    assert!(s5.avg_required_bw_gbps < s3.avg_required_bw_gbps);
+}
+
+/// Fig. 14 (reduced): flexible arrays do not lose to fixed arrays.
+#[test]
+fn fig14_flexible_not_worse() {
+    let row = experiments::flexible_vs_fixed(Setting::S1, TaskType::Vision, 16.0, GS, BUDGET, 0);
+    assert!(row.flexible_gflops >= row.fixed_gflops * 0.9);
+}
+
+/// Fig. 15 (reduced): MAGMA's schedule finishes no later than Herald-like's
+/// on a bandwidth-starved heterogeneous instance.
+#[test]
+fn fig15_schedule_comparison() {
+    let cmp = experiments::schedule_comparison(Setting::S5, TaskType::Mix, 1.0, 24, 600, 0);
+    assert!(cmp.magma_finish_sec <= cmp.herald_finish_sec * 1.02);
+    assert!(cmp.magma_gantt.lines().count() >= 8);
+}
+
+/// Fig. 16 (reduced): adding the crossover operators never hurts the final
+/// best found at the same budget.
+#[test]
+fn fig16_ablation_runs() {
+    let curves =
+        experiments::operator_ablation(Setting::S2, TaskType::Vision, Some(16.0), 24, 400, 10, 0);
+    assert_eq!(curves.len(), 3);
+    let final_of = |i: usize| curves[i].points.last().unwrap().1;
+    assert!(final_of(2) >= final_of(0) * 0.95);
+}
+
+/// Fig. 17 (reduced): throughput is not drastically affected by group size,
+/// but tiny groups lose.
+#[test]
+fn fig17_group_size_sweep() {
+    let rows = experiments::group_size_sweep(
+        Setting::S2,
+        TaskType::Mix,
+        Some(16.0),
+        &[4, 20, 40],
+        500,
+        0,
+    );
+    assert_eq!(rows.len(), 3);
+    let tiny = rows[0].1;
+    let large = rows[2].1;
+    assert!(large >= tiny * 0.8, "tiny {tiny}, large {large}");
+}
+
+/// Section IV-F: the search-space size for the paper's example is ~1e81.
+#[test]
+fn search_space_size_matches_paper() {
+    let log = experiments::search_space_log10(60, 4);
+    assert!((log - 81.0).abs() < 1.5);
+}
+
+/// Table V (reduced): the warm-started solution recovers a large fraction of
+/// the fully optimized throughput before any further search.
+#[test]
+fn table5_warm_start_reduced() {
+    let rows = experiments::warm_start_study(Setting::S2, TaskType::Language, Some(16.0), 16, 1, 0);
+    assert_eq!(rows.len(), 2);
+    let warm = &rows[1];
+    assert!(warm.transfer_0_epoch > warm.raw, "warm start must beat random init");
+    assert!(warm.transfer_1_epoch >= warm.transfer_0_epoch * 0.99);
+    assert!(warm.transfer_30_epoch <= 1.05);
+    assert_eq!(warm.transfer_100_epoch, 1.0);
+}

@@ -1,0 +1,116 @@
+//! Cross-crate optimizer tests on the real M3E problem (not the toy problem
+//! used in unit tests): every mapper must produce valid mappings, respect the
+//! budget and reproduce the paper's qualitative ordering on small instances.
+
+use magma::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn problem(setting: Setting, task: TaskType, bw: f64, n: usize, seed: u64) -> M3e {
+    let group = WorkloadSpec::single_group(task, n, seed);
+    let platform = settings::build(setting).with_system_bw_gbps(bw);
+    M3e::new(platform, group, Objective::Throughput)
+}
+
+/// Every mapper in Table IV runs on the real problem and returns a positive
+/// throughput within the sampling budget.
+#[test]
+fn every_mapper_runs_on_the_real_problem() {
+    let p = problem(Setting::S2, TaskType::Mix, 16.0, 16, 0);
+    for mapper in all_mappers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = mapper.search(&p, 64, &mut rng);
+        assert!(outcome.best_fitness > 0.0, "{} found nothing", mapper.name());
+        assert!(
+            outcome.history.num_samples() <= 64,
+            "{} exceeded the budget",
+            mapper.name()
+        );
+        assert_eq!(outcome.best_mapping.num_jobs(), 16, "{}", mapper.name());
+    }
+}
+
+/// MAGMA beats the standard GA at the same budget on a heterogeneous,
+/// bandwidth-constrained instance (the paper's central sample-efficiency
+/// claim, Fig. 9 / Fig. 16).
+#[test]
+fn magma_beats_stdga_on_heterogeneous_instance() {
+    let p = problem(Setting::S2, TaskType::Mix, 1.0, 40, 3);
+    let budget = 1_200;
+    let magma = Magma::default().search(&p, budget, &mut StdRng::seed_from_u64(0));
+    let stdga = magma::optim::stdga::StdGa::default().search(&p, budget, &mut StdRng::seed_from_u64(0));
+    assert!(
+        magma.best_fitness >= stdga.best_fitness,
+        "MAGMA {} < stdGA {}",
+        magma.best_fitness,
+        stdga.best_fitness
+    );
+}
+
+/// MAGMA beats both manual mappers on the heterogeneous Mix instance
+/// (Fig. 9b: geomean 2.3x over Herald-like, 39x over AI-MT-like).
+#[test]
+fn magma_beats_manual_mappers_on_heterogeneous_mix() {
+    let p = problem(Setting::S2, TaskType::Mix, 16.0, 40, 1);
+    let magma = Magma::default().search(&p, 1_500, &mut StdRng::seed_from_u64(2));
+    let herald = HeraldLike::new().search(&p, 1, &mut StdRng::seed_from_u64(2));
+    let aimt = AiMtLike::new().search(&p, 1, &mut StdRng::seed_from_u64(2));
+    assert!(magma.best_fitness > herald.best_fitness);
+    assert!(magma.best_fitness > aimt.best_fitness);
+    // And the heterogeneity-blind AI-MT-like trails Herald-like.
+    assert!(herald.best_fitness > aimt.best_fitness);
+}
+
+/// The full-operator MAGMA is at least as sample-efficient as the
+/// mutation-only ablation at a modest budget (Fig. 16).
+#[test]
+fn operator_ablation_ordering_holds_on_real_problem() {
+    let p = problem(Setting::S2, TaskType::Vision, 16.0, 30, 4);
+    let budget = 600;
+    let full = Magma::with_operators(OperatorSet::all())
+        .search(&p, budget, &mut StdRng::seed_from_u64(5));
+    let mut_only = Magma::with_operators(OperatorSet::mutation_only())
+        .search(&p, budget, &mut StdRng::seed_from_u64(5));
+    assert!(full.best_fitness >= mut_only.best_fitness * 0.98);
+}
+
+/// Warm start transfers knowledge across groups of the same task type
+/// (Table V): the transferred solution beats a random mapping.
+#[test]
+fn warm_start_transfers_across_groups() {
+    let task = TaskType::Recommendation;
+    let p0 = problem(Setting::S2, task, 16.0, 24, 10);
+    let mut engine = WarmStartEngine::new();
+    let base = Magma::default().search(&p0, 800, &mut StdRng::seed_from_u64(0));
+    engine.record(task, base.best_mapping.clone());
+
+    // A fresh group of the same task.
+    let p1 = problem(Setting::S2, task, 16.0, 24, 77);
+    let adapted = engine.adapt(task, 24, 4).unwrap();
+    let transferred = p1.evaluate(&adapted);
+
+    // Average random mapping as the "Raw" reference.
+    let mut rng = StdRng::seed_from_u64(1);
+    let raw: f64 = (0..20)
+        .map(|_| p1.evaluate(&Mapping::random(&mut rng, 24, 4)))
+        .sum::<f64>()
+        / 20.0;
+    assert!(
+        transferred > raw,
+        "transferred {transferred} should beat the average random mapping {raw}"
+    );
+}
+
+/// The search history is consistent: monotone best curve whose final value
+/// matches the reported best fitness.
+#[test]
+fn history_is_consistent_for_all_mappers() {
+    let p = problem(Setting::S1, TaskType::Vision, 16.0, 12, 2);
+    for mapper in all_mappers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let o = mapper.search(&p, 40, &mut rng);
+        let curve = o.history.best_curve();
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]), "{}", mapper.name());
+        assert_eq!(*curve.last().unwrap(), o.best_fitness, "{}", mapper.name());
+    }
+}
