@@ -70,9 +70,7 @@ fn bench_fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12/bw_sweep_point");
     group.sample_size(10);
     group.bench_function("s2_mix_bw1", |b| {
-        b.iter(|| {
-            experiments::bw_sweep(Setting::S2, TaskType::Mix, &[1.0], GS, 60, 0)
-        })
+        b.iter(|| experiments::bw_sweep(Setting::S2, TaskType::Mix, &[1.0], GS, 60, 0))
     });
     group.finish();
 }
@@ -133,7 +131,14 @@ fn bench_fig17(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sizes_10_40", |b| {
         b.iter(|| {
-            experiments::group_size_sweep(Setting::S2, TaskType::Mix, Some(16.0), &[10, 40], BUDGET, 0)
+            experiments::group_size_sweep(
+                Setting::S2,
+                TaskType::Mix,
+                Some(16.0),
+                &[10, 40],
+                BUDGET,
+                0,
+            )
         })
     });
     group.finish();

@@ -16,7 +16,12 @@ fn main() {
     for r in rows.iter().chain(averages.iter()) {
         println!(
             "{:<16} {:>8} {:>14.2e} {:>14.2e} {:>12.2e} {:>12.2e}",
-            r.model, r.task.short_name(), r.hb_latency_cycles, r.lb_latency_cycles, r.hb_bw_gbps, r.lb_bw_gbps
+            r.model,
+            r.task.short_name(),
+            r.hb_latency_cycles,
+            r.lb_latency_cycles,
+            r.hb_bw_gbps,
+            r.lb_bw_gbps
         );
     }
 

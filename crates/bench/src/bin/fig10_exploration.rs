@@ -22,9 +22,6 @@ fn main() {
         reference_budget,
         scale.seed,
     );
-    print_scores(
-        &format!("Mix / S2 / BW=16 (reference budget {reference_budget})"),
-        &scores,
-    );
+    print_scores(&format!("Mix / S2 / BW=16 (reference budget {reference_budget})"), &scores);
     dump_json("fig10_exploration", &scores);
 }

@@ -11,14 +11,8 @@ fn main() {
 
     for setting in [Setting::S2, Setting::S4] {
         let bws = setting.bw_sweep_gbps();
-        let rows = bw_sweep(
-            setting,
-            TaskType::Mix,
-            &bws,
-            scale.group_size,
-            scale.budget,
-            scale.seed,
-        );
+        let rows =
+            bw_sweep(setting, TaskType::Mix, &bws, scale.group_size, scale.budget, scale.seed);
         for (bw, scores) in &rows {
             print_scores(&format!("{setting} / Mix / BW={bw}"), scores);
         }

@@ -23,7 +23,14 @@ fn main() {
 
     println!(
         "\n{:<10} {:>8} {:>6} {:>14} {:>14} {:>8} {:>16} {:>16}",
-        "setting", "task", "BW", "fixed GFLOP/s", "flex GFLOP/s", "ratio", "fixed lat (cyc)", "flex lat (cyc)"
+        "setting",
+        "task",
+        "BW",
+        "fixed GFLOP/s",
+        "flex GFLOP/s",
+        "ratio",
+        "fixed lat (cyc)",
+        "flex lat (cyc)"
     );
     let mut rows = Vec::new();
     for (setting, task, bw) in cases {

@@ -18,12 +18,18 @@ fn main() {
         scale.seed,
     );
 
-    println!("\n--- Herald-like schedule (finish {:.3} ms, {:.1} GFLOP/s) ---",
-        cmp.herald_finish_sec * 1e3, cmp.herald_gflops);
+    println!(
+        "\n--- Herald-like schedule (finish {:.3} ms, {:.1} GFLOP/s) ---",
+        cmp.herald_finish_sec * 1e3,
+        cmp.herald_gflops
+    );
     print!("{}", cmp.herald_gantt);
 
-    println!("\n--- MAGMA schedule (finish {:.3} ms, {:.1} GFLOP/s) ---",
-        cmp.magma_finish_sec * 1e3, cmp.magma_gflops);
+    println!(
+        "\n--- MAGMA schedule (finish {:.3} ms, {:.1} GFLOP/s) ---",
+        cmp.magma_finish_sec * 1e3,
+        cmp.magma_gflops
+    );
     print!("{}", cmp.magma_gantt);
 
     println!(

@@ -16,14 +16,8 @@ fn main() {
         vec![4, 10, 20, 40, 60, 100]
     };
 
-    let rows = group_size_sweep(
-        Setting::S2,
-        TaskType::Mix,
-        Some(16.0),
-        &sizes,
-        scale.budget,
-        scale.seed,
-    );
+    let rows =
+        group_size_sweep(Setting::S2, TaskType::Mix, Some(16.0), &sizes, scale.budget, scale.seed);
 
     let reference = rows.last().map(|(_, g)| *g).unwrap_or(1.0);
     println!("\n{:>12} {:>14} {:>12}", "group size", "GFLOP/s", "normalized");

@@ -29,7 +29,12 @@ fn main() {
     for r in &rows {
         println!(
             "{:<24} {:>8.2} {:>10.2} {:>10.2} {:>11.2} {:>12.2}",
-            r.instance, r.raw, r.transfer_0_epoch, r.transfer_1_epoch, r.transfer_30_epoch, r.transfer_100_epoch
+            r.instance,
+            r.raw,
+            r.transfer_0_epoch,
+            r.transfer_1_epoch,
+            r.transfer_30_epoch,
+            r.transfer_100_epoch
         );
     }
 

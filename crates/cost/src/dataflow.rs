@@ -8,7 +8,7 @@ use std::fmt;
 /// The paper's heterogeneous accelerators combine two styles with opposite
 /// compute/bandwidth trade-offs (Section VI-A3); this enum captures those two
 /// plus their key scheduling-visible properties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum DataflowStyle {
     /// NVDLA-inspired weight-stationary dataflow.
     ///
@@ -16,6 +16,7 @@ pub enum DataflowStyle {
     /// pinned in the local scratchpads while activations stream through, so
     /// the style is compute-efficient on channel-heavy layers but demands
     /// high DRAM bandwidth.
+    #[default]
     HighBandwidth,
     /// Eyeriss-inspired row-stationary dataflow.
     ///
@@ -46,12 +47,6 @@ impl DataflowStyle {
 impl fmt::Display for DataflowStyle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.short_name())
-    }
-}
-
-impl Default for DataflowStyle {
-    fn default() -> Self {
-        DataflowStyle::HighBandwidth
     }
 }
 

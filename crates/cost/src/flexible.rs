@@ -27,7 +27,7 @@ fn divisor_pairs(n: usize) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             pairs.push((d, n / d));
             if d != n / d {
                 pairs.push((n / d, d));

@@ -119,11 +119,9 @@ pub(crate) fn spatial_mapping(
             // the mini-batch and a slice of the output features, with poor
             // intrinsic efficiency (this is what makes LB slow-but-frugal on
             // language/recommendation jobs, Fig. 7).
-            LayerShape::FullyConnected { out_features, .. } => SpatialMapping {
-                row_dim: batch.max(1),
-                col_dim: out_features,
-                efficiency: 0.12,
-            },
+            LayerShape::FullyConnected { out_features, .. } => {
+                SpatialMapping { row_dim: batch.max(1), col_dim: out_features, efficiency: 0.12 }
+            }
             LayerShape::Gemm { m, n, .. } => {
                 SpatialMapping { row_dim: m.min(n), col_dim: m.max(n), efficiency: 0.12 }
             }
@@ -147,7 +145,12 @@ impl CostModel {
     /// # Panics
     ///
     /// Panics if `batch == 0` or if the layer does not run on the accelerator.
-    pub fn estimate(&self, layer: &LayerShape, batch: usize, accel: &SubAccelConfig) -> CostEstimate {
+    pub fn estimate(
+        &self,
+        layer: &LayerShape,
+        batch: usize,
+        accel: &SubAccelConfig,
+    ) -> CostEstimate {
         self.estimate_with_shape(layer, batch, accel, accel.pe_rows(), accel.pe_cols())
     }
 
@@ -213,7 +216,8 @@ impl CostModel {
     fn num_tiles(&self, layer: &LayerShape, batch: usize, accel: &SubAccelConfig) -> u64 {
         let half_sg = (accel.sg_bytes() / 2).max(1) as u64;
         let working_set = ((layer.weight_elems()
-            + (layer.input_elems() + layer.output_elems()) * batch as u64) as f64
+            + (layer.input_elems() + layer.output_elems()) * batch as u64)
+            as f64
             * self.bytes_per_elem) as u64;
         working_set.div_ceil(half_sg).max(1)
     }
@@ -357,11 +361,7 @@ mod tests {
     #[should_panic(expected = "host-side")]
     fn embedding_estimate_panics() {
         let m = CostModel::default();
-        let _ = m.estimate(
-            &LayerShape::EmbeddingLookup { lookups: 8, dim: 8 },
-            1,
-            &hb_large(),
-        );
+        let _ = m.estimate(&LayerShape::EmbeddingLookup { lookups: 8, dim: 8 }, 1, &hb_large());
     }
 
     #[test]

@@ -122,22 +122,16 @@ impl JobAnalysisTable {
     /// Average no-stall latency (cycles) across all jobs and cores —
     /// the per-job statistic plotted in Fig. 7(b) and Fig. 13(a).
     pub fn avg_no_stall_cycles(&self) -> f64 {
-        let total: u64 = self
-            .entries
-            .iter()
-            .flat_map(|row| row.iter().map(|e| e.no_stall_cycles))
-            .sum();
+        let total: u64 =
+            self.entries.iter().flat_map(|row| row.iter().map(|e| e.no_stall_cycles)).sum();
         total as f64 / (self.num_jobs() * self.num_accels()) as f64
     }
 
     /// Average required bandwidth (GB/s) across all jobs and cores —
     /// the statistic plotted in Fig. 7(c) and Fig. 13(b).
     pub fn avg_required_bw_gbps(&self) -> f64 {
-        let total: f64 = self
-            .entries
-            .iter()
-            .flat_map(|row| row.iter().map(|e| e.required_bw_gbps))
-            .sum();
+        let total: f64 =
+            self.entries.iter().flat_map(|row| row.iter().map(|e| e.required_bw_gbps)).sum();
         total / (self.num_jobs() * self.num_accels()) as f64
     }
 

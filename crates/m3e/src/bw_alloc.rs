@@ -92,10 +92,8 @@ impl BwAllocator {
             }
 
             // Proportional bandwidth division (Algorithm 1, lines 5–9).
-            let sum_req: f64 = live
-                .iter()
-                .map(|&a| cores[a].current.as_ref().unwrap().required_bw_gbps)
-                .sum();
+            let sum_req: f64 =
+                live.iter().map(|&a| cores[a].current.as_ref().unwrap().required_bw_gbps).sum();
             let scale = if sum_req <= system_bw_gbps { 1.0 } else { system_bw_gbps / sum_req };
             let mut alloc = vec![0.0_f64; num_accels];
             for &a in &live {
@@ -173,12 +171,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup(
-        task: TaskType,
-        n: usize,
-        setting: Setting,
-        seed: u64,
-    ) -> (JobAnalysisTable, Mapping) {
+    fn setup(task: TaskType, n: usize, setting: Setting, seed: u64) -> (JobAnalysisTable, Mapping) {
         let group = WorkloadSpec::single_group(task, n, seed);
         let platform = settings::build(setting);
         let table = JobAnalyzer::new().analyze(&group, &platform);

@@ -33,14 +33,8 @@ impl Mapping {
         assert!(!accel_sel.is_empty(), "a mapping must cover at least one job");
         assert_eq!(accel_sel.len(), priority.len(), "genome lengths must match");
         assert!(num_accels > 0, "need at least one sub-accelerator");
-        assert!(
-            accel_sel.iter().all(|&a| a < num_accels),
-            "sub-accelerator gene out of range"
-        );
-        assert!(
-            priority.iter().all(|p| (0.0..=1.0).contains(p)),
-            "priorities must be in [0, 1]"
-        );
+        assert!(accel_sel.iter().all(|&a| a < num_accels), "sub-accelerator gene out of range");
+        assert!(priority.iter().all(|p| (0.0..=1.0).contains(p)), "priorities must be in [0, 1]");
         Mapping { accel_sel, priority, num_accels }
     }
 
@@ -126,7 +120,7 @@ impl Mapping {
     ///
     /// Panics if the vector length is odd or zero.
     pub fn from_vector(v: &[f64], num_accels: usize) -> Self {
-        assert!(!v.is_empty() && v.len() % 2 == 0, "vector length must be 2 × num_jobs");
+        assert!(!v.is_empty() && v.len().is_multiple_of(2), "vector length must be 2 × num_jobs");
         let n = v.len() / 2;
         let accel_sel = v[..n]
             .iter()
@@ -197,11 +191,7 @@ mod tests {
     fn paper_example_decodes_correctly() {
         // Fig. 5(a): accel_sel = [1,2,2,1,2], priorities = [0.1,0.8,0.4,0.7,0.3]
         // (1-indexed accels in the paper; 0-indexed here).
-        let m = Mapping::new(
-            vec![0, 1, 1, 0, 1],
-            vec![0.1, 0.8, 0.4, 0.7, 0.3],
-            2,
-        );
+        let m = Mapping::new(vec![0, 1, 1, 0, 1], vec![0.1, 0.8, 0.4, 0.7, 0.3], 2);
         let d = m.decode();
         let q0: Vec<usize> = d.queue(0).iter().map(|j| j.0).collect();
         let q1: Vec<usize> = d.queue(1).iter().map(|j| j.0).collect();

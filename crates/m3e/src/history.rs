@@ -27,7 +27,7 @@ impl SearchHistory {
     /// Records one evaluated sample.
     pub fn record(&mut self, mapping: &Mapping, fitness: f64) {
         self.samples.push(fitness);
-        let improved = self.best_fitness.map_or(true, |b| fitness > b);
+        let improved = self.best_fitness.is_none_or(|b| fitness > b);
         if improved {
             self.best_fitness = Some(fitness);
             self.best_mapping = Some(mapping.clone());
@@ -101,15 +101,14 @@ impl SearchHistory {
     pub fn extend_from(&mut self, other: &SearchHistory) {
         for &f in &other.samples {
             self.samples.push(f);
-            if self.best_fitness.map_or(true, |b| f > b) {
+            if self.best_fitness.is_none_or(|b| f > b) {
                 self.best_fitness = Some(f);
             }
             self.best_curve.push(self.best_fitness.unwrap());
         }
         // Adopt the other run's best mapping if it is the overall best.
         if let (Some(of), Some(om)) = (other.best_fitness, other.best_mapping.as_ref()) {
-            let ours = self.best_mapping.is_none()
-                || self.best_fitness.map_or(true, |b| of >= b);
+            let ours = self.best_mapping.is_none() || self.best_fitness.is_none_or(|b| of >= b);
             if ours {
                 self.best_mapping = Some(om.clone());
             }

@@ -111,12 +111,8 @@ impl Schedule {
         if self.makespan_sec <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .segments
-            .iter()
-            .filter(|s| s.accel == accel)
-            .map(|s| s.duration_sec())
-            .sum();
+        let busy: f64 =
+            self.segments.iter().filter(|s| s.accel == accel).map(|s| s.duration_sec()).sum();
         (busy / self.makespan_sec).min(1.0)
     }
 
@@ -128,10 +124,7 @@ impl Schedule {
 
     /// Peak aggregate bandwidth drawn from the system at any time (GB/s).
     pub fn peak_bw_gbps(&self) -> f64 {
-        self.bw_trace
-            .iter()
-            .map(|s| s.alloc_gbps.iter().sum::<f64>())
-            .fold(0.0, f64::max)
+        self.bw_trace.iter().map(|s| s.alloc_gbps.iter().sum::<f64>()).fold(0.0, f64::max)
     }
 
     /// Time-weighted average aggregate bandwidth drawn from the system (GB/s).

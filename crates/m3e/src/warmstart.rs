@@ -50,12 +50,9 @@ impl WarmStartEngine {
     /// similar profiles, which is exactly the assumption warm-start exploits.
     pub fn adapt(&self, task: TaskType, num_jobs: usize, num_accels: usize) -> Option<Mapping> {
         let stored = self.solutions.get(&task)?;
-        let accel_sel = (0..num_jobs)
-            .map(|i| stored.accel_sel()[i % stored.num_jobs()] % num_accels)
-            .collect();
-        let priority = (0..num_jobs)
-            .map(|i| stored.priority()[i % stored.num_jobs()])
-            .collect();
+        let accel_sel =
+            (0..num_jobs).map(|i| stored.accel_sel()[i % stored.num_jobs()] % num_accels).collect();
+        let priority = (0..num_jobs).map(|i| stored.priority()[i % stored.num_jobs()]).collect();
         Some(Mapping::new(accel_sel, priority, num_accels))
     }
 
@@ -149,9 +146,7 @@ mod tests {
         let mut e = WarmStartEngine::new();
         e.record(TaskType::Recommendation, mapping(30, 4, 4));
         let mut rng = StdRng::seed_from_u64(5);
-        let pop = e
-            .seed_population(&mut rng, TaskType::Recommendation, 30, 4, 16)
-            .unwrap();
+        let pop = e.seed_population(&mut rng, TaskType::Recommendation, 30, 4, 16).unwrap();
         assert_eq!(pop.len(), 16);
         let base = e.adapt(TaskType::Recommendation, 30, 4).unwrap();
         assert_eq!(pop[0], base);

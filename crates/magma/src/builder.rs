@@ -3,8 +3,8 @@
 use magma_m3e::{M3e, Mapping, Objective, Schedule, SearchHistory};
 use magma_model::{Group, TaskType, WorkloadSpec};
 use magma_optim::{
-    cmaes::CmaEs, de::DifferentialEvolution, pso::Pso, rl::a2c::A2c, rl::ppo::Ppo2,
-    stdga::StdGa, tbpsa::Tbpsa, AiMtLike, HeraldLike, Magma, Optimizer, RandomSearch,
+    cmaes::CmaEs, de::DifferentialEvolution, pso::Pso, rl::a2c::A2c, rl::ppo::Ppo2, stdga::StdGa,
+    tbpsa::Tbpsa, AiMtLike, HeraldLike, Magma, Optimizer, RandomSearch,
 };
 use magma_platform::{settings, AcceleratorPlatform, Setting};
 use rand::rngs::StdRng;
@@ -198,8 +198,7 @@ impl MapperBuilder {
     /// a search — useful when several algorithms should share one problem
     /// instance.
     pub fn build_problem(&self) -> M3e {
-        let mut platform =
-            self.platform.clone().unwrap_or_else(|| settings::build(self.setting));
+        let mut platform = self.platform.clone().unwrap_or_else(|| settings::build(self.setting));
         if let Some(bw) = self.system_bw_gbps {
             platform = platform.with_system_bw_gbps(bw);
         }
@@ -240,11 +239,7 @@ mod tests {
 
     #[test]
     fn default_run_produces_valid_report() {
-        let report = MapperBuilder::new()
-            .group_size(16)
-            .budget(200)
-            .seed(1)
-            .run();
+        let report = MapperBuilder::new().group_size(16).budget(200).seed(1).run();
         assert_eq!(report.algorithm, "MAGMA");
         assert!(report.throughput_gflops > 0.0);
         assert!(report.makespan_sec > 0.0);
@@ -271,18 +266,9 @@ mod tests {
 
     #[test]
     fn bw_override_is_applied() {
-        let low = MapperBuilder::new()
-            .group_size(12)
-            .budget(80)
-            .system_bw_gbps(1.0)
-            .seed(2)
-            .run();
-        let high = MapperBuilder::new()
-            .group_size(12)
-            .budget(80)
-            .system_bw_gbps(16.0)
-            .seed(2)
-            .run();
+        let low = MapperBuilder::new().group_size(12).budget(80).system_bw_gbps(1.0).seed(2).run();
+        let high =
+            MapperBuilder::new().group_size(12).budget(80).system_bw_gbps(16.0).seed(2).run();
         assert!(high.throughput_gflops >= low.throughput_gflops);
     }
 }

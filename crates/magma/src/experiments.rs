@@ -22,7 +22,9 @@
 use magma_cost::{CostModel, DataflowStyle, SubAccelConfig};
 use magma_m3e::{M3e, Objective, WarmStartEngine};
 use magma_model::{zoo, TaskType, WorkloadSpec};
-use magma_optim::{all_mappers, bw_sweep_mappers, Magma, MagmaConfig, OperatorSet, Optimizer, RandomSearch};
+use magma_optim::{
+    all_mappers, bw_sweep_mappers, Magma, MagmaConfig, OperatorSet, Optimizer, RandomSearch,
+};
 use magma_platform::{settings, AcceleratorPlatform, Setting};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -263,21 +265,17 @@ pub fn operator_ablation(
     seed: u64,
 ) -> Vec<ConvergenceCurve> {
     let problem = build_problem(setting, task, bw_gbps, group_size, seed);
-    [
-        OperatorSet::mutation_only(),
-        OperatorSet::mutation_and_gen(),
-        OperatorSet::all(),
-    ]
-    .into_iter()
-    .map(|ops| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = Magma::with_operators(ops).search(&problem, budget, &mut rng);
-        ConvergenceCurve {
-            method: ops.label(),
-            points: outcome.history.downsampled_curve(points),
-        }
-    })
-    .collect()
+    [OperatorSet::mutation_only(), OperatorSet::mutation_and_gen(), OperatorSet::all()]
+        .into_iter()
+        .map(|ops| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = Magma::with_operators(ops).search(&problem, budget, &mut rng);
+            ConvergenceCurve {
+                method: ops.label(),
+                points: outcome.history.downsampled_curve(points),
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -625,8 +623,7 @@ mod tests {
 
     #[test]
     fn comparison_contains_all_ten_mappers_and_magma_is_reference() {
-        let scores =
-            compare_all_mappers(Setting::S2, TaskType::Mix, Some(16.0), GS, BUDGET, 0);
+        let scores = compare_all_mappers(Setting::S2, TaskType::Mix, Some(16.0), GS, BUDGET, 0);
         assert_eq!(scores.len(), 10);
         let magma = scores.iter().find(|s| s.method == "MAGMA").unwrap();
         assert!((magma.normalized - 1.0).abs() < 1e-9);
@@ -656,8 +653,7 @@ mod tests {
 
     #[test]
     fn group_size_sweep_returns_requested_sizes() {
-        let rows =
-            group_size_sweep(Setting::S2, TaskType::Mix, Some(16.0), &[8, 16], BUDGET, 0);
+        let rows = group_size_sweep(Setting::S2, TaskType::Mix, Some(16.0), &[8, 16], BUDGET, 0);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, 8);
         assert!(rows.iter().all(|(_, g)| *g > 0.0));
@@ -688,10 +684,7 @@ mod tests {
 
     #[test]
     fn normalize_by_magma_uses_magma_as_reference() {
-        let scores = normalize_by_magma(vec![
-            ("A".to_string(), 5.0),
-            ("MAGMA".to_string(), 10.0),
-        ]);
+        let scores = normalize_by_magma(vec![("A".to_string(), 5.0), ("MAGMA".to_string(), 10.0)]);
         assert_eq!(scores[0].normalized, 0.5);
         assert_eq!(scores[1].normalized, 1.0);
     }

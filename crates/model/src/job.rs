@@ -151,11 +151,7 @@ impl Group {
     /// Creates a group from a list of jobs, renumbering their ids to be the
     /// position inside the group (so encodings can index genes by job id).
     pub fn new(jobs: Vec<Job>) -> Self {
-        let jobs = jobs
-            .into_iter()
-            .enumerate()
-            .map(|(i, j)| j.with_id(JobId(i)))
-            .collect();
+        let jobs = jobs.into_iter().enumerate().map(|(i, j)| j.with_id(JobId(i))).collect();
         Group { jobs }
     }
 
@@ -247,14 +243,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty mini-batch")]
     fn zero_batch_panics() {
-        let _ = Job::new(
-            JobId(0),
-            "m",
-            0,
-            LayerShape::pointwise(1, 1, 1, 1),
-            0,
-            TaskType::Vision,
-        );
+        let _ = Job::new(JobId(0), "m", 0, LayerShape::pointwise(1, 1, 1, 1), 0, TaskType::Vision);
     }
 
     #[test]

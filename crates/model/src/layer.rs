@@ -178,18 +178,12 @@ impl LayerShape {
 
     /// Whether this layer is convolution-like (has spatial reuse).
     pub fn is_conv_like(&self) -> bool {
-        matches!(
-            self,
-            LayerShape::Conv2d { .. } | LayerShape::DepthwiseConv2d { .. }
-        )
+        matches!(self, LayerShape::Conv2d { .. } | LayerShape::DepthwiseConv2d { .. })
     }
 
     /// Whether this layer is GEMM/FC-like (no spatial filter reuse).
     pub fn is_gemm_like(&self) -> bool {
-        matches!(
-            self,
-            LayerShape::FullyConnected { .. } | LayerShape::Gemm { .. }
-        )
+        matches!(self, LayerShape::FullyConnected { .. } | LayerShape::Gemm { .. })
     }
 
     /// A short human-readable kind label, used in schedules and reports.

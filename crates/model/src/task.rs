@@ -8,7 +8,9 @@ use std::fmt;
 /// The paper benchmarks four task mixes: Vision, Language, Recommendation and
 /// a combined "Mix" task that draws from all three, mirroring the job mix of a
 /// multi-tenant inference data center.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum TaskType {
     /// CNN-dominated vision models (image tagging, photo auto-editing, video).
     Vision,
@@ -17,24 +19,18 @@ pub enum TaskType {
     /// Deep recommendation models (MLP + embedding dominated).
     Recommendation,
     /// A mixture of vision, language and recommendation jobs running together.
+    #[default]
     Mix,
 }
 
 impl TaskType {
     /// All four task categories, in the order the paper's figures use.
-    pub const ALL: [TaskType; 4] = [
-        TaskType::Vision,
-        TaskType::Language,
-        TaskType::Recommendation,
-        TaskType::Mix,
-    ];
+    pub const ALL: [TaskType; 4] =
+        [TaskType::Vision, TaskType::Language, TaskType::Recommendation, TaskType::Mix];
 
     /// The three *pure* (non-Mix) task categories.
-    pub const PURE: [TaskType; 3] = [
-        TaskType::Vision,
-        TaskType::Language,
-        TaskType::Recommendation,
-    ];
+    pub const PURE: [TaskType; 3] =
+        [TaskType::Vision, TaskType::Language, TaskType::Recommendation];
 
     /// Short label used in result tables ("Vision", "Lang", "Recom", "Mix").
     pub fn short_name(self) -> &'static str {
@@ -55,12 +51,6 @@ impl TaskType {
 impl fmt::Display for TaskType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.short_name())
-    }
-}
-
-impl Default for TaskType {
-    fn default() -> Self {
-        TaskType::Mix
     }
 }
 

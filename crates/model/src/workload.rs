@@ -203,9 +203,7 @@ mod tests {
 
     #[test]
     fn mini_batch_is_propagated() {
-        let jobs = WorkloadSpec::new(TaskType::Vision, 10)
-            .with_mini_batch(8)
-            .build_jobs();
+        let jobs = WorkloadSpec::new(TaskType::Vision, 10).with_mini_batch(8).build_jobs();
         assert!(jobs.iter().all(|j| j.batch() == 8));
     }
 

@@ -33,6 +33,7 @@ fn transformer_block(hidden: usize, ff: usize, seq: usize, layers: &mut Vec<Laye
     layers.push(fc(hidden, hidden)); // Q
     layers.push(fc(hidden, hidden)); // K
     layers.push(fc(hidden, hidden)); // V
+
     // Attention score (seq x seq x hidden) and context (seq x hidden x seq).
     layers.push(LayerShape::Gemm { m: seq, n: seq, kdim: hidden });
     layers.push(LayerShape::Gemm { m: seq, n: hidden, kdim: seq });
@@ -168,7 +169,8 @@ pub fn googlenet() -> Model {
         conv(192, 64, 56, 56, 3, 3, 1),
     ];
     // (in_c, b1, b3r, b3, b5r, b5, pool_proj, spatial)
-    let inceptions: [(usize, usize, usize, usize, usize, usize, usize, usize); 9] = [
+    type InceptionSpec = (usize, usize, usize, usize, usize, usize, usize, usize);
+    let inceptions: [InceptionSpec; 9] = [
         (192, 64, 96, 128, 16, 32, 32, 28),
         (256, 128, 128, 192, 32, 96, 64, 28),
         (480, 192, 96, 208, 16, 48, 64, 14),
@@ -375,15 +377,7 @@ pub fn dien() -> Model {
 
 /// All vision models in the zoo.
 pub fn vision_models() -> Vec<Model> {
-    vec![
-        resnet50(),
-        mobilenet_v2(),
-        shufflenet(),
-        vgg16(),
-        squeezenet(),
-        googlenet(),
-        mnasnet(),
-    ]
+    vec![resnet50(), mobilenet_v2(), shufflenet(), vgg16(), squeezenet(), googlenet(), mnasnet()]
 }
 
 /// All language models in the zoo.
@@ -429,9 +423,7 @@ pub fn fig7_models() -> Vec<Model> {
 
 /// Looks a model up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Model> {
-    models_for_task(TaskType::Mix)
-        .into_iter()
-        .find(|m| m.name().eq_ignore_ascii_case(name))
+    models_for_task(TaskType::Mix).into_iter().find(|m| m.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -515,10 +507,8 @@ mod tests {
     #[test]
     fn recommendation_models_keep_embeddings_on_host() {
         for m in recommendation_models() {
-            let has_emb = m
-                .layers()
-                .iter()
-                .any(|l| matches!(l, LayerShape::EmbeddingLookup { .. }));
+            let has_emb =
+                m.layers().iter().any(|l| matches!(l, LayerShape::EmbeddingLookup { .. }));
             assert!(has_emb, "{} should describe its embedding tables", m.name());
         }
     }

@@ -87,9 +87,8 @@ impl Optimizer for CmaEs {
             let this_gen = lambda.min(remaining);
             let mut samples: Vec<(Vec<f64>, f64)> = Vec::with_capacity(this_gen);
             for _ in 0..this_gen {
-                let mut x: Vec<f64> = (0..dims)
-                    .map(|d| mean[d] + sigma[d] * normal.sample(rng))
-                    .collect();
+                let mut x: Vec<f64> =
+                    (0..dims).map(|d| mean[d] + sigma[d] * normal.sample(rng)).collect();
                 clamp_unit(&mut x);
                 let f = vp.evaluate(&x, &mut history);
                 samples.push((x, f));
@@ -100,9 +99,7 @@ impl Optimizer for CmaEs {
             let elites = &samples[..mu.min(samples.len())];
 
             // Weighted (rank-linear) mean of the elites.
-            let weights: Vec<f64> = (0..elites.len())
-                .map(|r| (elites.len() - r) as f64)
-                .collect();
+            let weights: Vec<f64> = (0..elites.len()).map(|r| (elites.len() - r) as f64).collect();
             let wsum: f64 = weights.iter().sum();
             let mut new_mean = vec![0.0; dims];
             for (w, (x, _)) in weights.iter().zip(elites) {
@@ -115,10 +112,7 @@ impl Optimizer for CmaEs {
             // (rank-mu style update), blended with the previous sigma.
             let lr = self.config.variance_learning_rate;
             for d in 0..dims {
-                let var: f64 = elites
-                    .iter()
-                    .map(|(x, _)| (x[d] - mean[d]).powi(2))
-                    .sum::<f64>()
+                let var: f64 = elites.iter().map(|(x, _)| (x[d] - mean[d]).powi(2)).sum::<f64>()
                     / elites.len() as f64;
                 let new_sigma = var.sqrt().max(1e-4);
                 sigma[d] = (1.0 - lr) * sigma[d] + lr * new_sigma;

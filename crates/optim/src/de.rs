@@ -95,8 +95,8 @@ impl Optimizer for DifferentialEvolution {
                 let mut trial = pop[i].clone();
                 for d in 0..dims {
                     if rng.gen::<f64>() < self.config.crossover_rate || d == jrand {
-                        trial[d] = pop[a][d]
-                            + self.config.differential_weight * (pop[b][d] - pop[c][d]);
+                        trial[d] =
+                            pop[a][d] + self.config.differential_weight * (pop[b][d] - pop[c][d]);
                     }
                 }
                 clamp_unit(&mut trial);

@@ -32,9 +32,8 @@ impl AiMtLike {
 
         // Bandwidth intensity of a job, measured on core 0 (the cores are
         // assumed identical by this heuristic).
-        let bw_intensity = |j: usize| -> f64 {
-            problem.profile(j, 0).map(|p| p.required_bw_gbps).unwrap_or(1.0)
-        };
+        let bw_intensity =
+            |j: usize| -> f64 { problem.profile(j, 0).map(|p| p.required_bw_gbps).unwrap_or(1.0) };
 
         // Order jobs by descending BW intensity, then deal them round-robin.
         let mut order: Vec<usize> = (0..n).collect();

@@ -49,21 +49,15 @@ impl HeraldLike {
             // i.e. affinity-aware earliest-finish-time.
             let mut best_accel = 0;
             let mut best_finish = f64::INFINITY;
-            for a in 0..m {
-                let lat = problem
-                    .profile(job, a)
-                    .map(|p| p.no_stall_seconds)
-                    .unwrap_or(1.0);
-                let finish = load[a] + lat;
+            for (a, core_load) in load.iter().enumerate() {
+                let lat = problem.profile(job, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
+                let finish = core_load + lat;
                 if finish < best_finish {
                     best_finish = finish;
                     best_accel = a;
                 }
             }
-            let lat = problem
-                .profile(job, best_accel)
-                .map(|p| p.no_stall_seconds)
-                .unwrap_or(1.0);
+            let lat = problem.profile(job, best_accel).map(|p| p.no_stall_seconds).unwrap_or(1.0);
             load[best_accel] += lat;
             accel_sel[job] = best_accel;
             // Priority = placement rank: heavy jobs first.

@@ -72,15 +72,10 @@ impl HyperTuner {
     /// # Panics
     ///
     /// Panics if `problems` is empty or `trials == 0`.
-    pub fn tune(
-        &self,
-        problems: &[&dyn MappingProblem],
-        rng: &mut StdRng,
-    ) -> Vec<TrialResult> {
+    pub fn tune(&self, problems: &[&dyn MappingProblem], rng: &mut StdRng) -> Vec<TrialResult> {
         assert!(!problems.is_empty(), "need at least one tuning problem");
         assert!(self.trials > 0, "need at least one trial");
-        let explore_trials =
-            ((self.trials as f64 * self.exploration_fraction) as usize).max(1);
+        let explore_trials = ((self.trials as f64 * self.exploration_fraction) as usize).max(1);
         let mut results: Vec<TrialResult> = Vec::with_capacity(self.trials);
 
         for t in 0..self.trials {
@@ -94,25 +89,25 @@ impl HyperTuner {
             let mut score = 0.0;
             for (i, p) in problems.iter().enumerate() {
                 let mut run_rng = StdRng::seed_from_u64(1000 + i as u64);
-                let outcome =
-                    Magma::with_config(config.clone()).search(*p, self.budget_per_trial, &mut run_rng);
+                let outcome = Magma::with_config(config.clone()).search(
+                    *p,
+                    self.budget_per_trial,
+                    &mut run_rng,
+                );
                 score += outcome.best_fitness;
             }
             score /= problems.len() as f64;
             let mut done = candidate;
             done.score = score;
             results.push(done);
-            results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            results
+                .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
         }
         results
     }
 
     /// Returns the best configuration found by [`HyperTuner::tune`].
-    pub fn best_config(
-        &self,
-        problems: &[&dyn MappingProblem],
-        rng: &mut StdRng,
-    ) -> MagmaConfig {
+    pub fn best_config(&self, problems: &[&dyn MappingProblem], rng: &mut StdRng) -> MagmaConfig {
         self.tune(problems, rng)[0].to_config()
     }
 

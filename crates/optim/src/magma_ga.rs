@@ -44,17 +44,32 @@ pub struct OperatorSet {
 impl OperatorSet {
     /// All four operators (full MAGMA).
     pub fn all() -> Self {
-        OperatorSet { mutation: true, crossover_gen: true, crossover_rg: true, crossover_accel: true }
+        OperatorSet {
+            mutation: true,
+            crossover_gen: true,
+            crossover_rg: true,
+            crossover_accel: true,
+        }
     }
 
     /// Mutation only (the weakest ablation level of Fig. 16).
     pub fn mutation_only() -> Self {
-        OperatorSet { mutation: true, crossover_gen: false, crossover_rg: false, crossover_accel: false }
+        OperatorSet {
+            mutation: true,
+            crossover_gen: false,
+            crossover_rg: false,
+            crossover_accel: false,
+        }
     }
 
     /// Mutation + Crossover-gen (the middle ablation level of Fig. 16).
     pub fn mutation_and_gen() -> Self {
-        OperatorSet { mutation: true, crossover_gen: true, crossover_rg: false, crossover_accel: false }
+        OperatorSet {
+            mutation: true,
+            crossover_gen: true,
+            crossover_rg: false,
+            crossover_accel: false,
+        }
     }
 
     /// A short label for result tables.
@@ -295,8 +310,10 @@ impl Optimizer for Magma {
         while remaining > 0 && scored.len() >= 2 {
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let elites: Vec<(Mapping, f64)> = scored[..elite_count.min(scored.len())].to_vec();
-            let parent_pool: Vec<&Mapping> =
-                scored[..(scored.len() / 2).max(2).min(scored.len())].iter().map(|(m, _)| m).collect();
+            let parent_pool: Vec<&Mapping> = scored[..(scored.len() / 2).max(2).min(scored.len())]
+                .iter()
+                .map(|(m, _)| m)
+                .collect();
 
             let mut next: Vec<(Mapping, f64)> = elites.clone();
             while next.len() < pop_size && remaining > 0 {
@@ -365,10 +382,16 @@ mod tests {
     fn full_operator_set_at_least_as_good_as_mutation_only() {
         let problem = ToyProblem { jobs: 24, accels: 4 };
         let budget = 800;
-        let full = Magma::with_operators(OperatorSet::all())
-            .search(&problem, budget, &mut StdRng::seed_from_u64(11));
-        let mut_only = Magma::with_operators(OperatorSet::mutation_only())
-            .search(&problem, budget, &mut StdRng::seed_from_u64(11));
+        let full = Magma::with_operators(OperatorSet::all()).search(
+            &problem,
+            budget,
+            &mut StdRng::seed_from_u64(11),
+        );
+        let mut_only = Magma::with_operators(OperatorSet::mutation_only()).search(
+            &problem,
+            budget,
+            &mut StdRng::seed_from_u64(11),
+        );
         assert!(full.best_fitness >= mut_only.best_fitness * 0.95);
     }
 
@@ -379,8 +402,11 @@ mod tests {
         let accel: Vec<usize> = (0..10).map(|i| i % 2).collect();
         let prio: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
         let seed = Mapping::new(accel, prio, 2);
-        let outcome = Magma::with_warm_start(vec![seed.clone()])
-            .search(&problem, 20, &mut StdRng::seed_from_u64(2));
+        let outcome = Magma::with_warm_start(vec![seed.clone()]).search(
+            &problem,
+            20,
+            &mut StdRng::seed_from_u64(2),
+        );
         // With only 20 samples the seeded optimum must already be found.
         assert_eq!(outcome.best_fitness, toy_optimum(10));
     }

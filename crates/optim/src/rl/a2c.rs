@@ -88,8 +88,8 @@ impl Optimizer for A2c {
                 accels.push(a);
                 buckets.push(b);
             }
-            let mapping = EpisodeActions { accels: accels.clone(), buckets: buckets.clone() }
-                .into_mapping(m);
+            let mapping =
+                EpisodeActions { accels: accels.clone(), buckets: buckets.clone() }.into_mapping(m);
             let fitness = problem.evaluate(&mapping);
             history.record(&mapping, fitness);
             let norm_reward = normalizer.normalize(fitness);

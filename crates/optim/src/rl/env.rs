@@ -18,11 +18,7 @@ pub const PRIORITY_BUCKETS: usize = 10;
 /// Features: progress fraction, log-scaled job FLOPs, then per core the
 /// normalized no-stall latency, the normalized required bandwidth and the
 /// normalized accumulated load. All features lie in `[0, 1]`.
-pub fn observation(
-    problem: &dyn MappingProblem,
-    step: usize,
-    loads: &[f64],
-) -> Vec<f64> {
+pub fn observation(problem: &dyn MappingProblem, step: usize, loads: &[f64]) -> Vec<f64> {
     let m = problem.num_accels();
     let n = problem.num_jobs();
     let mut obs = Vec::with_capacity(2 + 3 * m);
@@ -73,9 +69,7 @@ impl EpisodeActions {
             .iter()
             .enumerate()
             .map(|(i, &b)| {
-                ((b as f64 + 0.5) / PRIORITY_BUCKETS as f64
-                    + (i as f64 / n as f64) * 1e-3)
-                    .min(1.0)
+                ((b as f64 + 0.5) / PRIORITY_BUCKETS as f64 + (i as f64 / n as f64) * 1e-3).min(1.0)
             })
             .collect();
         Mapping::new(self.accels, priority, num_accels)
@@ -126,10 +120,7 @@ mod tests {
 
     #[test]
     fn episode_actions_decode_to_valid_mapping() {
-        let actions = EpisodeActions {
-            accels: vec![0, 1, 2, 1],
-            buckets: vec![0, 9, 5, 5],
-        };
+        let actions = EpisodeActions { accels: vec![0, 1, 2, 1], buckets: vec![0, 9, 5, 5] };
         let m = actions.into_mapping(3);
         assert_eq!(m.num_jobs(), 4);
         assert!(m.priority().iter().all(|p| (0.0..=1.0).contains(p)));

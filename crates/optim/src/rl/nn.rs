@@ -66,21 +66,22 @@ impl Dense {
 
     fn forward(&self, x: &[f64]) -> Vec<f64> {
         let mut out = self.b.clone();
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = &self.w[r * self.cols..(r + 1) * self.cols];
-            out[r] += row.iter().zip(x).map(|(w, x)| w * x).sum::<f64>();
+            *o += row.iter().zip(x).map(|(w, x)| w * x).sum::<f64>();
         }
         out
     }
 
     /// Accumulates gradients for this layer and returns dL/dx.
     fn backward(&mut self, x: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        assert_eq!(grad_out.len(), self.rows, "gradient/layer size mismatch");
         let mut grad_in = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            self.gb[r] += grad_out[r];
+        for (r, &g_out) in grad_out.iter().enumerate() {
+            self.gb[r] += g_out;
             for c in 0..self.cols {
-                self.gw[r * self.cols + c] += grad_out[r] * x[c];
-                grad_in[c] += grad_out[r] * self.w[r * self.cols + c];
+                self.gw[r * self.cols + c] += g_out * x[c];
+                grad_in[c] += g_out * self.w[r * self.cols + c];
             }
         }
         grad_in

@@ -86,11 +86,7 @@ impl Optimizer for Ppo2 {
         let act_dim = m + PRIORITY_BUCKETS;
         let mut policy = Mlp::new(&[obs_dim, h, h, h, act_dim], rng);
         let mut critic = Mlp::new(&[obs_dim, h, h, h, 1], rng);
-        let opt = GradOptimizer::Adam {
-            lr: self.config.learning_rate,
-            beta1: 0.9,
-            beta2: 0.999,
-        };
+        let opt = GradOptimizer::Adam { lr: self.config.learning_rate, beta1: 0.9, beta2: 0.999 };
 
         let mut history = SearchHistory::new();
         let mut normalizer = RewardNormalizer::new();
@@ -111,8 +107,7 @@ impl Optimizer for Ppo2 {
                     let a = sample_categorical(&pa, rng);
                     let b = sample_categorical(&pb, rng);
                     let logp = pa[a].max(1e-12).ln() + pb[b].max(1e-12).ln();
-                    loads[a] +=
-                        problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
+                    loads[a] += problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
                     steps.push((obs, a, b, logp));
                 }
                 let mapping = EpisodeActions {
@@ -140,14 +135,14 @@ impl Optimizer for Ppo2 {
                     let (logits, p_cache) = policy.forward_cached(&tr.obs);
                     let pa = softmax(&logits[..m]);
                     let pb = softmax(&logits[m..]);
-                    let new_logp =
-                        pa[tr.accel].max(1e-12).ln() + pb[tr.bucket].max(1e-12).ln();
+                    let new_logp = pa[tr.accel].max(1e-12).ln() + pb[tr.bucket].max(1e-12).ln();
                     let ratio = (new_logp - tr.old_logp).exp();
                     let eps = self.config.clip_range;
                     // The clipped-surrogate gradient is zero when the ratio is
                     // outside the trust region on the side the advantage
                     // pushes toward.
-                    let active = if advantage >= 0.0 { ratio <= 1.0 + eps } else { ratio >= 1.0 - eps };
+                    let active =
+                        if advantage >= 0.0 { ratio <= 1.0 + eps } else { ratio >= 1.0 - eps };
                     if active {
                         let factor = ratio * advantage;
                         let mut grad = Vec::with_capacity(act_dim);

@@ -26,7 +26,12 @@ pub struct StdGaConfig {
 
 impl Default for StdGaConfig {
     fn default() -> Self {
-        StdGaConfig { population_size: 50, mutation_rate: 0.1, crossover_rate: 0.1, elite_ratio: 0.2 }
+        StdGaConfig {
+            population_size: 50,
+            mutation_rate: 0.1,
+            crossover_rate: 0.1,
+            elite_ratio: 0.2,
+        }
     }
 }
 
@@ -110,8 +115,10 @@ impl Optimizer for StdGa {
         while remaining > 0 && scored.len() >= 2 {
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let elites: Vec<(Mapping, f64)> = scored[..elite_count.min(scored.len())].to_vec();
-            let pool: Vec<&Mapping> =
-                scored[..(scored.len() / 2).max(2).min(scored.len())].iter().map(|(x, _)| x).collect();
+            let pool: Vec<&Mapping> = scored[..(scored.len() / 2).max(2).min(scored.len())]
+                .iter()
+                .map(|(x, _)| x)
+                .collect();
             let mut next = elites.clone();
             while next.len() < pop_size && remaining > 0 {
                 let dad = pool.choose(rng).unwrap();

@@ -121,13 +121,7 @@ impl AcceleratorPlatform {
 
 impl fmt::Display for AcceleratorPlatform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} ({} cores, {} GB/s)",
-            self.name,
-            self.num_sub_accels(),
-            self.system_bw_gbps
-        )
+        write!(f, "{} ({} cores, {} GB/s)", self.name, self.num_sub_accels(), self.system_bw_gbps)
     }
 }
 
@@ -144,13 +138,19 @@ mod tests {
     fn homogeneity_detection() {
         let homog = AcceleratorPlatform::new(
             "h",
-            vec![core("a", 32, DataflowStyle::HighBandwidth), core("b", 32, DataflowStyle::HighBandwidth)],
+            vec![
+                core("a", 32, DataflowStyle::HighBandwidth),
+                core("b", 32, DataflowStyle::HighBandwidth),
+            ],
             16.0,
         );
         assert!(homog.is_homogeneous());
         let hetero = AcceleratorPlatform::new(
             "x",
-            vec![core("a", 32, DataflowStyle::HighBandwidth), core("b", 32, DataflowStyle::LowBandwidth)],
+            vec![
+                core("a", 32, DataflowStyle::HighBandwidth),
+                core("b", 32, DataflowStyle::LowBandwidth),
+            ],
             16.0,
         );
         assert!(!hetero.is_homogeneous());
@@ -160,7 +160,10 @@ mod tests {
     fn totals() {
         let p = AcceleratorPlatform::new(
             "p",
-            vec![core("a", 32, DataflowStyle::HighBandwidth), core("b", 64, DataflowStyle::HighBandwidth)],
+            vec![
+                core("a", 32, DataflowStyle::HighBandwidth),
+                core("b", 64, DataflowStyle::HighBandwidth),
+            ],
             16.0,
         );
         assert_eq!(p.total_pes(), 32 * 64 + 64 * 64);
@@ -170,8 +173,9 @@ mod tests {
 
     #[test]
     fn bw_override() {
-        let p = AcceleratorPlatform::new("p", vec![core("a", 32, DataflowStyle::HighBandwidth)], 16.0)
-            .with_system_bw_gbps(1.0);
+        let p =
+            AcceleratorPlatform::new("p", vec![core("a", 32, DataflowStyle::HighBandwidth)], 16.0)
+                .with_system_bw_gbps(1.0);
         assert_eq!(p.system_bw_gbps(), 1.0);
     }
 
@@ -184,14 +188,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn nonpositive_bw_panics() {
-        let _ = AcceleratorPlatform::new("p", vec![core("a", 32, DataflowStyle::HighBandwidth)], 0.0);
+        let _ =
+            AcceleratorPlatform::new("p", vec![core("a", 32, DataflowStyle::HighBandwidth)], 0.0);
     }
 
     #[test]
     fn flexible_conversion_preserves_pe_count_and_dataflow() {
         let p = AcceleratorPlatform::new(
             "p",
-            vec![core("a", 32, DataflowStyle::HighBandwidth), core("b", 32, DataflowStyle::LowBandwidth)],
+            vec![
+                core("a", 32, DataflowStyle::HighBandwidth),
+                core("b", 32, DataflowStyle::LowBandwidth),
+            ],
             16.0,
         );
         let f = p.clone().into_flexible();
@@ -208,7 +216,10 @@ mod tests {
     fn describe_lists_every_core() {
         let p = AcceleratorPlatform::new(
             "p",
-            vec![core("a", 32, DataflowStyle::HighBandwidth), core("b", 32, DataflowStyle::LowBandwidth)],
+            vec![
+                core("a", 32, DataflowStyle::HighBandwidth),
+                core("b", 32, DataflowStyle::LowBandwidth),
+            ],
             16.0,
         );
         let d = p.describe();

@@ -191,7 +191,8 @@ mod tests {
     fn heterogeneous_settings_contain_both_dataflows() {
         for s in [Setting::S2, Setting::S4, Setting::S5, Setting::S6] {
             let p = build(s);
-            let has_hb = p.sub_accels().iter().any(|c| c.dataflow() == DataflowStyle::HighBandwidth);
+            let has_hb =
+                p.sub_accels().iter().any(|c| c.dataflow() == DataflowStyle::HighBandwidth);
             let has_lb = p.sub_accels().iter().any(|c| c.dataflow() == DataflowStyle::LowBandwidth);
             assert!(has_hb && has_lb, "{s}");
         }

@@ -53,11 +53,6 @@ fn main() {
 
     println!(
         "\nMAGMA improves over the best manual mapper by {:.2}x",
-        magma_gflops
-            / results
-                .iter()
-                .take(2)
-                .map(|(_, g)| *g)
-                .fold(f64::MIN_POSITIVE, f64::max)
+        magma_gflops / results.iter().take(2).map(|(_, g)| *g).fold(f64::MIN_POSITIVE, f64::max)
     );
 }

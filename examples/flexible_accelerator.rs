@@ -36,7 +36,8 @@ fn main() {
 
     // Show why: the flexible arrays cut the average per-job no-stall latency
     // (better PE utilization) at the cost of a higher bandwidth appetite.
-    let row = experiments::flexible_vs_fixed(Setting::S1, TaskType::Mix, 16.0, group_size, budget, 5);
+    let row =
+        experiments::flexible_vs_fixed(Setting::S1, TaskType::Mix, 16.0, group_size, budget, 5);
     println!(
         "\navg per-job no-stall latency: fixed {:.0} cycles vs flexible {:.0} cycles",
         row.fixed_avg_latency, row.flexible_avg_latency

@@ -24,23 +24,14 @@ fn main() {
     println!("throughput       : {:.1} GFLOP/s", report.throughput_gflops);
     println!("makespan         : {:.3} ms", report.makespan_sec * 1e3);
     println!("samples evaluated: {}", report.history.num_samples());
-    println!(
-        "samples to reach 90% of best: {:?}",
-        report.history.samples_to_reach(0.9)
-    );
+    println!("samples to reach 90% of best: {:?}", report.history.samples_to_reach(0.9));
 
     // 3. Show the schedule the bandwidth allocator produced (Fig. 4b style).
     println!("\nPer-core utilization:");
     for core in 0..report.schedule.num_accels() {
-        println!(
-            "  core {core}: {:>5.1}% busy",
-            report.schedule.accel_utilization(core) * 100.0
-        );
+        println!("  core {core}: {:>5.1}% busy", report.schedule.accel_utilization(core) * 100.0);
     }
-    println!(
-        "peak system BW draw: {:.1} GB/s (budget 16.0)",
-        report.schedule.peak_bw_gbps()
-    );
+    println!("peak system BW draw: {:.1} GB/s (budget 16.0)", report.schedule.peak_bw_gbps());
 
     println!("\nGantt chart (each row is a sub-accelerator):");
     print!("{}", report.schedule.render_gantt(100));

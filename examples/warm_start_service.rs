@@ -48,9 +48,8 @@ fn main() {
         let transfer_only = problem.evaluate(&seeded[0]);
         // ... and after a single warm-started epoch.
         let mut rng = StdRng::seed_from_u64(100 + inst);
-        let one_epoch = Magma::with_warm_start(seeded.clone())
-            .search(&problem, epoch, &mut rng)
-            .best_fitness;
+        let one_epoch =
+            Magma::with_warm_start(seeded.clone()).search(&problem, epoch, &mut rng).best_fitness;
         // Reference: a full cold optimization on this group.
         let full = builder.clone().budget(60 * epoch).seed(100 + inst).run_on(&problem);
 

@@ -21,11 +21,7 @@ fn every_mapper_runs_on_the_real_problem() {
         let mut rng = StdRng::seed_from_u64(1);
         let outcome = mapper.search(&p, 64, &mut rng);
         assert!(outcome.best_fitness > 0.0, "{} found nothing", mapper.name());
-        assert!(
-            outcome.history.num_samples() <= 64,
-            "{} exceeded the budget",
-            mapper.name()
-        );
+        assert!(outcome.history.num_samples() <= 64, "{} exceeded the budget", mapper.name());
         assert_eq!(outcome.best_mapping.num_jobs(), 16, "{}", mapper.name());
     }
 }
@@ -38,7 +34,8 @@ fn magma_beats_stdga_on_heterogeneous_instance() {
     let p = problem(Setting::S2, TaskType::Mix, 1.0, 40, 3);
     let budget = 1_200;
     let magma = Magma::default().search(&p, budget, &mut StdRng::seed_from_u64(0));
-    let stdga = magma::optim::stdga::StdGa::default().search(&p, budget, &mut StdRng::seed_from_u64(0));
+    let stdga =
+        magma::optim::stdga::StdGa::default().search(&p, budget, &mut StdRng::seed_from_u64(0));
     assert!(
         magma.best_fitness >= stdga.best_fitness,
         "MAGMA {} < stdGA {}",
@@ -67,10 +64,13 @@ fn magma_beats_manual_mappers_on_heterogeneous_mix() {
 fn operator_ablation_ordering_holds_on_real_problem() {
     let p = problem(Setting::S2, TaskType::Vision, 16.0, 30, 4);
     let budget = 600;
-    let full = Magma::with_operators(OperatorSet::all())
-        .search(&p, budget, &mut StdRng::seed_from_u64(5));
-    let mut_only = Magma::with_operators(OperatorSet::mutation_only())
-        .search(&p, budget, &mut StdRng::seed_from_u64(5));
+    let full =
+        Magma::with_operators(OperatorSet::all()).search(&p, budget, &mut StdRng::seed_from_u64(5));
+    let mut_only = Magma::with_operators(OperatorSet::mutation_only()).search(
+        &p,
+        budget,
+        &mut StdRng::seed_from_u64(5),
+    );
     assert!(full.best_fitness >= mut_only.best_fitness * 0.98);
 }
 
@@ -91,10 +91,8 @@ fn warm_start_transfers_across_groups() {
 
     // Average random mapping as the "Raw" reference.
     let mut rng = StdRng::seed_from_u64(1);
-    let raw: f64 = (0..20)
-        .map(|_| p1.evaluate(&Mapping::random(&mut rng, 24, 4)))
-        .sum::<f64>()
-        / 20.0;
+    let raw: f64 =
+        (0..20).map(|_| p1.evaluate(&Mapping::random(&mut rng, 24, 4))).sum::<f64>() / 20.0;
     assert!(
         transferred > raw,
         "transferred {transferred} should beat the average random mapping {raw}"

@@ -92,7 +92,11 @@ fn monotonicity_in_resources() {
     // Compute monotonicity under search (S3 has 8 big cores vs S1's 4 small).
     let mut rng = StdRng::seed_from_u64(4);
     let s1 = Magma::default().search(
-        &M3e::new(settings::build_with_bw(Setting::S1, 256.0), group.clone(), Objective::Throughput),
+        &M3e::new(
+            settings::build_with_bw(Setting::S1, 256.0),
+            group.clone(),
+            Objective::Throughput,
+        ),
         400,
         &mut rng,
     );
