@@ -1,5 +1,9 @@
 //! Fig. 7 — per-model and per-task no-stall latency / required bandwidth on
 //! the HB and LB dataflow styles.
+//!
+//! Regenerates the data behind Fig. 7. The analysis is closed-form (no
+//! search), so `MAGMA_GROUP_SIZE` / `MAGMA_BUDGET` have no effect here; the
+//! per-job mini-batch is fixed at 4 as in the paper.
 
 use magma_bench::{banner, dump_json, Scale};
 

@@ -1,5 +1,10 @@
 //! Fig. 8 — all ten mappers on the small homogeneous accelerator (S1,
 //! BW = 16 GB/s) across the four task types.
+//!
+//! Regenerates the data behind Fig. 8. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::compare_all_mappers;
 use magma::prelude::*;

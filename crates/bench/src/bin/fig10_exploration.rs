@@ -1,6 +1,11 @@
 //! Fig. 10 — exploration study on (Mix, S2, BW=16): throughput reached by
 //! MAGMA, PPO2, stdGA, PSO and CMA at the sampling budget, against a
 //! best-effort random-sampling reference.
+//!
+//! Regenerates the data behind Fig. 10. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::exploration_study;
 use magma::prelude::*;

@@ -1,5 +1,10 @@
 //! Fig. 11 — convergence curves of every mapper on (Vision, S2, BW=16) and
 //! (Mix, S3, BW=16).
+//!
+//! Regenerates the data behind Fig. 11. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::convergence_curves;
 use magma::prelude::*;

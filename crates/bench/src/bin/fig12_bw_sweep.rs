@@ -1,5 +1,10 @@
 //! Fig. 12 — bandwidth sweep on the heterogeneous accelerators: Herald-like,
 //! RL A2C, RL PPO2 and MAGMA on S2 (1–16 GB/s) and S4 (1–256 GB/s), Mix task.
+//!
+//! Regenerates the data behind Fig. 12. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::bw_sweep;
 use magma::prelude::*;

@@ -1,6 +1,11 @@
 //! Fig. 13 — sub-accelerator combinations: job analysis and MAGMA throughput
 //! on S3 (homogeneous), S4 (heterogeneous) and S5 (BigLittle) at BW = 1 and
 //! 64 GB/s.
+//!
+//! Regenerates the data behind Fig. 13. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::subaccel_combination_study;
 use magma::prelude::*;

@@ -1,6 +1,11 @@
 //! Fig. 14 — fixed vs flexible PE arrays: MAGMA on the fixed S1/S3 settings
 //! versus their flexible-array variants, Vision and Mix tasks, at low and
 //! high bandwidth.
+//!
+//! Regenerates the data behind Fig. 14. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::flexible_vs_fixed;
 use magma::prelude::*;

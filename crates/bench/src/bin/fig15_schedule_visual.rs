@@ -1,5 +1,10 @@
 //! Fig. 15 — visualization of the schedules found by Herald-like and MAGMA
 //! on (Mix, S5, BW=1 GB/s): per-core job allocation and finish times.
+//!
+//! Regenerates the data behind Fig. 15. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::schedule_comparison;
 use magma::prelude::*;

@@ -1,6 +1,11 @@
 //! Fig. 16 — ablation of MAGMA's genetic operators: mutation only, mutation +
 //! Crossover-gen, and the full operator set, on (Vision, S2, BW=16) and
 //! (Mix, S3, BW=16).
+//!
+//! Regenerates the data behind Fig. 16. Knobs: `MAGMA_GROUP_SIZE` (jobs per
+//! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
+//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! (group size 100, 10 K samples).
 
 use magma::experiments::operator_ablation;
 use magma::prelude::*;

@@ -1,5 +1,10 @@
 //! Fig. 17 — group-size sweep: MAGMA throughput on (Mix, S2, BW=16) for group
 //! sizes from 4 to 1000, normalized by the largest group.
+//!
+//! Regenerates the data behind Fig. 17. Knobs: `MAGMA_BUDGET` (samples per
+//! optimizer run, default 1000) and `MAGMA_SEED`; the group sizes themselves
+//! are the swept variable, so `MAGMA_GROUP_SIZE` is ignored. Set
+//! `MAGMA_FULL_SCALE=1` for the paper's 10 K-sample budget.
 
 use magma::experiments::group_size_sweep;
 use magma::prelude::*;

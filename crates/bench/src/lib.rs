@@ -1,10 +1,32 @@
 //! Shared plumbing for the experiment-reproduction binaries.
 //!
-//! Every binary in `src/bin/` regenerates one figure or table of the paper.
+//! Every binary in `src/bin/` regenerates one figure or table of the paper's
+//! evaluation section (each binary's doc comment names its artefact):
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig07_job_analysis` | Fig. 7 — HB/LB job characteristics |
+//! | `fig08_homogeneous` | Fig. 8 — mappers on the homogeneous S1 |
+//! | `fig09_heterogeneous` | Fig. 9 — mappers on heterogeneous S2/S4 |
+//! | `fig10_exploration` | Fig. 10 — exploration study |
+//! | `fig11_convergence` | Fig. 11 — convergence curves |
+//! | `fig12_bw_sweep` | Fig. 12 — bandwidth sweep |
+//! | `fig13_subaccel_combos` | Fig. 13 — sub-accelerator combinations |
+//! | `fig14_flexible` | Fig. 14 — fixed vs flexible PE arrays |
+//! | `fig15_schedule_visual` | Fig. 15 — schedule visualization |
+//! | `fig16_operator_ablation` | Fig. 16 — GA operator ablation |
+//! | `fig17_group_size` | Fig. 17 — group-size sweep |
+//! | `tab05_warm_start` | Table V — warm-start transfer |
+//!
 //! By default the binaries run at a *reduced* scale so they finish in seconds
 //! on a laptop; set the environment variable `MAGMA_FULL_SCALE=1` to run at
 //! the paper's scale (group size 100, 10 000-sample budget), or override the
-//! individual knobs with `MAGMA_GROUP_SIZE` and `MAGMA_BUDGET`.
+//! individual knobs with `MAGMA_GROUP_SIZE` and `MAGMA_BUDGET` (see
+//! [`Scale::from_env`]). Binaries print paper-style tables and dump raw JSON
+//! under `target/experiment-results/` via [`dump_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use magma::experiments::MethodScore;
 use serde::Serialize;

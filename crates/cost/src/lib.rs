@@ -26,6 +26,15 @@
 //!   Excellent on early CNN layers and depth-wise convolutions and very light
 //!   on bandwidth, but poorly utilized on FC/GEMM layers.
 //!
+//! # Paper cross-references
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | Section IV-D2 (cost-model profiling, no-stall latency / required BW) | [`CostModel::estimate`], [`CostEstimate`] |
+//! | Fig. 7 (HB vs LB per-model characteristics) | [`DataflowStyle`] |
+//! | Table III (per-core PE arrays, buffers, clocks) | [`SubAccelConfig`] |
+//! | Fig. 14 / Section VI-F (flexible PE-array shapes) | [`best_flexible_shape`] |
+//!
 //! # Example
 //!
 //! ```

@@ -133,6 +133,29 @@ impl Mapping {
         Mapping { accel_sel, priority, num_accels }
     }
 
+    /// Builds a new mapping by gene transfer: job `i` of the result takes the
+    /// gene block (sub-accelerator selection and priority) of job
+    /// `source_jobs[i]` in `self`, with selection genes re-mapped modulo
+    /// `num_accels` in case the new platform has fewer cores.
+    ///
+    /// This is the primitive behind warm-start adaptation (Section V-C):
+    /// index-wrapped adaptation passes `i % num_jobs` and profile-matched
+    /// adaptation passes the signature-matched assignment. Source indices may
+    /// repeat (new group larger than the stored one) or be skipped (smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_jobs` is empty, any index is out of range, or
+    /// `num_accels == 0`.
+    pub fn gather(&self, source_jobs: &[usize], num_accels: usize) -> Mapping {
+        assert!(!source_jobs.is_empty(), "a mapping must cover at least one job");
+        assert!(num_accels > 0, "need at least one sub-accelerator");
+        assert!(source_jobs.iter().all(|&j| j < self.num_jobs()), "source job index out of range");
+        let accel_sel = source_jobs.iter().map(|&j| self.accel_sel[j] % num_accels).collect();
+        let priority = source_jobs.iter().map(|&j| self.priority[j]).collect();
+        Mapping { accel_sel, priority, num_accels }
+    }
+
     /// Returns how many jobs are assigned to each sub-accelerator.
     pub fn load_per_accel(&self) -> Vec<usize> {
         let mut loads = vec![0usize; self.num_accels];
@@ -242,6 +265,30 @@ mod tests {
     #[should_panic(expected = "lengths must match")]
     fn mismatched_genomes_panic() {
         let _ = Mapping::new(vec![0, 1], vec![0.1], 2);
+    }
+
+    #[test]
+    fn gather_transfers_gene_blocks() {
+        let m = Mapping::new(vec![0, 1, 1, 0], vec![0.1, 0.8, 0.4, 0.7], 2);
+        let g = m.gather(&[3, 3, 0, 1, 2], 2);
+        assert_eq!(g.num_jobs(), 5);
+        assert_eq!(g.accel_sel(), &[0, 0, 0, 1, 1]);
+        assert_eq!(g.priority(), &[0.7, 0.7, 0.1, 0.8, 0.4]);
+    }
+
+    #[test]
+    fn gather_remaps_accels_modulo_new_core_count() {
+        let m = Mapping::new(vec![0, 3, 2, 1], vec![0.1, 0.2, 0.3, 0.4], 4);
+        let g = m.gather(&[0, 1, 2, 3], 2);
+        assert_eq!(g.accel_sel(), &[0, 1, 0, 1]);
+        assert_eq!(g.num_accels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "source job index out of range")]
+    fn gather_rejects_out_of_range_sources() {
+        let m = Mapping::new(vec![0, 1], vec![0.1, 0.2], 2);
+        let _ = m.gather(&[0, 2], 2);
     }
 
     #[test]

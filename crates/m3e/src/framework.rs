@@ -5,7 +5,7 @@ use crate::encoding::Mapping;
 use crate::evaluator::{FitnessEvaluator, Objective};
 use crate::schedule::Schedule;
 use magma_cost::CostModel;
-use magma_model::{Group, TaskType};
+use magma_model::{Group, JobSignature, TaskType};
 use magma_platform::AcceleratorPlatform;
 
 /// Per-(job, core) profile information exposed to knowledge-based mappers.
@@ -50,6 +50,15 @@ pub trait MappingProblem {
     fn profile(&self, _job: usize, _accel: usize) -> Option<JobProfile> {
         None
     }
+
+    /// The platform-independent signatures of the jobs being mapped, in job
+    /// order, if the problem knows them (the concrete [`M3e`] does). The
+    /// warm-start engine uses these for profile-matched adaptation
+    /// (Section V-C, Table V); callers without signatures fall back to
+    /// index-wrapped adaptation.
+    fn signatures(&self) -> Option<&[JobSignature]> {
+        None
+    }
 }
 
 /// The Multi-workload Multi-accelerator Mapping Explorer.
@@ -63,6 +72,7 @@ pub struct M3e {
     group: Group,
     evaluator: FitnessEvaluator,
     dominant_task: TaskType,
+    signatures: Vec<JobSignature>,
 }
 
 impl M3e {
@@ -83,7 +93,8 @@ impl M3e {
         let table = JobAnalyzer::with_cost_model(cost_model).analyze(&group, &platform);
         let evaluator = FitnessEvaluator::new(table, platform.system_bw_gbps(), objective);
         let dominant_task = dominant_task(&group);
-        M3e { platform, group, evaluator, dominant_task }
+        let signatures = group.signatures();
+        M3e { platform, group, evaluator, dominant_task, signatures }
     }
 
     /// The accelerator platform being mapped onto.
@@ -122,6 +133,14 @@ impl M3e {
     pub fn dominant_task(&self) -> TaskType {
         self.dominant_task
     }
+
+    /// The signatures of the group's jobs, in job order (computed once at
+    /// construction). Hand these to
+    /// [`WarmStartEngine::adapt_matched`](crate::WarmStartEngine::adapt_matched)
+    /// to transfer a stored solution onto this problem by job profile.
+    pub fn signatures(&self) -> &[JobSignature] {
+        &self.signatures
+    }
 }
 
 impl MappingProblem for M3e {
@@ -152,6 +171,10 @@ impl MappingProblem for M3e {
             required_bw_gbps: table.required_bw_gbps(JobId(job), accel),
             flops: table.flops(JobId(job)),
         })
+    }
+
+    fn signatures(&self) -> Option<&[JobSignature]> {
+        Some(M3e::signatures(self))
     }
 }
 
@@ -215,6 +238,18 @@ mod tests {
         let s = p.schedule(&m);
         assert_eq!(s.segments().len(), 25);
         assert!((p.evaluate(&m) - s.throughput_gflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signatures_match_group_jobs() {
+        let p = m3e(TaskType::Mix, 20);
+        let sigs = p.signatures();
+        assert_eq!(sigs.len(), 20);
+        for (job, sig) in p.group().iter().zip(sigs) {
+            assert_eq!(job.signature(), *sig);
+        }
+        // The trait exposes the same slice.
+        assert_eq!(MappingProblem::signatures(&p), Some(sigs));
     }
 
     #[test]

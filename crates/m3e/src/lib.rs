@@ -19,11 +19,25 @@
 //! * [`evaluator`] — fitness functions (throughput by default; latency,
 //!   energy and EDP are also available) with the system-BW constraint baked
 //!   in.
-//! * [`framework`] — the [`M3e`](framework::M3e) façade tying everything
-//!   together and the [`MappingProblem`](framework::MappingProblem) trait the
+//! * [`framework`] — the [`M3e`] façade tying everything
+//!   together and the [`MappingProblem`] trait the
 //!   optimizers in `magma-optim` search against.
-//! * [`history`] — sample-efficiency bookkeeping (best-so-far curves).
-//! * [`warmstart`] — the warm-start engine of Section V-C.
+//! * [`history`] — sample-efficiency bookkeeping (best-so-far curves, the
+//!   data behind Figs. 10/11/16).
+//! * [`warmstart`] — the warm-start engine of Section V-C / Table V: a
+//!   [`SolutionHistory`] of solved mappings with their job signatures, and
+//!   profile-matched adaptation onto fresh groups.
+//!
+//! # Paper cross-references
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | Fig. 4a / 5a (encoding + decoder) | [`encoding`] |
+//! | Section IV-D2/D4 (Job Analyzer / Analysis Table) | [`analyzer`] |
+//! | Algorithm 1 (bandwidth allocation) | [`bw_alloc`] |
+//! | Section IV-D (fitness / objectives) | [`evaluator`] |
+//! | Section IV-F (search-space size) | [`encoding::search_space_log10`] |
+//! | Section V-C / Table V (warm start) | [`warmstart`] |
 //!
 //! # Example
 //!
@@ -62,7 +76,9 @@ pub use evaluator::{FitnessEvaluator, Objective};
 pub use framework::{JobProfile, M3e, MappingProblem};
 pub use history::SearchHistory;
 pub use schedule::{Schedule, ScheduleSegment};
-pub use warmstart::WarmStartEngine;
+pub use warmstart::{
+    match_signatures, SolutionHistory, StoredSolution, WarmStartEngine, WarmStartMode,
+};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
@@ -73,5 +89,5 @@ pub mod prelude {
     pub use crate::framework::{JobProfile, M3e, MappingProblem};
     pub use crate::history::SearchHistory;
     pub use crate::schedule::{Schedule, ScheduleSegment};
-    pub use crate::warmstart::WarmStartEngine;
+    pub use crate::warmstart::{SolutionHistory, StoredSolution, WarmStartEngine, WarmStartMode};
 }

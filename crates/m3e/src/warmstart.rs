@@ -1,22 +1,187 @@
-//! The warm-start engine (Section V-C).
+//! The warm-start engine (Section V-C, Table V).
 //!
 //! When the current group of jobs belongs to the same task category as a
 //! previously solved group, the previous best mapping is adapted and used to
 //! initialize the optimizer instead of a random population. The paper shows
 //! this recovers most of the benefit of a full search within one epoch
 //! (Table V).
+//!
+//! Adaptation comes in two flavours ([`WarmStartMode`]):
+//!
+//! * **Index wrapping** ([`WarmStartEngine::adapt`]) — job `i` of the new
+//!   group inherits the genes of stored job `i % stored_len`. Cheap, but it
+//!   assumes the new group lists similar jobs in the same order, which fails
+//!   whenever request interleaving reshuffles the layers.
+//! * **Profile matching** ([`WarmStartEngine::adapt_matched`], the default) —
+//!   each new job inherits the genes of the stored job with the nearest
+//!   [`JobSignature`], found by a greedy one-to-one assignment
+//!   ([`match_signatures`]). This is what actually carries Table V's claim
+//!   that stored solutions transfer to *similar* jobs: a conv inherits a
+//!   conv's core affinity regardless of where either sits in its group.
+//!
+//! The engine keeps its knowledge in a [`SolutionHistory`]: one
+//! [`StoredSolution`] (mapping + optional signatures) per task category,
+//! serializable so a long-running mapping service can persist it across
+//! restarts.
 
 use crate::encoding::Mapping;
-use magma_model::TaskType;
+use magma_model::{JobSignature, TaskType};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+
+/// How a stored solution is adapted to a new group (Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum WarmStartMode {
+    /// Job `i` inherits the genes of stored job `i % stored_len`.
+    IndexWrap,
+    /// Each job inherits the genes of the stored job with the nearest
+    /// [`JobSignature`] (greedy one-to-one assignment).
+    #[default]
+    ProfileMatched,
+}
+
+impl fmt::Display for WarmStartMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmStartMode::IndexWrap => f.write_str("index-wrap"),
+            WarmStartMode::ProfileMatched => f.write_str("profile-matched"),
+        }
+    }
+}
+
+/// One remembered solution: the best mapping found for a group, plus the
+/// signatures of the jobs it was found for (when recorded via
+/// [`SolutionHistory::record_profiled`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredSolution {
+    mapping: Mapping,
+    signatures: Option<Vec<JobSignature>>,
+}
+
+impl StoredSolution {
+    /// The stored best mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The signatures of the jobs the mapping was optimized for, if they were
+    /// recorded. Without signatures only index-wrapped adaptation is
+    /// possible.
+    pub fn signatures(&self) -> Option<&[JobSignature]> {
+        self.signatures.as_deref()
+    }
+}
+
+/// Per-task-category storage of solved mappings and their job signatures —
+/// the knowledge base behind warm start (Section V-C).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SolutionHistory {
+    entries: HashMap<TaskType, StoredSolution>,
+}
+
+impl SolutionHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the best mapping for a task category without job signatures,
+    /// replacing any previous entry. Adaptation falls back to index wrapping
+    /// for entries recorded this way.
+    pub fn record(&mut self, task: TaskType, best: Mapping) {
+        self.entries.insert(task, StoredSolution { mapping: best, signatures: None });
+    }
+
+    /// Stores the best mapping for a task category together with the
+    /// signatures of the jobs it was optimized for, replacing any previous
+    /// entry. This enables profile-matched adaptation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signatures.len() != best.num_jobs()`.
+    pub fn record_profiled(
+        &mut self,
+        task: TaskType,
+        best: Mapping,
+        signatures: Vec<JobSignature>,
+    ) {
+        assert_eq!(
+            signatures.len(),
+            best.num_jobs(),
+            "one signature per job of the stored mapping"
+        );
+        self.entries.insert(task, StoredSolution { mapping: best, signatures: Some(signatures) });
+    }
+
+    /// The stored solution for a task category, if any.
+    pub fn get(&self, task: TaskType) -> Option<&StoredSolution> {
+        self.entries.get(&task)
+    }
+
+    /// Number of task categories with stored knowledge.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no knowledge is stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Greedily assigns each new job a stored job with a similar profile.
+///
+/// Returns `assignment` with `assignment[i] = j` meaning new job `i` inherits
+/// the genes of stored job `j`. The assignment is built in rounds: within a
+/// round every pair `(new, stored)` is considered in ascending
+/// [`JobSignature::distance`] order (ties broken by the indices, so the
+/// result is deterministic) and each stored job is used at most once, which
+/// preserves the stored solution's diversity — two distinct new convs inherit
+/// two distinct stored gene blocks rather than both collapsing onto the
+/// single best match. When the new group is larger than the stored one,
+/// further rounds re-open all stored jobs for the still-unassigned remainder.
+///
+/// For a permutation of the stored group with distinct signatures this
+/// recovers the permutation exactly (every exact match has distance zero).
+///
+/// # Panics
+///
+/// Panics if `stored` is empty.
+pub fn match_signatures(new: &[JobSignature], stored: &[JobSignature]) -> Vec<usize> {
+    assert!(!stored.is_empty(), "cannot match against an empty stored group");
+    let mut assignment = vec![usize::MAX; new.len()];
+    // Distances never change between rounds, so the full pair list is built
+    // and sorted once; each round just skips already-assigned new jobs.
+    // Distances are finite (see JobSignature::distance), so the order is
+    // total in practice; ties fall back to index order.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(new.len() * stored.len());
+    for (i, n) in new.iter().enumerate() {
+        for (j, s) in stored.iter().enumerate() {
+            pairs.push((n.distance(s), i, j));
+        }
+    }
+    pairs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut remaining = new.len();
+    while remaining > 0 {
+        let mut stored_used = vec![false; stored.len()];
+        for &(_, i, j) in pairs.iter() {
+            if assignment[i] == usize::MAX && !stored_used[j] {
+                assignment[i] = j;
+                stored_used[j] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    assignment
+}
 
 /// Stores the best known mapping per task category and seeds new searches
 /// from it.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WarmStartEngine {
-    solutions: HashMap<TaskType, Mapping>,
+    history: SolutionHistory,
 }
 
 impl WarmStartEngine {
@@ -26,40 +191,105 @@ impl WarmStartEngine {
     }
 
     /// Records the best mapping found for a task category, replacing any
-    /// previous entry.
+    /// previous entry. Entries recorded without signatures only support
+    /// index-wrapped adaptation; prefer [`WarmStartEngine::record_profiled`].
     pub fn record(&mut self, task: TaskType, best: Mapping) {
-        self.solutions.insert(task, best);
+        self.history.record(task, best);
+    }
+
+    /// Records the best mapping together with the signatures of the jobs it
+    /// was optimized for, enabling profile-matched adaptation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signatures.len() != best.num_jobs()`.
+    pub fn record_profiled(
+        &mut self,
+        task: TaskType,
+        best: Mapping,
+        signatures: Vec<JobSignature>,
+    ) {
+        self.history.record_profiled(task, best, signatures);
     }
 
     /// Whether previous knowledge exists for this task category.
     pub fn has_knowledge(&self, task: TaskType) -> bool {
-        self.solutions.contains_key(&task)
+        self.history.get(task).is_some()
     }
 
-    /// The stored solution for a task category, if any.
+    /// The stored mapping for a task category, if any.
     pub fn stored(&self, task: TaskType) -> Option<&Mapping> {
-        self.solutions.get(&task)
+        self.history.get(task).map(StoredSolution::mapping)
     }
 
-    /// Adapts the stored solution of `task` to a new problem of `num_jobs`
-    /// jobs on `num_accels` cores. Returns `None` when no knowledge exists.
+    /// The full stored solution (mapping + signatures) for a task category.
+    pub fn stored_solution(&self, task: TaskType) -> Option<&StoredSolution> {
+        self.history.get(task)
+    }
+
+    /// The engine's knowledge base.
+    pub fn history(&self) -> &SolutionHistory {
+        &self.history
+    }
+
+    /// Index-wrapped adaptation ([`WarmStartMode::IndexWrap`]): adapts the
+    /// stored solution of `task` to a new problem of `num_jobs` jobs on
+    /// `num_accels` cores by wrapping the stored genomes around (or
+    /// truncating them) and re-mapping accelerator genes modulo the new core
+    /// count. Returns `None` when no knowledge exists.
     ///
-    /// Adaptation wraps the stored genomes around (or truncates them) to the
-    /// new group size and re-maps accelerator genes modulo the new core
-    /// count — the new jobs of the same task category have statistically
-    /// similar profiles, which is exactly the assumption warm-start exploits.
+    /// This is the fallback when job signatures are unavailable; with
+    /// signatures, [`WarmStartEngine::adapt_matched`] transfers far better
+    /// across reshuffled groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if knowledge exists for `task` but `num_jobs == 0` or
+    /// `num_accels == 0` — a mapping cannot cover zero jobs or zero cores
+    /// (`None` strictly means "no stored knowledge").
     pub fn adapt(&self, task: TaskType, num_jobs: usize, num_accels: usize) -> Option<Mapping> {
-        let stored = self.solutions.get(&task)?;
-        let accel_sel =
-            (0..num_jobs).map(|i| stored.accel_sel()[i % stored.num_jobs()] % num_accels).collect();
-        let priority = (0..num_jobs).map(|i| stored.priority()[i % stored.num_jobs()]).collect();
-        Some(Mapping::new(accel_sel, priority, num_accels))
+        let stored = self.stored(task)?;
+        let sources: Vec<usize> = (0..num_jobs).map(|i| i % stored.num_jobs()).collect();
+        Some(stored.gather(&sources, num_accels))
     }
 
-    /// Builds an initial population of `size` individuals for a new search:
-    /// the adapted previous solution plus jittered copies of it. Returns
-    /// `None` when no knowledge exists for the task category, in which case
-    /// the caller should fall back to random initialization.
+    /// Profile-matched adaptation ([`WarmStartMode::ProfileMatched`]): each
+    /// new job (described by its signature) inherits the gene block of the
+    /// stored job with the nearest signature, via [`match_signatures`].
+    ///
+    /// Returns `None` when no knowledge exists for the task category. Falls
+    /// back to index wrapping when the stored entry carries no signatures
+    /// (it was recorded with [`WarmStartEngine::record`]) — or when it
+    /// carries the wrong number of them, which cannot happen via
+    /// [`WarmStartEngine::record_profiled`] but can arrive through
+    /// deserialization of a corrupted or version-skewed [`SolutionHistory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if knowledge exists for `task` but `new_signatures` is empty or
+    /// `num_accels == 0` — a mapping cannot cover zero jobs or zero cores
+    /// (`None` strictly means "no stored knowledge").
+    pub fn adapt_matched(
+        &self,
+        task: TaskType,
+        new_signatures: &[JobSignature],
+        num_accels: usize,
+    ) -> Option<Mapping> {
+        let solution = self.history.get(task)?;
+        match solution.signatures() {
+            Some(stored_sigs) if stored_sigs.len() == solution.mapping().num_jobs() => {
+                let assignment = match_signatures(new_signatures, stored_sigs);
+                Some(solution.mapping().gather(&assignment, num_accels))
+            }
+            _ => self.adapt(task, new_signatures.len(), num_accels),
+        }
+    }
+
+    /// Builds an initial population of `size` individuals for a new search
+    /// using index-wrapped adaptation: the adapted previous solution plus
+    /// jittered copies of it. Returns `None` when no knowledge exists for the
+    /// task category, in which case the caller should fall back to random
+    /// initialization.
     pub fn seed_population<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -69,29 +299,54 @@ impl WarmStartEngine {
         size: usize,
     ) -> Option<Vec<Mapping>> {
         let base = self.adapt(task, num_jobs, num_accels)?;
-        let mut pop = Vec::with_capacity(size);
-        pop.push(base.clone());
-        while pop.len() < size {
-            let mut child = base.clone();
-            // Jitter ~10% of the genes so the population has diversity around
-            // the transferred solution.
-            let n = child.num_jobs();
-            let flips = (n / 10).max(1);
-            for _ in 0..flips {
-                let i = rng.gen_range(0..n);
-                child.accel_sel_mut()[i] = rng.gen_range(0..num_accels);
-                let j = rng.gen_range(0..n);
-                child.priority_mut()[j] = rng.gen_range(0.0..1.0);
-            }
-            pop.push(child);
-        }
-        Some(pop)
+        Some(jittered_population(rng, base, num_accels, size))
+    }
+
+    /// As [`WarmStartEngine::seed_population`] but with profile-matched
+    /// adaptation: the base individual is built by [`WarmStartEngine::adapt_matched`]
+    /// against the new group's signatures.
+    pub fn seed_population_matched<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        task: TaskType,
+        new_signatures: &[JobSignature],
+        num_accels: usize,
+        size: usize,
+    ) -> Option<Vec<Mapping>> {
+        let base = self.adapt_matched(task, new_signatures, num_accels)?;
+        Some(jittered_population(rng, base, num_accels, size))
     }
 
     /// Number of task categories with stored knowledge.
     pub fn num_entries(&self) -> usize {
-        self.solutions.len()
+        self.history.len()
     }
+}
+
+/// The transferred base individual plus jittered copies: ~10% of the genes of
+/// each copy are re-randomized so the population has diversity around the
+/// transferred solution.
+fn jittered_population<R: Rng + ?Sized>(
+    rng: &mut R,
+    base: Mapping,
+    num_accels: usize,
+    size: usize,
+) -> Vec<Mapping> {
+    let mut pop = Vec::with_capacity(size);
+    pop.push(base.clone());
+    while pop.len() < size {
+        let mut child = base.clone();
+        let n = child.num_jobs();
+        let flips = (n / 10).max(1);
+        for _ in 0..flips {
+            let i = rng.gen_range(0..n);
+            child.accel_sel_mut()[i] = rng.gen_range(0..num_accels);
+            let j = rng.gen_range(0..n);
+            child.priority_mut()[j] = rng.gen_range(0.0..1.0);
+        }
+        pop.push(child);
+    }
+    pop
 }
 
 #[cfg(test)]
@@ -110,7 +365,9 @@ mod tests {
         let e = WarmStartEngine::new();
         assert!(!e.has_knowledge(TaskType::Vision));
         assert!(e.adapt(TaskType::Vision, 10, 2).is_none());
+        assert!(e.adapt_matched(TaskType::Vision, &[], 2).is_none());
         assert_eq!(e.num_entries(), 0);
+        assert!(e.history().is_empty());
     }
 
     #[test]
@@ -162,6 +419,7 @@ mod tests {
         let e = WarmStartEngine::new();
         let mut rng = StdRng::seed_from_u64(6);
         assert!(e.seed_population(&mut rng, TaskType::Mix, 10, 2, 4).is_none());
+        assert!(e.seed_population_matched(&mut rng, TaskType::Mix, &[], 2, 4).is_none());
     }
 
     #[test]
@@ -172,5 +430,221 @@ mod tests {
         e.record(TaskType::Mix, second.clone());
         assert_eq!(e.stored(TaskType::Mix), Some(&second));
         assert_eq!(e.num_entries(), 1);
+    }
+
+    #[test]
+    fn mode_labels_are_distinct() {
+        assert_eq!(WarmStartMode::default(), WarmStartMode::ProfileMatched);
+        assert_ne!(WarmStartMode::IndexWrap.to_string(), WarmStartMode::ProfileMatched.to_string());
+    }
+}
+
+/// Signature-matching behaviour: permuted job orders, subset/superset groups
+/// and cross-instance transfer (the scenarios behind Table V).
+#[cfg(test)]
+mod matching_tests {
+    use super::*;
+    use magma_model::{Group, Job, JobId, LayerShape, WorkloadSpec};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group(task: TaskType, n: usize, seed: u64) -> Group {
+        WorkloadSpec::single_group(task, n, seed)
+    }
+
+    /// `n` vision conv jobs with pairwise-distinct signatures (growing
+    /// channel counts), so matching assertions can be exact. Real workload
+    /// groups may contain duplicate layers, which makes any two jobs with
+    /// identical signatures interchangeable.
+    fn distinct_signatures(n: usize) -> Vec<JobSignature> {
+        (0..n)
+            .map(|i| {
+                Job::new(
+                    JobId(i),
+                    "synthetic",
+                    i,
+                    LayerShape::Conv2d {
+                        k: 8 * (i + 1),
+                        c: 16,
+                        y: 14,
+                        x: 14,
+                        r: 3,
+                        s: 3,
+                        stride: 1,
+                    },
+                    4,
+                    TaskType::Vision,
+                )
+                .signature()
+            })
+            .collect()
+    }
+
+    /// An engine with the signatures of `stored_group` and a random stored
+    /// mapping for them.
+    fn engine_for(task: TaskType, stored: &Group, num_accels: usize, seed: u64) -> WarmStartEngine {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let best = Mapping::random(&mut rng, stored.len(), num_accels);
+        let mut e = WarmStartEngine::new();
+        e.record_profiled(task, best, stored.signatures());
+        e
+    }
+
+    #[test]
+    fn permuted_job_order_recovers_the_permutation() {
+        let sigs = distinct_signatures(24);
+        let mut rng = StdRng::seed_from_u64(1);
+        let best = Mapping::random(&mut rng, 24, 4);
+        let mut e = WarmStartEngine::new();
+        e.record_profiled(TaskType::Vision, best.clone(), sigs.clone());
+
+        // Present the same jobs in reversed order: each job must get exactly
+        // the gene block its twin had in the stored solution.
+        let reversed: Vec<_> = sigs.iter().rev().copied().collect();
+        let adapted = e.adapt_matched(TaskType::Vision, &reversed, 4).unwrap();
+        for i in 0..24 {
+            let twin = 23 - i;
+            assert_eq!(adapted.accel_sel()[i], best.accel_sel()[twin], "job {i}");
+            assert_eq!(adapted.priority()[i], best.priority()[twin], "job {i}");
+        }
+    }
+
+    #[test]
+    fn identical_group_is_a_fixed_point() {
+        let stored = group(TaskType::Vision, 16, 3);
+        let e = engine_for(TaskType::Vision, &stored, 4, 2);
+        let adapted = e.adapt_matched(TaskType::Vision, &stored.signatures(), 4).unwrap();
+        assert_eq!(&adapted, e.stored(TaskType::Vision).unwrap());
+    }
+
+    #[test]
+    fn subset_group_reuses_each_stored_job_at_most_once() {
+        let sigs = distinct_signatures(30);
+        // New group: jobs 5..15 of the stored group.
+        let subset: Vec<_> = sigs[5..15].to_vec();
+        let assignment = match_signatures(&subset, &sigs);
+        assert_eq!(assignment, (5..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn superset_group_wraps_onto_stored_jobs() {
+        let sigs = distinct_signatures(8);
+        // New group: the stored jobs twice over.
+        let superset: Vec<_> = sigs.iter().chain(sigs.iter()).copied().collect();
+        let assignment = match_signatures(&superset, &sigs);
+        assert_eq!(assignment.len(), 16);
+        // Every stored job is used exactly twice (one-to-one per round).
+        let mut counts = vec![0usize; 8];
+        for &j in &assignment {
+            counts[j] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 2), "{counts:?}");
+        // And each new job found its exact twin.
+        assert_eq!(&assignment[..8], &(0..8).collect::<Vec<_>>()[..]);
+        assert_eq!(&assignment[8..], &(0..8).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn cross_instance_transfer_matches_by_profile_not_position() {
+        // Two instances of the same task with different seeds reshuffle the
+        // model interleaving; profile matching must still send every job to a
+        // same-class stored job.
+        let stored = group(TaskType::Mix, 24, 0);
+        let fresh = group(TaskType::Mix, 24, 77);
+        let sigs = stored.signatures();
+        let assignment = match_signatures(&fresh.signatures(), &sigs);
+        let mut same_class = 0;
+        for (i, &j) in assignment.iter().enumerate() {
+            if fresh.signatures()[i].class() == sigs[j].class() {
+                same_class += 1;
+            }
+        }
+        // The class histogram of two Mix instances is not identical, so a few
+        // jobs may cross classes, but the vast majority must not.
+        assert!(same_class >= 20, "only {same_class}/24 matched within class");
+    }
+
+    #[test]
+    fn adapt_matched_falls_back_to_index_wrap_without_stored_signatures() {
+        let mut e = WarmStartEngine::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let best = Mapping::random(&mut rng, 10, 4);
+        e.record(TaskType::Mix, best); // no signatures
+        let fresh = group(TaskType::Mix, 14, 5);
+        let matched = e.adapt_matched(TaskType::Mix, &fresh.signatures(), 4).unwrap();
+        let wrapped = e.adapt(TaskType::Mix, 14, 4).unwrap();
+        assert_eq!(matched, wrapped);
+    }
+
+    #[test]
+    fn mismatched_stored_signatures_fall_back_to_index_wrap() {
+        // record_profiled asserts len(signatures) == num_jobs, but a
+        // deserialized SolutionHistory can arrive corrupted or
+        // version-skewed; adapt_matched must degrade to index wrapping
+        // rather than panic or mis-gather.
+        let mut rng = StdRng::seed_from_u64(11);
+        let best = Mapping::random(&mut rng, 10, 4);
+        let mut e = WarmStartEngine::new();
+        // Bypass record_profiled's assert the same way a hand-edited JSON
+        // would: construct the entry directly (same-module access).
+        e.history.entries.insert(
+            TaskType::Vision,
+            StoredSolution { mapping: best, signatures: Some(distinct_signatures(14)) },
+        );
+        let fresh = group(TaskType::Vision, 12, 5);
+        let matched = e.adapt_matched(TaskType::Vision, &fresh.signatures(), 4).unwrap();
+        assert_eq!(matched, e.adapt(TaskType::Vision, 12, 4).unwrap());
+    }
+
+    #[test]
+    fn solution_history_persists_signatures_through_serde() {
+        // record → serialize → deserialize → adapt must behave identically.
+        let stored = group(TaskType::Vision, 12, 4);
+        let e = engine_for(TaskType::Vision, &stored, 4, 7);
+        let fresh = group(TaskType::Vision, 12, 99);
+
+        let json = serde_json::to_string(&e).expect("engine serializes");
+        let revived: WarmStartEngine = serde_json::from_str(&json).expect("engine deserializes");
+
+        assert_eq!(revived.num_entries(), 1);
+        let sol = revived.stored_solution(TaskType::Vision).unwrap();
+        assert_eq!(sol.signatures().unwrap(), &stored.signatures()[..]);
+        assert_eq!(
+            revived.adapt_matched(TaskType::Vision, &fresh.signatures(), 4),
+            e.adapt_matched(TaskType::Vision, &fresh.signatures(), 4)
+        );
+    }
+
+    // Adapted genes always stay in range, whatever the stored/new group
+    // sizes and core counts.
+    proptest! {
+        #[test]
+        fn adapted_genes_always_in_range(
+            stored_n in 1usize..40,
+            new_n in 1usize..40,
+            stored_accels in 1usize..8,
+            new_accels in 1usize..8,
+            seed in 0u64..20,
+            profiled_sel in 0usize..2,
+        ) {
+            let profiled = profiled_sel == 1;
+            let task = TaskType::Mix;
+            let stored_group = group(task, stored_n, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let best = Mapping::random(&mut rng, stored_n, stored_accels);
+            let mut e = WarmStartEngine::new();
+            if profiled {
+                e.record_profiled(task, best, stored_group.signatures());
+            } else {
+                e.record(task, best);
+            }
+            let fresh = group(task, new_n, seed + 1);
+            let adapted = e.adapt_matched(task, &fresh.signatures(), new_accels).unwrap();
+            prop_assert_eq!(adapted.num_jobs(), new_n);
+            prop_assert_eq!(adapted.num_accels(), new_accels);
+            prop_assert!(adapted.accel_sel().iter().all(|&a| a < new_accels));
+            prop_assert!(adapted.priority().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
     }
 }

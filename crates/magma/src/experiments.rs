@@ -20,7 +20,7 @@
 //! | Table V | [`warm_start_study`] |
 
 use magma_cost::{CostModel, DataflowStyle, SubAccelConfig};
-use magma_m3e::{M3e, Objective, WarmStartEngine};
+use magma_m3e::{M3e, Objective, WarmStartEngine, WarmStartMode};
 use magma_model::{zoo, TaskType, WorkloadSpec};
 use magma_optim::{
     all_mappers, bw_sweep_mappers, Magma, MagmaConfig, OperatorSet, Optimizer, RandomSearch,
@@ -518,6 +518,10 @@ pub struct WarmStartRow {
 /// `num_instances` fresh groups of the same task and measure the normalized
 /// throughput after 0, 1, 30 and 100 epochs (an epoch is one population worth
 /// of samples, i.e. `group_size` evaluations).
+///
+/// Uses the profile-matched adaptation ([`WarmStartMode::ProfileMatched`]),
+/// which carries the paper's transfer claim; see
+/// [`warm_start_study_with_mode`] to reproduce the index-wrapped baseline.
 pub fn warm_start_study(
     setting: Setting,
     task: TaskType,
@@ -526,15 +530,44 @@ pub fn warm_start_study(
     num_instances: usize,
     seed: u64,
 ) -> Vec<WarmStartRow> {
+    warm_start_study_with_mode(
+        setting,
+        task,
+        bw_gbps,
+        group_size,
+        num_instances,
+        seed,
+        WarmStartMode::ProfileMatched,
+    )
+}
+
+/// As [`warm_start_study`] but with an explicit adaptation mode, so the
+/// profile-matched transfer (the paper-faithful result) can be compared
+/// against the index-wrapped baseline that loses to a random epoch on
+/// compute-bound groups.
+pub fn warm_start_study_with_mode(
+    setting: Setting,
+    task: TaskType,
+    bw_gbps: Option<f64>,
+    group_size: usize,
+    num_instances: usize,
+    seed: u64,
+    mode: WarmStartMode,
+) -> Vec<WarmStartRow> {
     let epoch = group_size.max(16);
     let full_budget = 100 * epoch;
     let mut engine = WarmStartEngine::new();
 
-    // --- Insts0: plain optimization, store the best mapping. ---
+    // --- Insts0: plain optimization, store the best mapping with the job
+    // signatures it was optimized for. ---
     let base_problem = build_problem(setting, task, bw_gbps, group_size, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let base_outcome = Magma::default().search(&base_problem, full_budget, &mut rng);
-    engine.record(task, base_outcome.best_mapping.clone());
+    engine.record_profiled(
+        task,
+        base_outcome.best_mapping.clone(),
+        base_problem.signatures().to_vec(),
+    );
 
     let mut rows = vec![WarmStartRow {
         instance: "Insts0 (optimized)".to_string(),
@@ -551,11 +584,20 @@ pub fn warm_start_study(
         let problem = build_problem(setting, task, bw_gbps, group_size, inst_seed);
         let mut rng = StdRng::seed_from_u64(inst_seed);
 
-        let num_jobs = group_size;
         let num_accels = build_platform(setting, bw_gbps).num_sub_accels();
-        let seeded_pop = engine
-            .seed_population(&mut rng, task, num_jobs, num_accels, epoch)
-            .expect("knowledge was recorded for this task");
+        let seeded_pop = match mode {
+            WarmStartMode::IndexWrap => {
+                engine.seed_population(&mut rng, task, group_size, num_accels, epoch)
+            }
+            WarmStartMode::ProfileMatched => engine.seed_population_matched(
+                &mut rng,
+                task,
+                problem.signatures(),
+                num_accels,
+                epoch,
+            ),
+        }
+        .expect("knowledge was recorded for this task");
         let transfer_0 = problem.evaluate(&seeded_pop[0]);
 
         let run_epochs = |epochs: usize| -> f64 {
@@ -680,6 +722,25 @@ mod tests {
     #[test]
     fn search_space_matches_paper() {
         assert!((search_space_log10(60, 4) - 81.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn warm_start_rows_have_expected_shape_in_both_modes() {
+        for mode in [WarmStartMode::IndexWrap, WarmStartMode::ProfileMatched] {
+            let rows = warm_start_study_with_mode(
+                Setting::S2,
+                TaskType::Language,
+                Some(16.0),
+                8,
+                1,
+                0,
+                mode,
+            );
+            assert_eq!(rows.len(), 2, "{mode}");
+            // Trf-100-ep is the normalizer on every row.
+            assert!(rows.iter().all(|r| r.transfer_100_epoch == 1.0), "{mode}");
+            assert!(rows[1].transfer_0_epoch > 0.0, "{mode}");
+        }
     }
 
     #[test]

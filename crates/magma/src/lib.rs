@@ -18,6 +18,15 @@
 //!   paper compares against (stdGA, DE, CMA-ES, PSO, TBPSA, A2C, PPO2,
 //!   Herald-like, AI-MT-like).
 //!
+//! # Paper cross-references
+//!
+//! The [`experiments`] module documents a full figure/table → function map
+//! (Figs. 7–17 and Table V). The warm-start experiment
+//! ([`experiments::warm_start_study`]) uses profile-matched adaptation
+//! (Section V-C) by default;
+//! [`experiments::warm_start_study_with_mode`] exposes the index-wrapped
+//! baseline for comparison.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -57,9 +66,11 @@ pub mod prelude {
     pub use magma_cost::{CostModel, DataflowStyle, SubAccelConfig};
     pub use magma_m3e::{
         JobAnalyzer, M3e, Mapping, MappingProblem, Objective, Schedule, SearchHistory,
-        WarmStartEngine,
+        SolutionHistory, WarmStartEngine, WarmStartMode,
     };
-    pub use magma_model::{Group, Job, JobId, LayerShape, Model, TaskType, WorkloadSpec};
+    pub use magma_model::{
+        Group, Job, JobId, JobSignature, LayerShape, Model, TaskType, WorkloadSpec,
+    };
     pub use magma_optim::{
         all_mappers, AiMtLike, HeraldLike, Magma, MagmaConfig, OperatorSet, Optimizer,
         RandomSearch, SearchOutcome,

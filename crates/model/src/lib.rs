@@ -17,6 +17,19 @@
 //!   DLRM, Wide&Deep, NCF, ...).
 //! * [`Job`], [`Group`] and [`workload`] — mini-batched jobs, dependency-free
 //!   groups, and deterministic workload generators for each task type.
+//! * [`JobSignature`] — a platform-independent per-job profile (layer class,
+//!   compute and data-movement footprint) with a distance metric; the
+//!   transfer key of the profile-matched warm start (Table V).
+//!
+//! # Paper cross-references
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | Section III (jobs, groups, batched-job tasks) | [`Job`], [`Group`], [`workload`] |
+//! | Table II (model zoo: vision / language / recommendation) | [`zoo`] |
+//! | Fig. 7 representative models | [`zoo::fig7_models`] |
+//! | Section V-C / Table V (warm-start transfer keys) | [`signature`] |
+//! | Fig. 17 (group size as a knob) | [`WorkloadSpec::build_groups`] |
 //!
 //! # Example
 //!
@@ -38,6 +51,7 @@
 pub mod job;
 pub mod layer;
 pub mod model;
+pub mod signature;
 pub mod task;
 pub mod workload;
 pub mod zoo;
@@ -45,5 +59,6 @@ pub mod zoo;
 pub use job::{Group, Job, JobId};
 pub use layer::LayerShape;
 pub use model::Model;
+pub use signature::{JobSignature, LayerClass};
 pub use task::TaskType;
 pub use workload::WorkloadSpec;

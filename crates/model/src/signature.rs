@@ -1,0 +1,264 @@
+//! Per-job layer signatures and the distance metric behind profile-matched
+//! warm-start transfer (Section V-C, Table V).
+//!
+//! Warm start works because new jobs of a task category have *statistically
+//! similar* profiles to previously solved jobs — but "similar" must be
+//! decided per job, not per position: two groups of the same task generated
+//! from different request interleavings put different layers at the same
+//! index. A [`JobSignature`] condenses one job into a small,
+//! platform-independent profile — layer class, mini-batch, compute (MACs) and
+//! data-movement (weight/activation elements) footprint — and
+//! [`JobSignature::distance`] compares two such profiles in log scale, so the
+//! warm-start engine can assign each new job the genes of the most similar
+//! stored job instead of the job at the same wrapped index.
+
+use crate::{Group, Job, LayerShape, TaskType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The coarse structural class of a layer, the strongest similarity signal:
+/// a convolution should inherit genes from a convolution, never from an
+/// embedding-dominated FC, whatever their MAC counts are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerClass {
+    /// Standard 2-D convolution (spatial + cross-channel reduction).
+    Conv,
+    /// Depth-wise convolution (spatial only; memory-intensive).
+    DepthwiseConv,
+    /// Fully-connected / GEMV layer (weight-heavy, no spatial reuse).
+    FullyConnected,
+    /// Activation-by-activation matrix multiply (attention scores/values).
+    Gemm,
+    /// Embedding-table lookup (host-side; never appears in accelerator jobs).
+    Embedding,
+}
+
+impl From<&LayerShape> for LayerClass {
+    fn from(layer: &LayerShape) -> Self {
+        match layer {
+            LayerShape::Conv2d { .. } => LayerClass::Conv,
+            LayerShape::DepthwiseConv2d { .. } => LayerClass::DepthwiseConv,
+            LayerShape::FullyConnected { .. } => LayerClass::FullyConnected,
+            LayerShape::Gemm { .. } => LayerClass::Gemm,
+            LayerShape::EmbeddingLookup { .. } => LayerClass::Embedding,
+        }
+    }
+}
+
+impl fmt::Display for LayerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A compact, platform-independent profile of one job: what kind of layer it
+/// is, how much it computes and how much data it moves.
+///
+/// Signatures are the transfer key of the warm-start engine (Table V): a
+/// stored solution is adapted to a new group by giving each new job the gene
+/// block of the stored job with the nearest signature. All quantities are
+/// per *job* (mini-batch included), so the same layer at different batch
+/// sizes is close but not identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSignature {
+    task: TaskType,
+    class: LayerClass,
+    batch: usize,
+    macs: u64,
+    weight_elems: u64,
+    activation_elems: u64,
+}
+
+impl JobSignature {
+    /// Weight of a layer-class mismatch in the distance metric. Chosen to
+    /// dominate any realistic magnitude difference: ~16 nats corresponds to
+    /// a ~9-million-fold MAC difference, so a conv prefers even a very
+    /// differently sized conv over any FC.
+    pub const CLASS_MISMATCH_PENALTY: f64 = 16.0;
+
+    /// Weight of a task-category mismatch in the distance metric (relevant
+    /// only inside Mix groups, where one group holds several categories).
+    pub const TASK_MISMATCH_PENALTY: f64 = 4.0;
+
+    /// Computes the signature of a job.
+    pub fn of(job: &Job) -> Self {
+        JobSignature {
+            task: job.task(),
+            class: LayerClass::from(job.layer()),
+            batch: job.batch(),
+            macs: job.macs(),
+            weight_elems: job.weight_elems(),
+            activation_elems: job.activation_elems(),
+        }
+    }
+
+    /// The task category of the profiled job.
+    pub fn task(&self) -> TaskType {
+        self.task
+    }
+
+    /// The structural layer class of the profiled job.
+    pub fn class(&self) -> LayerClass {
+        self.class
+    }
+
+    /// The mini-batch size of the profiled job.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// MACs of the whole job (compute footprint).
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Weight elements fetched by the job (bandwidth footprint, reused across
+    /// the mini-batch).
+    pub fn weight_elems(&self) -> u64 {
+        self.weight_elems
+    }
+
+    /// Activation elements moved by the job (bandwidth footprint that scales
+    /// with the mini-batch).
+    pub fn activation_elems(&self) -> u64 {
+        self.activation_elems
+    }
+
+    /// MACs per element of data moved — the roofline position of the job.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let data = self.weight_elems + self.activation_elems;
+        if data == 0 {
+            0.0
+        } else {
+            self.macs as f64 / data as f64
+        }
+    }
+
+    /// Distance between two job profiles; `0.0` iff the profiles are
+    /// identical, symmetric, and always finite.
+    ///
+    /// Magnitudes are compared in log scale (L1 over `ln(1 + x)` of MACs,
+    /// weight elements and activation elements), so "twice the MACs" costs
+    /// the same everywhere on the size spectrum. Categorical mismatches add
+    /// [`Self::CLASS_MISMATCH_PENALTY`] / [`Self::TASK_MISMATCH_PENALTY`] on
+    /// top, which keeps matching within a layer class (and, in Mix groups,
+    /// within a task) whenever a same-class candidate exists.
+    pub fn distance(&self, other: &JobSignature) -> f64 {
+        let log_gap = |a: u64, b: u64| ((1.0 + a as f64).ln() - (1.0 + b as f64).ln()).abs();
+        let mut d = log_gap(self.macs, other.macs)
+            + log_gap(self.weight_elems, other.weight_elems)
+            + log_gap(self.activation_elems, other.activation_elems);
+        if self.class != other.class {
+            d += Self::CLASS_MISMATCH_PENALTY;
+        }
+        if self.task != other.task {
+            d += Self::TASK_MISMATCH_PENALTY;
+        }
+        d
+    }
+}
+
+impl Job {
+    /// The job's [`JobSignature`] (shorthand for [`JobSignature::of`]).
+    pub fn signature(&self) -> JobSignature {
+        JobSignature::of(self)
+    }
+}
+
+impl Group {
+    /// Signatures of every job in the group, in job-id order — the profile
+    /// the warm-start engine stores next to a solved mapping and matches new
+    /// groups against.
+    pub fn signatures(&self) -> Vec<JobSignature> {
+        self.iter().map(JobSignature::of).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobId, WorkloadSpec};
+
+    fn conv_job(id: usize, k: usize, batch: usize) -> Job {
+        Job::new(
+            JobId(id),
+            "m",
+            0,
+            LayerShape::Conv2d { k, c: 64, y: 28, x: 28, r: 3, s: 3, stride: 1 },
+            batch,
+            TaskType::Vision,
+        )
+    }
+
+    fn fc_job(id: usize, out: usize) -> Job {
+        Job::new(
+            JobId(id),
+            "m",
+            1,
+            LayerShape::FullyConnected { out_features: out, in_features: 1024 },
+            4,
+            TaskType::Language,
+        )
+    }
+
+    #[test]
+    fn identical_jobs_have_zero_distance() {
+        let a = conv_job(0, 128, 4).signature();
+        let b = conv_job(1, 128, 4).signature();
+        assert_eq!(a.distance(&b), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_finite() {
+        let a = conv_job(0, 128, 4).signature();
+        let b = fc_job(1, 1000).signature();
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert!(a.distance(&b).is_finite());
+        assert!(a.distance(&b) > 0.0);
+    }
+
+    #[test]
+    fn class_mismatch_dominates_size_mismatch() {
+        let small_conv = conv_job(0, 8, 4).signature();
+        let big_conv = conv_job(1, 512, 4).signature();
+        let fc = fc_job(2, 512).signature();
+        // A conv is closer to a conv 64x its size than to any FC.
+        assert!(small_conv.distance(&big_conv) < small_conv.distance(&fc));
+    }
+
+    #[test]
+    fn batch_scales_compute_but_not_weights() {
+        let b4 = conv_job(0, 64, 4).signature();
+        let b8 = conv_job(1, 64, 8).signature();
+        assert_eq!(b4.weight_elems(), b8.weight_elems());
+        assert_eq!(b8.macs(), 2 * b4.macs());
+        assert!(b4.distance(&b8) > 0.0);
+    }
+
+    #[test]
+    fn group_signatures_cover_all_jobs_in_order() {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 20, 3);
+        let sigs = group.signatures();
+        assert_eq!(sigs.len(), 20);
+        for (job, sig) in group.iter().zip(&sigs) {
+            assert_eq!(job.signature(), *sig);
+            assert_eq!(sig.class(), LayerClass::from(job.layer()));
+        }
+    }
+
+    #[test]
+    fn arithmetic_intensity_matches_job() {
+        let j = conv_job(0, 64, 4);
+        assert!((j.signature().arithmetic_intensity() - j.arithmetic_intensity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_class_maps_every_shape() {
+        assert_eq!(LayerClass::from(&LayerShape::pointwise(1, 1, 1, 1)), LayerClass::Conv);
+        assert_eq!(
+            LayerClass::from(&LayerShape::EmbeddingLookup { lookups: 1, dim: 1 }),
+            LayerClass::Embedding
+        );
+        assert_eq!(LayerClass::Conv.to_string(), "Conv");
+    }
+}

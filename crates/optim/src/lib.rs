@@ -18,6 +18,17 @@
 //! | Herald-like | [`heuristics`] | manual mapper tuned for heterogeneous cores |
 //! | AI-MT-like | [`heuristics`] | manual mapper tuned for homogeneous cores |
 //!
+//! # Paper cross-references
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | Section IV-E (MAGMA's genetic operators) | [`magma_ga::OperatorSet`] |
+//! | Figs. 8–9 (mapper comparison) | [`all_mappers`] |
+//! | Fig. 11 / Fig. 16 (convergence, operator ablation) | [`Optimizer::search`] histories, [`magma_ga::Magma::with_operators`] |
+//! | Fig. 12 (bandwidth sweep subset) | [`bw_sweep_mappers`] |
+//! | Table V (warm-started initial populations) | [`magma_ga::Magma::with_warm_start`] |
+//! | Section V-B (hyper-parameter tuning) | [`hyper`] |
+//!
 //! # Example
 //!
 //! ```

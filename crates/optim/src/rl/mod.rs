@@ -6,7 +6,7 @@
 //!
 //! * [`nn`] — a tiny dense neural-network library with manual
 //!   backpropagation and Adam / RMSProp optimizers,
-//! * [`env`] — the mapping-construction episode: the agent assigns jobs to
+//! * [`mod@env`] — the mapping-construction episode: the agent assigns jobs to
 //!   cores (and priority buckets) one at a time and receives the achieved
 //!   group throughput as the terminal reward,
 //! * [`a2c`] — Advantage Actor-Critic (RMSProp, lr 7e-4, γ = 0.99),

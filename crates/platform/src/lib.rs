@@ -10,6 +10,15 @@
 //! Table III (S1–S6) and their flexible-PE-array variants used in
 //! Section VI-F.
 //!
+//! # Paper cross-references
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | Table III (accelerator settings S1–S6) | [`Setting`], [`settings::build`] |
+//! | Fig. 12 (system-bandwidth sweep) | [`AcceleratorPlatform::with_system_bw_gbps`] |
+//! | Fig. 13 (sub-accelerator combinations S3/S4/S5) | [`settings::build_with_bw`] |
+//! | Fig. 14 / Section VI-F (flexible PE arrays) | [`settings::build_flexible`] |
+//!
 //! # Example
 //!
 //! ```

@@ -1,9 +1,12 @@
 //! Warm-start in a long-running mapping service (Section V-C, Table V).
 //!
 //! A deployed mapper sees a stream of job groups from the same task mix. The
-//! warm-start engine remembers the best mapping per task category and seeds
-//! the next search with it, recovering most of the benefit of a full search
-//! within a single optimization epoch.
+//! warm-start engine remembers the best mapping per task category *together
+//! with the job signatures it was optimized for*, and seeds the next search
+//! by giving each incoming job the gene block of the most similar stored job
+//! (profile-matched adaptation) — recovering most of the benefit of a full
+//! search within a single optimization epoch even when the new group lists
+//! its jobs in a different order.
 //!
 //! Run with: `cargo run --release --example warm_start_service`
 
@@ -19,15 +22,16 @@ fn main() {
 
     let mut engine = WarmStartEngine::new();
 
-    // --- Group 0: full optimization, store the result. ---
-    let first = MapperBuilder::new()
+    // --- Group 0: full optimization, store the result with its signatures. ---
+    let first_builder = MapperBuilder::new()
         .setting(setting)
         .task(task)
         .group_size(group_size)
         .budget(60 * epoch)
-        .seed(11)
-        .run();
-    engine.record(task, first.best_mapping.clone());
+        .seed(11);
+    let first_problem = first_builder.build_problem();
+    let first = first_builder.run_on(&first_problem);
+    engine.record_profiled(task, first.best_mapping.clone(), first_problem.signatures().to_vec());
     println!("group 0 (cold, 60 epochs): {:.1} GFLOP/s", first.throughput_gflops);
 
     // --- Groups 1..4: new jobs of the same task arrive; warm-start. ---
@@ -41,7 +45,13 @@ fn main() {
 
         let mut rng = StdRng::seed_from_u64(100 + inst);
         let seeded = engine
-            .seed_population(&mut rng, task, group_size, problem.platform().num_sub_accels(), epoch)
+            .seed_population_matched(
+                &mut rng,
+                task,
+                problem.signatures(),
+                problem.platform().num_sub_accels(),
+                epoch,
+            )
             .expect("knowledge recorded for this task");
 
         // Evaluate the transferred solution before any optimization ...

@@ -75,28 +75,27 @@ fn operator_ablation_ordering_holds_on_real_problem() {
 }
 
 /// Warm start transfers knowledge across groups of the same task type
-/// (Table V): the transferred solution beats a random mapping.
+/// (Table V): both adaptation paths beat the average random mapping, and the
+/// profile-matched path is available whenever signatures were recorded.
 #[test]
 fn warm_start_transfers_across_groups() {
     let task = TaskType::Recommendation;
     let p0 = problem(Setting::S2, task, 16.0, 24, 10);
     let mut engine = WarmStartEngine::new();
     let base = Magma::default().search(&p0, 800, &mut StdRng::seed_from_u64(0));
-    engine.record(task, base.best_mapping.clone());
+    engine.record_profiled(task, base.best_mapping.clone(), p0.signatures().to_vec());
 
     // A fresh group of the same task.
     let p1 = problem(Setting::S2, task, 16.0, 24, 77);
-    let adapted = engine.adapt(task, 24, 4).unwrap();
-    let transferred = p1.evaluate(&adapted);
+    let wrapped = p1.evaluate(&engine.adapt(task, 24, 4).unwrap());
+    let matched = p1.evaluate(&engine.adapt_matched(task, p1.signatures(), 4).unwrap());
 
     // Average random mapping as the "Raw" reference.
     let mut rng = StdRng::seed_from_u64(1);
     let raw: f64 =
         (0..20).map(|_| p1.evaluate(&Mapping::random(&mut rng, 24, 4))).sum::<f64>() / 20.0;
-    assert!(
-        transferred > raw,
-        "transferred {transferred} should beat the average random mapping {raw}"
-    );
+    assert!(wrapped > raw, "index-wrapped {wrapped} should beat the random average {raw}");
+    assert!(matched > raw, "profile-matched {matched} should beat the random average {raw}");
 }
 
 /// The search history is consistent: monotone best curve whose final value
