@@ -2,8 +2,8 @@
 //! the HB and LB dataflow styles.
 //!
 //! Regenerates the data behind Fig. 7. The analysis is closed-form (no
-//! search), so `MAGMA_GROUP_SIZE` / `MAGMA_BUDGET` have no effect here; the
-//! per-job mini-batch is fixed at 4 as in the paper.
+//! search), so `MAGMA_GROUP_SIZE` / `MAGMA_BUDGET` / `MAGMA_THREADS` have no
+//! effect here; the per-job mini-batch is fixed at 4 as in the paper.
 
 use magma_bench::{banner, dump_json, Scale};
 

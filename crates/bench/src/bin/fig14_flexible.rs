@@ -4,7 +4,9 @@
 //!
 //! Regenerates the data behind Fig. 14. Knobs: `MAGMA_GROUP_SIZE` (jobs per
 //! group, default 30), `MAGMA_BUDGET` (samples per optimizer run, default
-//! 1000), `MAGMA_SEED`, and `MAGMA_FULL_SCALE=1` for the paper's scale
+//! 1000), `MAGMA_SEED`, `MAGMA_THREADS` (evaluation worker threads, default:
+//! all cores — changes wall-clock only, never results), and
+//! `MAGMA_FULL_SCALE=1` for the paper's scale
 //! (group size 100, 10 K samples).
 
 use magma::experiments::flexible_vs_fixed;

@@ -2,7 +2,9 @@
 //! sizes from 4 to 1000, normalized by the largest group.
 //!
 //! Regenerates the data behind Fig. 17. Knobs: `MAGMA_BUDGET` (samples per
-//! optimizer run, default 1000) and `MAGMA_SEED`; the group sizes themselves
+//! optimizer run, default 1000), `MAGMA_SEED`, and `MAGMA_THREADS`
+//! (evaluation worker threads, default: all cores — changes wall-clock only,
+//! never results); the group sizes themselves
 //! are the swept variable, so `MAGMA_GROUP_SIZE` is ignored. Set
 //! `MAGMA_FULL_SCALE=1` for the paper's 10 K-sample budget.
 

@@ -1,0 +1,62 @@
+//! Perf harness — measures batch fitness evaluation (the hot path of every
+//! optimizer) at 1..N worker threads on figure-scale instances and writes
+//! the schema-stable `BENCH_parallel_eval.json` perf trajectory.
+//!
+//! Not a paper artefact: this binary tracks the *reproduction's* speed so
+//! regressions (and wins) are visible across PRs. Every parallel measurement
+//! is cross-checked bit-for-bit against the serial fitness vector, so a perf
+//! run doubles as a determinism check. On a ≥ 4-core host the 4-thread row
+//! of the Fig. 8 homogeneous instance is expected to show ≥ 2× the serial
+//! evaluations/sec.
+//!
+//! Knobs: `MAGMA_PERF_MODE` (`full` (default) = figure-scale batches on the
+//! Fig. 8/9 instances; `smoke` = tiny batches, homogeneous instance only —
+//! what CI runs), `MAGMA_THREADS` (top of the measured thread ladder,
+//! default: available parallelism; the ladder always includes 1 and 4),
+//! `MAGMA_GROUP_SIZE` (jobs per group, default 30), `MAGMA_SEED`, and
+//! `MAGMA_BENCH_DIR` (where `BENCH_parallel_eval.json` lands, default: the
+//! current directory).
+
+use magma_bench::perf::{print_report, run_suite, write_bench_json, PerfParams};
+use magma_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mode = std::env::var("MAGMA_PERF_MODE").unwrap_or_else(|_| "full".into());
+    let params = match mode.as_str() {
+        "smoke" => PerfParams::smoke(scale.threads, scale.group_size.min(8), scale.seed),
+        "full" => PerfParams::full(scale.threads, scale.group_size, scale.seed),
+        other => {
+            eprintln!("warning: unknown MAGMA_PERF_MODE '{other}' (expected 'smoke' or 'full'); using full");
+            PerfParams::full(scale.threads, scale.group_size, scale.seed)
+        }
+    };
+
+    println!("==============================================================");
+    println!("Perf suite — parallel batch evaluation ({} mode)", params.mode);
+    println!(
+        "group size {}, batch {} × {}, thread ladder {:?}, seed {}",
+        params.group_size, params.batch_size, params.batches, params.thread_counts, params.seed
+    );
+    println!("==============================================================");
+
+    let report = run_suite(&params);
+    print_report(&report);
+
+    if report.host_parallelism < 4 {
+        println!(
+            "\n(note: host has {} core(s); speedups above 1x are not expected here)",
+            report.host_parallelism
+        );
+    }
+    match write_bench_json(&report) {
+        Ok(path) => println!("\n(perf trajectory written to {})", path.display()),
+        Err(e) => {
+            // Exit non-zero: CI uploads BENCH_*.json, and the committed
+            // baseline at the repo root would otherwise mask the failure
+            // with a stale artifact.
+            eprintln!("could not write BENCH_parallel_eval.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

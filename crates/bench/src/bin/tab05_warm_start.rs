@@ -4,8 +4,10 @@
 //!
 //! Knobs: `MAGMA_GROUP_SIZE` (jobs per group, default 30; paper 100),
 //! `MAGMA_BUDGET` (unused here — the study derives its budget from the group
-//! size: 100 epochs of one population each), `MAGMA_SEED`,
-//! `MAGMA_FULL_SCALE=1` (paper scale, 4 warm-started instances), and
+//! size: 100 epochs of one population each), `MAGMA_SEED`, `MAGMA_THREADS`
+//! (evaluation worker threads, default: all cores — changes wall-clock only,
+//! never results), `MAGMA_FULL_SCALE=1` (paper scale, 4 warm-started
+//! instances), and
 //! `MAGMA_WARMSTART_MODE=index` to reproduce the index-wrapped adaptation
 //! baseline instead of the default profile-matched transfer (Section V-C).
 

@@ -17,6 +17,7 @@
 //! | `fig16_operator_ablation` | Fig. 16 — GA operator ablation |
 //! | `fig17_group_size` | Fig. 17 — group-size sweep |
 //! | `tab05_warm_start` | Table V — warm-start transfer |
+//! | `perf_suite` | not a paper artefact — the parallel-evaluation perf harness behind `BENCH_parallel_eval.json` (see [`perf`]) |
 //!
 //! By default the binaries run at a *reduced* scale so they finish in seconds
 //! on a laptop; set the environment variable `MAGMA_FULL_SCALE=1` to run at
@@ -27,6 +28,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use magma::experiments::MethodScore;
 use serde::Serialize;
@@ -41,18 +44,24 @@ pub struct Scale {
     pub budget: usize,
     /// Workload / search seed.
     pub seed: u64,
+    /// Worker threads for batch fitness evaluation (`MAGMA_THREADS`,
+    /// default: available parallelism). Purely a wall-clock knob — results
+    /// are identical at every thread count.
+    pub threads: usize,
 }
 
 impl Scale {
     /// Reads the scale from the environment: paper scale when
     /// `MAGMA_FULL_SCALE=1`, reduced scale otherwise, with per-knob
-    /// overrides via `MAGMA_GROUP_SIZE` / `MAGMA_BUDGET` / `MAGMA_SEED`.
+    /// overrides via `MAGMA_GROUP_SIZE` / `MAGMA_BUDGET` / `MAGMA_SEED` /
+    /// `MAGMA_THREADS`.
     pub fn from_env() -> Self {
+        let threads = magma::platform::settings::magma_threads();
         let full = std::env::var("MAGMA_FULL_SCALE").map(|v| v == "1").unwrap_or(false);
         let mut scale = if full {
-            Scale { group_size: 100, budget: 10_000, seed: 0 }
+            Scale { group_size: 100, budget: 10_000, seed: 0, threads }
         } else {
-            Scale { group_size: 30, budget: 1_000, seed: 0 }
+            Scale { group_size: 30, budget: 1_000, seed: 0, threads }
         };
         if let Ok(v) = std::env::var("MAGMA_GROUP_SIZE") {
             if let Ok(n) = v.parse() {
@@ -78,8 +87,9 @@ pub fn banner(title: &str, scale: &Scale) {
     println!("==============================================================");
     println!("{title}");
     println!(
-        "group size {}, budget {} samples, seed {} (set MAGMA_FULL_SCALE=1 for paper scale)",
-        scale.group_size, scale.budget, scale.seed
+        "group size {}, budget {} samples, seed {}, {} eval thread(s) \
+         (set MAGMA_FULL_SCALE=1 for paper scale, MAGMA_THREADS=n for the pool size)",
+        scale.group_size, scale.budget, scale.seed, scale.threads
     );
     println!("==============================================================");
 }
@@ -120,9 +130,10 @@ mod tests {
     #[test]
     fn reduced_scale_defaults_are_modest() {
         // The default (no env override) must stay laptop-friendly.
-        let s = Scale { group_size: 30, budget: 1_000, seed: 0 };
+        let s = Scale { group_size: 30, budget: 1_000, seed: 0, threads: 1 };
         assert!(s.group_size <= 100);
         assert!(s.budget <= 10_000);
+        assert!(Scale::from_env().threads >= 1);
     }
 
     #[test]

@@ -28,7 +28,14 @@ pub struct JobProfile {
 /// Every optimizer in `magma-optim` (MAGMA, stdGA, DE, CMA-ES, PSO, TBPSA,
 /// the RL agents and the heuristics) only sees this trait: the dimensions of
 /// the encoding plus a fitness oracle. Higher fitness is always better.
-pub trait MappingProblem {
+///
+/// The trait requires [`Sync`] so whole populations can be evaluated
+/// concurrently from shared references (`magma_optim::parallel` fans a batch
+/// of candidate mappings out over a scoped worker pool).
+/// [`evaluate`](Self::evaluate) therefore must be a pure function of
+/// `(&self, mapping)` — no interior mutability, no evaluation-order
+/// dependence — which is also what makes the optimizers reproducible.
+pub trait MappingProblem: Sync {
     /// Number of jobs in the group (genome length).
     fn num_jobs(&self) -> usize;
 

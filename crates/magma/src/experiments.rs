@@ -18,6 +18,17 @@
 //! | Fig. 15 | [`schedule_comparison`] |
 //! | Fig. 17 | [`group_size_sweep`] |
 //! | Table V | [`warm_start_study`] |
+//!
+//! # Parallelism
+//!
+//! Every experiment drives its optimizers through the batch-evaluation
+//! oracle in [`magma_optim::parallel`], so population fitness evaluation —
+//! the dominant cost of every figure — fans out over `MAGMA_THREADS` worker
+//! threads (default: all available cores). The knob only changes wall-clock
+//! time: results are bit-identical at every thread count, which
+//! `tests/integration_parallel.rs` asserts per optimizer. The perf harness
+//! (`magma-bench`'s `perf_suite` binary) records the achieved
+//! evaluations/sec per thread count in `BENCH_parallel_eval.json`.
 
 use magma_cost::{CostModel, DataflowStyle, SubAccelConfig};
 use magma_m3e::{M3e, Objective, WarmStartEngine, WarmStartMode};

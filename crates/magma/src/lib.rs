@@ -72,8 +72,8 @@ pub mod prelude {
         Group, Job, JobId, JobSignature, LayerShape, Model, TaskType, WorkloadSpec,
     };
     pub use magma_optim::{
-        all_mappers, AiMtLike, HeraldLike, Magma, MagmaConfig, OperatorSet, Optimizer,
-        RandomSearch, SearchOutcome,
+        all_mappers, AiMtLike, BatchEvaluator, HeraldLike, Magma, MagmaConfig, OperatorSet,
+        Optimizer, RandomSearch, SearchOutcome,
     };
     pub use magma_platform::{settings, AcceleratorPlatform, Setting};
 }

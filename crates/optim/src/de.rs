@@ -3,7 +3,10 @@
 //! The paper configures DE with a local and global differential weight of
 //! 0.8; this implementation uses the classic rand/1/bin scheme with
 //! `F = 0.8` and crossover rate `CR = 0.8` over the continuous vector view of
-//! the encoding.
+//! the encoding. The update is generation-synchronous (all trials of a
+//! generation are built from, and selected against, the previous
+//! generation), which is what lets a generation evaluate as one parallel
+//! batch.
 
 use crate::optimizer::{Optimizer, SearchOutcome};
 use crate::vector::{clamp_unit, VectorProblem};
@@ -64,35 +67,36 @@ impl Optimizer for DifferentialEvolution {
         let mut history = SearchHistory::new();
         let mut remaining = budget;
 
-        // Initial population.
-        let mut pop: Vec<Vec<f64>> = Vec::with_capacity(np);
-        let mut fit: Vec<f64> = Vec::with_capacity(np);
-        for _ in 0..np {
-            if remaining == 0 {
-                break;
-            }
-            let x = vp.random_point(rng);
-            let f = vp.evaluate(&x, &mut history);
-            remaining -= 1;
-            pop.push(x);
-            fit.push(f);
-        }
+        // Initial population, evaluated as one batch.
+        let pop_init: Vec<Vec<f64>> =
+            (0..np.min(remaining)).map(|_| vp.random_point(rng)).collect();
+        let fit_init = vp.evaluate_generation(&pop_init, &mut history);
+        remaining -= pop_init.len();
+        let mut pop = pop_init;
+        let mut fit = fit_init;
 
+        // Generation-synchronous rand/1/bin: every trial of a generation is
+        // built from the *previous* generation's population, so the whole
+        // generation can be evaluated as one parallel batch and selection
+        // applied afterwards in index order.
         while remaining > 0 && pop.len() >= 4 {
-            for i in 0..pop.len() {
-                if remaining == 0 {
-                    break;
-                }
-                // Pick three distinct individuals different from i.
-                let mut pick = || loop {
+            let this_gen = pop.len().min(remaining);
+            let mut trials: Vec<Vec<f64>> = Vec::with_capacity(this_gen);
+            for (i, target) in pop.iter().enumerate().take(this_gen) {
+                // Pick three mutually distinct individuals, all different
+                // from i (rand/1/bin requires r1 ≠ r2 ≠ r3 ≠ i; the loop
+                // guard keeps pop.len() ≥ 4 so this always terminates).
+                let mut pick = |taken: &[usize]| loop {
                     let j = rng.gen_range(0..pop.len());
-                    if j != i {
+                    if j != i && !taken.contains(&j) {
                         return j;
                     }
                 };
-                let (a, b, c) = (pick(), pick(), pick());
+                let a = pick(&[]);
+                let b = pick(&[a]);
+                let c = pick(&[a, b]);
                 let jrand = rng.gen_range(0..dims);
-                let mut trial = pop[i].clone();
+                let mut trial = target.clone();
                 for d in 0..dims {
                     if rng.gen::<f64>() < self.config.crossover_rate || d == jrand {
                         trial[d] =
@@ -100,8 +104,11 @@ impl Optimizer for DifferentialEvolution {
                     }
                 }
                 clamp_unit(&mut trial);
-                let f = vp.evaluate(&trial, &mut history);
-                remaining -= 1;
+                trials.push(trial);
+            }
+            let trial_fits = vp.evaluate_generation(&trials, &mut history);
+            remaining -= this_gen;
+            for (i, (trial, f)) in trials.into_iter().zip(trial_fits).enumerate() {
                 if f > fit[i] {
                     pop[i] = trial;
                     fit[i] = f;

@@ -1,6 +1,7 @@
 //! The AI-MT-like manual mapper.
 
 use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::parallel::BatchEvaluator;
 use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
 
@@ -63,8 +64,10 @@ impl Optimizer for AiMtLike {
         _budget: usize,
         _rng: &mut StdRng,
     ) -> SearchOutcome {
+        // A one-element batch: the heuristic proposes a single mapping, but
+        // it goes through the same batch oracle as every other optimizer.
         let mapping = self.build_mapping(problem);
-        let fitness = problem.evaluate(&mapping);
+        let fitness = problem.evaluate_batch(std::slice::from_ref(&mapping))[0];
         let mut history = SearchHistory::new();
         history.record(&mapping, fitness);
         SearchOutcome::from_history(history)

@@ -18,6 +18,12 @@
 //! | Herald-like | [`heuristics`] | manual mapper tuned for heterogeneous cores |
 //! | AI-MT-like | [`heuristics`] | manual mapper tuned for homogeneous cores |
 //!
+//! Every optimizer evaluates its candidates through the shared batch oracle
+//! in [`parallel`] ([`BatchEvaluator::evaluate_batch`]), which fans each
+//! generation out over a scoped worker pool sized by the `MAGMA_THREADS`
+//! knob. Parallelism only changes wall-clock time, never results — the
+//! returned fitnesses are bit-identical at every worker count.
+//!
 //! # Paper cross-references
 //!
 //! | Paper artefact | Here |
@@ -56,6 +62,7 @@ pub mod heuristics;
 pub mod hyper;
 pub mod magma_ga;
 pub mod optimizer;
+pub mod parallel;
 pub mod pso;
 pub mod random;
 pub mod rl;
@@ -66,6 +73,7 @@ pub mod vector;
 pub use heuristics::{AiMtLike, HeraldLike};
 pub use magma_ga::{Magma, MagmaConfig, OperatorSet};
 pub use optimizer::{Optimizer, SearchOutcome};
+pub use parallel::BatchEvaluator;
 pub use random::RandomSearch;
 
 /// Builds every optimizer the paper compares (Table IV), in the order the

@@ -21,6 +21,7 @@
 //! survive unchanged, and the whole search respects a fixed sampling budget.
 
 use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::parallel::BatchEvaluator;
 use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -284,7 +285,8 @@ impl Optimizer for Magma {
         let mut history = SearchHistory::new();
         let mut remaining = budget;
 
-        // --- initial population ---
+        // --- initial population (generated fully before evaluating, so the
+        // RNG stream is independent of the evaluation backend) ---
         let mut population: Vec<Mapping> = match &self.config.initial_population {
             Some(seed) => {
                 let mut pop: Vec<Mapping> = seed.iter().take(pop_size).cloned().collect();
@@ -295,18 +297,17 @@ impl Optimizer for Magma {
             }
             None => (0..pop_size).map(|_| Mapping::random(rng, n, m)).collect(),
         };
+        population.truncate(remaining);
+        let fits = problem.evaluate_batch(&population);
+        remaining -= population.len();
         let mut scored: Vec<(Mapping, f64)> = Vec::with_capacity(pop_size);
-        for ind in population.drain(..) {
-            if remaining == 0 {
-                break;
-            }
-            let f = problem.evaluate(&ind);
+        for (ind, f) in population.into_iter().zip(fits) {
             history.record(&ind, f);
-            remaining -= 1;
             scored.push((ind, f));
         }
 
-        // --- generations ---
+        // --- generations: breed one full generation (serial RNG), evaluate
+        // it as a batch (parallel), record in breeding order ---
         while remaining > 0 && scored.len() >= 2 {
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let elites: Vec<(Mapping, f64)> = scored[..elite_count.min(scored.len())].to_vec();
@@ -315,14 +316,20 @@ impl Optimizer for Magma {
                 .map(|(m, _)| m)
                 .collect();
 
-            let mut next: Vec<(Mapping, f64)> = elites.clone();
-            while next.len() < pop_size && remaining > 0 {
-                let dad = parent_pool.choose(rng).unwrap();
-                let mom = parent_pool.choose(rng).unwrap();
-                let child = self.make_child(dad, mom, m, rng);
-                let f = problem.evaluate(&child);
+            let num_children = pop_size.saturating_sub(elites.len()).min(remaining);
+            let children: Vec<Mapping> = (0..num_children)
+                .map(|_| {
+                    let dad = parent_pool.choose(rng).unwrap();
+                    let mom = parent_pool.choose(rng).unwrap();
+                    self.make_child(dad, mom, m, rng)
+                })
+                .collect();
+            let fits = problem.evaluate_batch(&children);
+            remaining -= children.len();
+
+            let mut next: Vec<(Mapping, f64)> = elites;
+            for (child, f) in children.into_iter().zip(fits) {
                 history.record(&child, f);
-                remaining -= 1;
                 next.push((child, f));
             }
             scored = next;

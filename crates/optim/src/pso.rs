@@ -4,6 +4,9 @@
 //! particle-best attraction terms. The inertia (momentum) is kept below 1 so
 //! the swarm contracts; the paper's listed ω = 1.6 would diverge on a bounded
 //! space, so we use the conventional 0.6 and document the deviation here.
+//! The swarm is updated *synchronously* (all particles move against the
+//! previous iteration's global best), so each iteration evaluates as one
+//! parallel batch.
 
 use crate::optimizer::{Optimizer, SearchOutcome};
 use crate::vector::{clamp_unit, VectorProblem};
@@ -68,38 +71,40 @@ impl Optimizer for Pso {
         let mut history = SearchHistory::new();
         let mut remaining = budget;
 
-        let mut pos: Vec<Vec<f64>> = Vec::with_capacity(n);
         let mut vel: Vec<Vec<f64>> = Vec::with_capacity(n);
         let mut pbest: Vec<Vec<f64>> = Vec::with_capacity(n);
         let mut pbest_fit: Vec<f64> = Vec::with_capacity(n);
         let mut gbest: Vec<f64> = Vec::new();
         let mut gbest_fit = f64::NEG_INFINITY;
 
-        for _ in 0..n {
-            if remaining == 0 {
-                break;
-            }
-            let x = vp.random_point(rng);
-            let v: Vec<f64> = (0..dims)
-                .map(|_| rng.gen_range(-self.config.max_velocity..self.config.max_velocity))
-                .collect();
-            let f = vp.evaluate(&x, &mut history);
-            remaining -= 1;
+        // Initial swarm: sample positions and velocities serially, evaluate
+        // the whole swarm as one batch.
+        let mut pos: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for _ in 0..n.min(remaining) {
+            pos.push(vp.random_point(rng));
+            vel.push(
+                (0..dims)
+                    .map(|_| rng.gen_range(-self.config.max_velocity..self.config.max_velocity))
+                    .collect(),
+            );
+        }
+        let fits = vp.evaluate_generation(&pos, &mut history);
+        remaining -= pos.len();
+        for (x, &f) in pos.iter().zip(&fits) {
             if f > gbest_fit {
                 gbest_fit = f;
                 gbest = x.clone();
             }
             pbest.push(x.clone());
             pbest_fit.push(f);
-            pos.push(x);
-            vel.push(v);
         }
 
+        // Synchronous PSO: every particle moves against the global best of
+        // the *previous* iteration, so one iteration is one parallel batch
+        // and the bests are folded in afterwards in particle order.
         while remaining > 0 && !pos.is_empty() {
-            for i in 0..pos.len() {
-                if remaining == 0 {
-                    break;
-                }
+            let this_gen = pos.len().min(remaining);
+            for i in 0..this_gen {
                 for d in 0..dims {
                     let r1 = rng.gen::<f64>();
                     let r2 = rng.gen::<f64>();
@@ -110,8 +115,10 @@ impl Optimizer for Pso {
                     pos[i][d] += vel[i][d];
                 }
                 clamp_unit(&mut pos[i]);
-                let f = vp.evaluate(&pos[i], &mut history);
-                remaining -= 1;
+            }
+            let fits = vp.evaluate_generation(&pos[..this_gen], &mut history);
+            remaining -= this_gen;
+            for (i, &f) in fits.iter().enumerate() {
                 if f > pbest_fit[i] {
                     pbest_fit[i] = f;
                     pbest[i] = pos[i].clone();

@@ -5,8 +5,14 @@
 //! approximate the achievable optimum of a problem instance).
 
 use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::parallel::BatchEvaluator;
 use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
+
+/// Samples are drawn and evaluated in batches of this size, bounding the
+/// memory held in flight when the budget is large (Fig. 10 uses ~1 M
+/// samples) while still giving the worker pool full generations to chew on.
+const BATCH: usize = 1024;
 
 /// Uniform random sampling of the mapping space.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,10 +38,17 @@ impl Optimizer for RandomSearch {
     ) -> SearchOutcome {
         assert!(budget > 0, "sampling budget must be non-zero");
         let mut history = SearchHistory::new();
-        for _ in 0..budget {
-            let m = Mapping::random(rng, problem.num_jobs(), problem.num_accels());
-            let f = problem.evaluate(&m);
-            history.record(&m, f);
+        let mut remaining = budget;
+        while remaining > 0 {
+            let this_batch = BATCH.min(remaining);
+            let mappings: Vec<Mapping> = (0..this_batch)
+                .map(|_| Mapping::random(rng, problem.num_jobs(), problem.num_accels()))
+                .collect();
+            let fits = problem.evaluate_batch(&mappings);
+            for (m, f) in mappings.iter().zip(fits) {
+                history.record(m, f);
+            }
+            remaining -= this_batch;
         }
         SearchOutcome::from_history(history)
     }

@@ -2,6 +2,7 @@
 //! 3 × 128 MLP policy and critic, discount 0.99, learning rate 7e-4, RMSProp.
 
 use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::parallel::BatchEvaluator;
 use crate::rl::env::{
     observation, observation_dim, EpisodeActions, RewardNormalizer, PRIORITY_BUCKETS,
 };
@@ -90,7 +91,9 @@ impl Optimizer for A2c {
             }
             let mapping =
                 EpisodeActions { accels: accels.clone(), buckets: buckets.clone() }.into_mapping(m);
-            let fitness = problem.evaluate(&mapping);
+            // A2C updates after every episode, so its rollout "batch" is a
+            // single mapping — still routed through the shared batch oracle.
+            let fitness = problem.evaluate_batch(std::slice::from_ref(&mapping))[0];
             history.record(&mapping, fitness);
             let norm_reward = normalizer.normalize(fitness);
 

@@ -15,7 +15,10 @@
 //!
 //! Every environment step consumes exactly one fitness evaluation per
 //! completed episode, so the RL agents respect the same sampling budget as
-//! the other optimizers.
+//! the other optimizers. PPO2 freezes its policy while collecting a batch
+//! of rollouts, so the episodes' terminal evaluations go through the
+//! parallel batch oracle ([`crate::parallel`]) as one batch; A2C updates
+//! after every episode and therefore evaluates one-element batches.
 
 pub mod a2c;
 pub mod env;

@@ -3,11 +3,12 @@
 //! rate 2.5e-4, Adam.
 
 use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::parallel::BatchEvaluator;
 use crate::rl::env::{
     observation, observation_dim, EpisodeActions, RewardNormalizer, PRIORITY_BUCKETS,
 };
 use crate::rl::nn::{sample_categorical, softmax, GradOptimizer, Mlp};
-use magma_m3e::{MappingProblem, SearchHistory};
+use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
 
 /// PPO2 hyper-parameters (Table IV).
@@ -39,6 +40,10 @@ impl Default for Ppo2Config {
         }
     }
 }
+
+/// One sampled episode step: (observation, accel action, bucket action,
+/// joint log-probability).
+type Step = (Vec<f64>, usize, usize, f64);
 
 /// One transition stored in the rollout buffer.
 struct Transition {
@@ -94,11 +99,18 @@ impl Optimizer for Ppo2 {
 
         while episodes_done < budget {
             // ----- collect a batch of rollouts -----
+            // The policy is frozen while a batch is collected, so the
+            // episodes are independent given the (serially sampled) actions:
+            // roll them all out first, then evaluate their mappings as one
+            // parallel batch, then fold rewards in episode order so the
+            // normalizer state is identical to the serial path.
             let batch_episodes = self.config.episodes_per_batch.min(budget - episodes_done);
             let mut buffer: Vec<Transition> = Vec::with_capacity(batch_episodes * n);
+            let mut episodes: Vec<Vec<Step>> = Vec::with_capacity(batch_episodes);
+            let mut mappings: Vec<Mapping> = Vec::with_capacity(batch_episodes);
             for _ in 0..batch_episodes {
                 let mut loads = vec![0.0f64; m];
-                let mut steps: Vec<(Vec<f64>, usize, usize, f64)> = Vec::with_capacity(n);
+                let mut steps: Vec<Step> = Vec::with_capacity(n);
                 for step in 0..n {
                     let obs = observation(problem, step, &loads);
                     let logits = policy.forward(&obs);
@@ -110,13 +122,18 @@ impl Optimizer for Ppo2 {
                     loads[a] += problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
                     steps.push((obs, a, b, logp));
                 }
-                let mapping = EpisodeActions {
-                    accels: steps.iter().map(|s| s.1).collect(),
-                    buckets: steps.iter().map(|s| s.2).collect(),
-                }
-                .into_mapping(m);
-                let fitness = problem.evaluate(&mapping);
-                history.record(&mapping, fitness);
+                mappings.push(
+                    EpisodeActions {
+                        accels: steps.iter().map(|s| s.1).collect(),
+                        buckets: steps.iter().map(|s| s.2).collect(),
+                    }
+                    .into_mapping(m),
+                );
+                episodes.push(steps);
+            }
+            let fitnesses = problem.evaluate_batch(&mappings);
+            for ((steps, mapping), fitness) in episodes.into_iter().zip(&mappings).zip(fitnesses) {
+                history.record(mapping, fitness);
                 episodes_done += 1;
                 let norm_reward = normalizer.normalize(fitness);
                 for (step, (obs, a, b, logp)) in steps.into_iter().enumerate() {

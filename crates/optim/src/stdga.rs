@@ -6,6 +6,7 @@
 //! paper uses mutation rate 0.1 and crossover rate 0.1.
 
 use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::parallel::BatchEvaluator;
 use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -100,15 +101,16 @@ impl Optimizer for StdGa {
 
         let mut history = SearchHistory::new();
         let mut remaining = budget;
+
+        // Initial population: generate fully (serial RNG), evaluate as one
+        // batch, record in generation order.
+        let mut population: Vec<Mapping> =
+            (0..pop_size.min(remaining)).map(|_| Mapping::random(rng, n, m)).collect();
+        let fits = problem.evaluate_batch(&population);
+        remaining -= population.len();
         let mut scored: Vec<(Mapping, f64)> = Vec::with_capacity(pop_size);
-        for _ in 0..pop_size {
-            if remaining == 0 {
-                break;
-            }
-            let ind = Mapping::random(rng, n, m);
-            let f = problem.evaluate(&ind);
+        for (ind, f) in population.drain(..).zip(fits) {
             history.record(&ind, f);
-            remaining -= 1;
             scored.push((ind, f));
         }
 
@@ -119,18 +121,24 @@ impl Optimizer for StdGa {
                 .iter()
                 .map(|(x, _)| x)
                 .collect();
-            let mut next = elites.clone();
-            while next.len() < pop_size && remaining > 0 {
-                let dad = pool.choose(rng).unwrap();
-                let mom = pool.choose(rng).unwrap();
-                let mut child = (*dad).clone();
-                if rng.gen::<f64>() < self.config.crossover_rate {
-                    Self::crossover(&mut child, mom, rng);
-                }
-                self.mutate(&mut child, m, rng);
-                let f = problem.evaluate(&child);
+            let num_children = pop_size.saturating_sub(elites.len()).min(remaining);
+            let children: Vec<Mapping> = (0..num_children)
+                .map(|_| {
+                    let dad = pool.choose(rng).unwrap();
+                    let mom = pool.choose(rng).unwrap();
+                    let mut child = (*dad).clone();
+                    if rng.gen::<f64>() < self.config.crossover_rate {
+                        Self::crossover(&mut child, mom, rng);
+                    }
+                    self.mutate(&mut child, m, rng);
+                    child
+                })
+                .collect();
+            let fits = problem.evaluate_batch(&children);
+            remaining -= children.len();
+            let mut next = elites;
+            for (child, f) in children.into_iter().zip(fits) {
                 history.record(&child, f);
-                remaining -= 1;
                 next.push((child, f));
             }
             scored = next;

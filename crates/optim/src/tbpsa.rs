@@ -83,14 +83,18 @@ impl Optimizer for Tbpsa {
 
         while remaining > 0 {
             let this_gen = lambda.min(remaining);
-            let mut samples: Vec<(Vec<f64>, f64)> = Vec::with_capacity(this_gen);
-            for _ in 0..this_gen {
-                let mut x: Vec<f64> =
-                    (0..dims).map(|d| mean[d] + sigma * normal.sample(rng)).collect();
-                clamp_unit(&mut x);
-                let f = vp.evaluate(&x, &mut history);
-                samples.push((x, f));
-            }
+            // Sample the generation serially (deterministic RNG stream),
+            // evaluate it as one parallel batch.
+            let xs: Vec<Vec<f64>> = (0..this_gen)
+                .map(|_| {
+                    let mut x: Vec<f64> =
+                        (0..dims).map(|d| mean[d] + sigma * normal.sample(rng)).collect();
+                    clamp_unit(&mut x);
+                    x
+                })
+                .collect();
+            let fits = vp.evaluate_generation(&xs, &mut history);
+            let mut samples: Vec<(Vec<f64>, f64)> = xs.into_iter().zip(fits).collect();
             remaining -= this_gen;
 
             samples.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -1,9 +1,24 @@
-//! The six accelerator settings of Table III and their default bandwidths.
+//! The six accelerator settings of Table III, their default bandwidths, and
+//! the process-wide runtime knobs (`MAGMA_THREADS`).
 
 use crate::platform::{AcceleratorPlatform, DEFAULT_LARGE_BW_GBPS, DEFAULT_SMALL_BW_GBPS};
 use magma_cost::{DataflowStyle, SubAccelConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Reads the `MAGMA_THREADS` environment knob: how many worker threads batch
+/// fitness evaluation (`magma_optim::parallel`) may use.
+///
+/// Unset, empty, unparsable or zero values fall back to the machine's
+/// available parallelism (itself falling back to 1), so the knob can never
+/// disable evaluation. The result is always ≥ 1; `MAGMA_THREADS=1` forces
+/// fully serial evaluation.
+pub fn magma_threads() -> usize {
+    match std::env::var("MAGMA_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
 
 /// The accelerator settings evaluated in the paper (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -219,6 +234,13 @@ mod tests {
             names.dedup();
             assert_eq!(names.len(), p.num_sub_accels(), "{s}");
         }
+    }
+
+    #[test]
+    fn magma_threads_is_at_least_one() {
+        // The knob may or may not be set in the ambient environment; either
+        // way the resolved count must be usable as a worker-pool size.
+        assert!(magma_threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Shared reduced-scale instance setup for the integration suites.
+//!
+//! Every suite needs "a small real M3E problem on setting X": one group of
+//! `n` jobs of one task category, a Table III platform at an explicit or
+//! default bandwidth, throughput objective. This helper is the single copy
+//! of that setup (it used to be re-declared per suite).
+
+// Each integration test target compiles this module independently and none
+// uses every helper, so dead-code analysis is per-target noise here.
+#![allow(dead_code)]
+
+use magma::prelude::*;
+
+/// Builds a reduced-scale M3E problem: `n` jobs of `task` on `setting`, at
+/// `bw` GB/s (or the setting's Table III default when `None`), optimizing
+/// throughput. `seed` controls workload generation.
+pub fn problem(setting: Setting, task: TaskType, bw: Option<f64>, n: usize, seed: u64) -> M3e {
+    let group = WorkloadSpec::single_group(task, n, seed);
+    let platform = match bw {
+        Some(bw) => settings::build(setting).with_system_bw_gbps(bw),
+        None => settings::build(setting),
+    };
+    M3e::new(platform, group, Objective::Throughput)
+}

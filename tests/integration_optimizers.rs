@@ -2,21 +2,18 @@
 //! used in unit tests): every mapper must produce valid mappings, respect the
 //! budget and reproduce the paper's qualitative ordering on small instances.
 
+mod common;
+
+use common::problem;
 use magma::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn problem(setting: Setting, task: TaskType, bw: f64, n: usize, seed: u64) -> M3e {
-    let group = WorkloadSpec::single_group(task, n, seed);
-    let platform = settings::build(setting).with_system_bw_gbps(bw);
-    M3e::new(platform, group, Objective::Throughput)
-}
 
 /// Every mapper in Table IV runs on the real problem and returns a positive
 /// throughput within the sampling budget.
 #[test]
 fn every_mapper_runs_on_the_real_problem() {
-    let p = problem(Setting::S2, TaskType::Mix, 16.0, 16, 0);
+    let p = problem(Setting::S2, TaskType::Mix, Some(16.0), 16, 0);
     for mapper in all_mappers() {
         let mut rng = StdRng::seed_from_u64(1);
         let outcome = mapper.search(&p, 64, &mut rng);
@@ -31,7 +28,7 @@ fn every_mapper_runs_on_the_real_problem() {
 /// claim, Fig. 9 / Fig. 16).
 #[test]
 fn magma_beats_stdga_on_heterogeneous_instance() {
-    let p = problem(Setting::S2, TaskType::Mix, 1.0, 40, 3);
+    let p = problem(Setting::S2, TaskType::Mix, Some(1.0), 40, 3);
     let budget = 1_200;
     let magma = Magma::default().search(&p, budget, &mut StdRng::seed_from_u64(0));
     let stdga =
@@ -48,7 +45,7 @@ fn magma_beats_stdga_on_heterogeneous_instance() {
 /// (Fig. 9b: geomean 2.3x over Herald-like, 39x over AI-MT-like).
 #[test]
 fn magma_beats_manual_mappers_on_heterogeneous_mix() {
-    let p = problem(Setting::S2, TaskType::Mix, 16.0, 40, 1);
+    let p = problem(Setting::S2, TaskType::Mix, Some(16.0), 40, 1);
     let magma = Magma::default().search(&p, 1_500, &mut StdRng::seed_from_u64(2));
     let herald = HeraldLike::new().search(&p, 1, &mut StdRng::seed_from_u64(2));
     let aimt = AiMtLike::new().search(&p, 1, &mut StdRng::seed_from_u64(2));
@@ -62,7 +59,7 @@ fn magma_beats_manual_mappers_on_heterogeneous_mix() {
 /// mutation-only ablation at a modest budget (Fig. 16).
 #[test]
 fn operator_ablation_ordering_holds_on_real_problem() {
-    let p = problem(Setting::S2, TaskType::Vision, 16.0, 30, 4);
+    let p = problem(Setting::S2, TaskType::Vision, Some(16.0), 30, 4);
     let budget = 600;
     let full =
         Magma::with_operators(OperatorSet::all()).search(&p, budget, &mut StdRng::seed_from_u64(5));
@@ -80,13 +77,13 @@ fn operator_ablation_ordering_holds_on_real_problem() {
 #[test]
 fn warm_start_transfers_across_groups() {
     let task = TaskType::Recommendation;
-    let p0 = problem(Setting::S2, task, 16.0, 24, 10);
+    let p0 = problem(Setting::S2, task, Some(16.0), 24, 10);
     let mut engine = WarmStartEngine::new();
     let base = Magma::default().search(&p0, 800, &mut StdRng::seed_from_u64(0));
     engine.record_profiled(task, base.best_mapping.clone(), p0.signatures().to_vec());
 
     // A fresh group of the same task.
-    let p1 = problem(Setting::S2, task, 16.0, 24, 77);
+    let p1 = problem(Setting::S2, task, Some(16.0), 24, 77);
     let wrapped = p1.evaluate(&engine.adapt(task, 24, 4).unwrap());
     let matched = p1.evaluate(&engine.adapt_matched(task, p1.signatures(), 4).unwrap());
 
@@ -102,7 +99,7 @@ fn warm_start_transfers_across_groups() {
 /// matches the reported best fitness.
 #[test]
 fn history_is_consistent_for_all_mappers() {
-    let p = problem(Setting::S1, TaskType::Vision, 16.0, 12, 2);
+    let p = problem(Setting::S1, TaskType::Vision, Some(16.0), 12, 2);
     for mapper in all_mappers() {
         let mut rng = StdRng::seed_from_u64(3);
         let o = mapper.search(&p, 40, &mut rng);

@@ -1,6 +1,9 @@
 //! End-to-end pipeline tests: workload → cost model → platform → M3E →
 //! schedule, crossing every crate in the workspace.
 
+mod common;
+
+use common::problem;
 use magma::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -10,10 +13,8 @@ use rand::SeedableRng;
 #[test]
 fn full_pipeline_runs_on_every_setting() {
     for setting in Setting::ALL {
-        let group = WorkloadSpec::single_group(TaskType::Mix, 24, 1);
-        let platform = settings::build(setting);
-        let num_accels = platform.num_sub_accels();
-        let m3e = M3e::new(platform, group, Objective::Throughput);
+        let m3e = problem(setting, TaskType::Mix, None, 24, 1);
+        let num_accels = m3e.num_accels();
 
         let mut rng = StdRng::seed_from_u64(9);
         let mapping = Mapping::random(&mut rng, 24, num_accels);
@@ -34,10 +35,8 @@ fn full_pipeline_runs_on_every_setting() {
 #[test]
 fn throughput_bounded_by_platform_peak() {
     for setting in [Setting::S1, Setting::S2, Setting::S4] {
-        let group = WorkloadSpec::single_group(TaskType::Mix, 40, 3);
-        let platform = settings::build(setting);
-        let peak = platform.peak_gflops();
-        let m3e = M3e::new(platform, group, Objective::Throughput);
+        let m3e = problem(setting, TaskType::Mix, None, 40, 3);
+        let peak = m3e.platform().peak_gflops();
         let mut rng = StdRng::seed_from_u64(0);
         let report = Magma::default().search(&m3e, 300, &mut rng);
         assert!(
@@ -72,19 +71,10 @@ fn end_to_end_determinism() {
 /// the same mapping, and a bigger accelerator never lowers MAGMA's result.
 #[test]
 fn monotonicity_in_resources() {
-    let group = WorkloadSpec::single_group(TaskType::Mix, 30, 5);
-
-    // Bandwidth monotonicity for a fixed mapping.
-    let small_bw = M3e::new(
-        settings::build(Setting::S2).with_system_bw_gbps(1.0),
-        group.clone(),
-        Objective::Throughput,
-    );
-    let large_bw = M3e::new(
-        settings::build(Setting::S2).with_system_bw_gbps(16.0),
-        group.clone(),
-        Objective::Throughput,
-    );
+    // The helper regenerates the same group for the same (task, n, seed), so
+    // every instance below maps an identical workload.
+    let small_bw = problem(Setting::S2, TaskType::Mix, Some(1.0), 30, 5);
+    let large_bw = problem(Setting::S2, TaskType::Mix, Some(16.0), 30, 5);
     let mut rng = StdRng::seed_from_u64(4);
     let mapping = Mapping::random(&mut rng, 30, 4);
     assert!(large_bw.evaluate(&mapping) >= small_bw.evaluate(&mapping));
@@ -92,17 +82,13 @@ fn monotonicity_in_resources() {
     // Compute monotonicity under search (S3 has 8 big cores vs S1's 4 small).
     let mut rng = StdRng::seed_from_u64(4);
     let s1 = Magma::default().search(
-        &M3e::new(
-            settings::build_with_bw(Setting::S1, 256.0),
-            group.clone(),
-            Objective::Throughput,
-        ),
+        &problem(Setting::S1, TaskType::Mix, Some(256.0), 30, 5),
         400,
         &mut rng,
     );
     let mut rng = StdRng::seed_from_u64(4);
     let s3 = Magma::default().search(
-        &M3e::new(settings::build_with_bw(Setting::S3, 256.0), group, Objective::Throughput),
+        &problem(Setting::S3, TaskType::Mix, Some(256.0), 30, 5),
         400,
         &mut rng,
     );

@@ -78,6 +78,20 @@ where
     }
 }
 
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
 pub mod collection {
     //! Strategies for collections.
 
