@@ -1,0 +1,156 @@
+//! `serve_sim` — the online multi-tenant serving simulator behind
+//! `BENCH_serve.json` (not a paper artefact; the serving layer on top of the
+//! paper's per-group mapper).
+//!
+//! Runs the standard scenario ladder of `magma_serve::report` — stationary
+//! Poisson multi-tenant traffic, a repeated-tenant trace, and (full mode)
+//! bursty and tenant-drift traffic — through the virtual-clock simulator,
+//! prints a latency/throughput/cache profile per scenario and writes the
+//! schema-stable `BENCH_serve.json` (schema `magma-serve/v1`).
+//!
+//! The run doubles as an acceptance check: on the repeated-tenant scenario
+//! the cache-hit dispatches must reach ≥ 90% of the cold-search throughput
+//! while spending ≤ 10% of the cold sample budget, or the binary panics (so
+//! CI can never silently regress the serving win).
+//!
+//! # Knobs
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `--smoke` / `MAGMA_SERVE_MODE=smoke` | CI scale: 96 requests, groups of 8, 60/6 budgets, 2 scenarios |
+//! | `MAGMA_SERVE_REQUESTS` | arrivals per scenario |
+//! | `MAGMA_SERVE_GROUP` | dispatch-group size target |
+//! | `MAGMA_SERVE_MAX_WAIT_X` | admission deadline in batch windows |
+//! | `MAGMA_SERVE_CACHE_CAP` | mapping-cache capacity (LRU) |
+//! | `MAGMA_SERVE_COLD_BUDGET` | cache-miss search budget |
+//! | `MAGMA_SERVE_REFINE_BUDGET` | cache-hit refinement budget |
+//! | `MAGMA_SERVE_QUANT` | cache-key quantization step (nats) |
+//! | `MAGMA_SERVE_LOAD` | offered load vs calibrated service rate |
+//! | `MAGMA_SERVE_SLA_X` | SLA tolerance factor |
+//! | `MAGMA_SERVE_OVERHEAD_US` | virtual mapper cost per sample (µs) |
+//! | `MAGMA_SERVE_SEED` | trace/search seed |
+//! | `MAGMA_THREADS` | evaluation worker threads — wall-clock only, the report never changes |
+//! | `MAGMA_BENCH_DIR` | output directory of `BENCH_serve.json` |
+
+use magma_serve::metrics::LatencyStats;
+use magma_serve::report::{run_standard_scenarios, write_bench_json};
+use magma_serve::ServeReport;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("MAGMA_SERVE_MODE").map(|v| v == "smoke").unwrap_or(false);
+    let knobs = magma::platform::settings::ServeKnobs::from_env(smoke);
+    println!("==============================================================");
+    println!("serve_sim — online multi-tenant serving (magma-serve)");
+    println!(
+        "mode {}, {} requests/scenario, groups of {}, budgets {}/{} (cold/refine), \
+         cache {} entries, seed {}",
+        if smoke { "smoke" } else { "full" },
+        knobs.requests,
+        knobs.group_target,
+        knobs.cold_budget,
+        knobs.refine_budget,
+        knobs.cache_capacity,
+        knobs.seed
+    );
+    println!("==============================================================");
+
+    let report = run_standard_scenarios(&knobs, smoke);
+    print_report(&report);
+    check_acceptance(&report);
+
+    match write_bench_json(&report) {
+        Ok(path) => println!("\n(serving profile written to {})", path.display()),
+        Err(e) => {
+            eprintln!("could not write BENCH_serve.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn latency_row(label: &str, s: &LatencyStats) {
+    println!(
+        "  {label:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+        s.mean_sec * 1e6,
+        s.p50_sec * 1e6,
+        s.p95_sec * 1e6,
+        s.p99_sec * 1e6,
+        s.max_sec * 1e6
+    );
+}
+
+fn print_report(report: &ServeReport) {
+    for s in &report.scenarios {
+        let m = &s.metrics;
+        println!(
+            "\n[{}] {} — {} jobs in {:.1} ms of virtual time ({:.0} jobs/s, {:.1} GFLOP/s)",
+            s.name,
+            s.scenario,
+            m.jobs,
+            m.duration_sec * 1e3,
+            m.jobs_per_sec,
+            m.throughput_gflops
+        );
+        println!(
+            "  {:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "latency (µs)", "mean", "p50", "p95", "p99", "max"
+        );
+        latency_row("queueing", &m.queueing);
+        latency_row("service", &m.service);
+        latency_row("end-to-end", &m.end_to_end);
+        println!(
+            "  cache: {} hits / {} misses (rate {:.2}), {} evictions, {} live entries",
+            m.cache.hits, m.cache.misses, m.cache.hit_rate, m.cache.evictions, m.cache.entries
+        );
+        println!(
+            "  dispatch: {} cold ({} samples, {:.1} GFLOP/s mean) vs {} hits \
+             ({} samples, {:.1} GFLOP/s mean) → ratio {:.3} at {:.1}% of cold budget",
+            m.dispatch.cold,
+            m.dispatch.cold_samples,
+            m.dispatch.cold_gflops_mean,
+            m.dispatch.hits,
+            m.dispatch.hit_samples,
+            m.dispatch.hit_gflops_mean,
+            m.dispatch.hit_cold_throughput_ratio,
+            m.dispatch.hit_sample_fraction * 100.0
+        );
+        for t in &m.tenants {
+            println!(
+                "  tenant {:<16} {} jobs, p99 {:.1} µs, SLA({:.1} µs) violations {} ({:.1}%)",
+                t.tenant,
+                t.jobs,
+                t.latency.p99_sec * 1e6,
+                t.sla_sec * 1e6,
+                t.sla_violations,
+                t.sla_violation_rate * 100.0
+            );
+        }
+    }
+}
+
+/// The acceptance criterion on the repeated-tenant scenario. Panics on
+/// regression so CI fails loudly.
+fn check_acceptance(report: &ServeReport) {
+    let repeat = report
+        .scenarios
+        .iter()
+        .find(|s| s.name == "repeat_recommendation")
+        .expect("the standard ladder always contains the repeated-tenant scenario");
+    let d = &repeat.metrics.dispatch;
+    assert!(d.hits > 0, "repeated-tenant traffic produced no cache hits");
+    assert!(
+        d.hit_cold_throughput_ratio >= 0.9,
+        "cache-hit dispatch reached only {:.1}% of cold-search throughput (acceptance: ≥ 90%)",
+        d.hit_cold_throughput_ratio * 100.0
+    );
+    assert!(
+        d.hit_sample_fraction <= 0.101,
+        "cache hits spent {:.1}% of the cold sample budget (acceptance: ≤ 10%)",
+        d.hit_sample_fraction * 100.0
+    );
+    println!(
+        "\nacceptance: hit/cold throughput ratio {:.3} (≥ 0.9) at {:.1}% of the cold budget (≤ 10%)",
+        d.hit_cold_throughput_ratio,
+        d.hit_sample_fraction * 100.0
+    );
+}

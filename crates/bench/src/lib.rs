@@ -18,6 +18,7 @@
 //! | `fig17_group_size` | Fig. 17 — group-size sweep |
 //! | `tab05_warm_start` | Table V — warm-start transfer |
 //! | `perf_suite` | not a paper artefact — the parallel-evaluation perf harness behind `BENCH_parallel_eval.json` (see [`perf`]) |
+//! | `serve_sim` | not a paper artefact — the online multi-tenant serving simulator behind `BENCH_serve.json` (`magma-serve`) |
 //!
 //! By default the binaries run at a *reduced* scale so they finish in seconds
 //! on a laptop; set the environment variable `MAGMA_FULL_SCALE=1` to run at

@@ -98,9 +98,15 @@ impl M3e {
     ) -> Self {
         assert!(!group.is_empty(), "cannot optimize an empty group");
         let table = JobAnalyzer::with_cost_model(cost_model).analyze(&group, &platform);
-        let evaluator = FitnessEvaluator::new(table, platform.system_bw_gbps(), objective);
         let dominant_task = dominant_task(&group);
-        let signatures = group.signatures();
+        let mut signatures = group.signatures();
+        // Behind the MAGMA_SIGNATURE_PROFILE knob (default off), fold the
+        // analysis table's per-core no-stall latencies into the signatures so
+        // warm-start matching sees platform affinity, not just layer shape.
+        if magma_platform::settings::magma_signature_profile() {
+            attach_core_classes(&mut signatures, &table);
+        }
+        let evaluator = FitnessEvaluator::new(table, platform.system_bw_gbps(), objective);
         M3e { platform, group, evaluator, dominant_task, signatures }
     }
 
@@ -185,6 +191,28 @@ impl MappingProblem for M3e {
     }
 }
 
+/// Attaches a packed per-core latency class (fastest-core affinity plus
+/// octave-quantized best-core no-stall latency, see
+/// [`JobSignature::encode_core_class`]) to every signature, from the rows of
+/// the job-analysis table. `sigs[i]` must profile job `i` of the analyzed
+/// group.
+///
+/// [`M3e`] calls this at construction when the `MAGMA_SIGNATURE_PROFILE`
+/// knob is set; it is public so tests and custom pipelines can profile
+/// signatures without touching the process environment.
+///
+/// # Panics
+///
+/// Panics if `sigs` is longer than the analyzed group.
+pub fn attach_core_classes(sigs: &mut [JobSignature], table: &JobAnalysisTable) {
+    use magma_model::JobId;
+    for (i, sig) in sigs.iter_mut().enumerate() {
+        let latencies: Vec<f64> =
+            (0..table.num_accels()).map(|a| table.no_stall_seconds(JobId(i), a)).collect();
+        *sig = sig.with_core_class(JobSignature::encode_core_class(&latencies));
+    }
+}
+
 /// Determines the dominant task category of a group: the category of more
 /// than half the jobs, or [`TaskType::Mix`] otherwise.
 fn dominant_task(group: &Group) -> TaskType {
@@ -257,6 +285,37 @@ mod tests {
         }
         // The trait exposes the same slice.
         assert_eq!(MappingProblem::signatures(&p), Some(sigs));
+    }
+
+    #[test]
+    fn signatures_stay_shape_only_without_the_profile_knob() {
+        // The ambient test environment never sets MAGMA_SIGNATURE_PROFILE,
+        // so M3e signatures must equal the platform-independent ones.
+        let p = m3e(TaskType::Mix, 12);
+        assert!(p.signatures().iter().all(|s| !s.has_core_class()));
+    }
+
+    #[test]
+    fn attach_core_classes_profiles_every_job() {
+        let p = m3e(TaskType::Mix, 15);
+        let mut sigs = p.group().signatures();
+        attach_core_classes(&mut sigs, p.table());
+        assert!(sigs.iter().all(|s| s.has_core_class()));
+        // Attaching is idempotent on the shape part: stripping the class
+        // recovers the original signature.
+        for (orig, profiled) in p.group().signatures().iter().zip(&sigs) {
+            assert_eq!(*orig, profiled.with_core_class(0));
+        }
+        // A/B: profiled distances are at least the shape-only distances
+        // (the profile term is additive and non-negative), and exact
+        // self-distance stays zero.
+        for (i, a) in sigs.iter().enumerate() {
+            assert_eq!(a.distance(a), 0.0);
+            for (j, b) in sigs.iter().enumerate() {
+                let shape = p.group().signatures()[i].distance(&p.group().signatures()[j]);
+                assert!(a.distance(b) >= shape, "profile term must be additive");
+            }
+        }
     }
 
     #[test]

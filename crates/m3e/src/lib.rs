@@ -66,6 +66,7 @@ pub mod encoding;
 pub mod evaluator;
 pub mod framework;
 pub mod history;
+pub mod lru;
 pub mod schedule;
 pub mod warmstart;
 
@@ -73,8 +74,9 @@ pub use analyzer::{JobAnalysisTable, JobAnalyzer};
 pub use bw_alloc::BwAllocator;
 pub use encoding::{DecodedMapping, Mapping};
 pub use evaluator::{FitnessEvaluator, Objective};
-pub use framework::{JobProfile, M3e, MappingProblem};
+pub use framework::{attach_core_classes, JobProfile, M3e, MappingProblem};
 pub use history::SearchHistory;
+pub use lru::LruOrder;
 pub use schedule::{Schedule, ScheduleSegment};
 pub use warmstart::{
     match_signatures, SolutionHistory, StoredSolution, WarmStartEngine, WarmStartMode,

@@ -1,0 +1,137 @@
+//! A minimal recency order shared by every bounded solution store.
+//!
+//! Both the per-task [`SolutionHistory`](crate::SolutionHistory) and the
+//! serving layer's signature-keyed mapping cache (`magma-serve`) need the
+//! same three operations — mark a key most recently used, pop the least
+//! recently used key, and drop a key — over different key types.
+//! [`LruOrder`] is that one shared implementation: a plain vector, least
+//! recently used first, which is exactly right for the tens-of-entries
+//! stores this workspace bounds (an O(1) linked structure would only pay
+//! off at thousands of entries).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Recency order over keys of type `K`, least recently used first.
+///
+/// The order never holds duplicates: [`LruOrder::bump`] moves an existing
+/// key to the most-recently-used end instead of re-inserting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LruOrder<K>(Vec<K>);
+
+impl<K: PartialEq + Clone> LruOrder<K> {
+    /// Creates an empty order.
+    pub fn new() -> Self {
+        LruOrder(Vec::new())
+    }
+
+    /// Marks `key` most recently used, inserting it if absent.
+    pub fn bump(&mut self, key: &K) {
+        self.0.retain(|k| k != key);
+        self.0.push(key.clone());
+    }
+
+    /// Removes and returns the least recently used key, if any.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(self.0.remove(0))
+        }
+    }
+
+    /// Drops `key` from the order (no-op when absent).
+    pub fn remove(&mut self, key: &K) {
+        self.0.retain(|k| k != key);
+    }
+
+    /// Whether `key` is tracked.
+    pub fn contains(&self, key: &K) -> bool {
+        self.0.contains(key)
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The keys, least recently used first.
+    pub fn as_slice(&self) -> &[K] {
+        &self.0
+    }
+}
+
+impl<K: PartialEq + Clone> Default for LruOrder<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: PartialEq + Clone> FromIterator<K> for LruOrder<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut order = Self::new();
+        for key in iter {
+            order.bump(&key);
+        }
+        order
+    }
+}
+
+// The vendored serde derive does not support generics, so the (transparent,
+// Vec-shaped) impls are written by hand.
+impl<K: Serialize> Serialize for LruOrder<K> {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl<K: Deserialize> Deserialize for LruOrder<K> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<K>::from_value(v).map(LruOrder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_moves_to_back_without_duplicating() {
+        let mut order: LruOrder<u32> = [1, 2, 3].into_iter().collect();
+        order.bump(&1);
+        assert_eq!(order.as_slice(), &[2, 3, 1]);
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&2));
+    }
+
+    #[test]
+    fn pop_lru_returns_oldest_first() {
+        let mut order: LruOrder<&str> = ["a", "b"].into_iter().collect();
+        assert_eq!(order.pop_lru(), Some("a"));
+        assert_eq!(order.pop_lru(), Some("b"));
+        assert_eq!(order.pop_lru(), None);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn remove_is_a_noop_when_absent() {
+        let mut order: LruOrder<u32> = [7].into_iter().collect();
+        order.remove(&9);
+        assert_eq!(order.as_slice(), &[7]);
+        order.remove(&7);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trips_as_a_plain_array() {
+        let order: LruOrder<u32> = [3, 1, 2].into_iter().collect();
+        let json = serde_json::to_string(&order).unwrap();
+        assert_eq!(json, "[3,1,2]");
+        let back: LruOrder<u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, order);
+    }
+}

@@ -61,6 +61,21 @@ pub struct StoredSolution {
 }
 
 impl StoredSolution {
+    /// Creates a stored solution from a solved mapping and (optionally) the
+    /// signatures of the jobs it was solved for. This is the entry point for
+    /// callers that manage their own storage — e.g. the signature-keyed
+    /// mapping cache of `magma-serve`, whose entries are not per-task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if signatures are given and `signatures.len() != mapping.num_jobs()`.
+    pub fn new(mapping: Mapping, signatures: Option<Vec<JobSignature>>) -> Self {
+        if let Some(sigs) = &signatures {
+            assert_eq!(sigs.len(), mapping.num_jobs(), "one signature per job of the mapping");
+        }
+        StoredSolution { mapping, signatures }
+    }
+
     /// The stored best mapping.
     pub fn mapping(&self) -> &Mapping {
         &self.mapping
@@ -72,26 +87,140 @@ impl StoredSolution {
     pub fn signatures(&self) -> Option<&[JobSignature]> {
         self.signatures.as_deref()
     }
+
+    /// Adapts this stored solution to a new group: profile-matched
+    /// ([`match_signatures`] + [`Mapping::gather`]) when signatures were
+    /// recorded (and are consistent), index-wrapped otherwise. This is the
+    /// per-solution core of [`WarmStartEngine::adapt_matched`], exposed so
+    /// non-task-keyed stores (the serving-layer mapping cache) can adapt a
+    /// hit directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_signatures` is empty or `num_accels == 0` — a mapping
+    /// cannot cover zero jobs or zero cores.
+    pub fn adapt_to(&self, new_signatures: &[JobSignature], num_accels: usize) -> Mapping {
+        match self.signatures() {
+            Some(stored_sigs) if stored_sigs.len() == self.mapping.num_jobs() => {
+                let assignment = match_signatures(new_signatures, stored_sigs);
+                self.mapping.gather(&assignment, num_accels)
+            }
+            _ => {
+                let n = self.mapping.num_jobs();
+                let sources: Vec<usize> = (0..new_signatures.len()).map(|i| i % n).collect();
+                self.mapping.gather(&sources, num_accels)
+            }
+        }
+    }
+
+    /// Builds an initial population of `size` individuals around the adapted
+    /// solution ([`StoredSolution::adapt_to`] plus jittered copies) — the
+    /// budgeted adapt-then-refine entry point: hand the result to a
+    /// budget-limited search (e.g. `Magma::refine`) to spend a small
+    /// refinement budget on top of the transferred solution.
+    pub fn seed_population<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        new_signatures: &[JobSignature],
+        num_accels: usize,
+        size: usize,
+    ) -> Vec<Mapping> {
+        let base = self.adapt_to(new_signatures, num_accels);
+        jittered_population(rng, base, num_accels, size)
+    }
 }
 
 /// Per-task-category storage of solved mappings and their job signatures —
 /// the knowledge base behind warm start (Section V-C).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// By default the history is unbounded (at most one entry per
+/// [`TaskType`]). A long-running mapping service that keys its own storage
+/// more finely can bound it with [`SolutionHistory::with_capacity`], which
+/// evicts the least-recently *used* entry — used meaning recorded or
+/// explicitly [`touch`](SolutionHistory::touch)ed — once the capacity is
+/// exceeded.
+///
+/// `Deserialize` is implemented by hand so that histories persisted
+/// *before* the capacity/recency fields existed still load: a missing
+/// `recency` is rebuilt from the entry keys (in [`TaskType`] order) and a
+/// missing `capacity` means unbounded.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct SolutionHistory {
     entries: HashMap<TaskType, StoredSolution>,
+    /// Recency order, least recently used first. Always lists exactly the
+    /// keys of `entries`.
+    recency: crate::lru::LruOrder<TaskType>,
+    /// `None` means unbounded.
+    capacity: Option<usize>,
+}
+
+impl serde::Deserialize for SolutionHistory {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.as_map().is_none() {
+            return Err(serde::DeError::mismatch("object", v));
+        }
+        let entries: HashMap<TaskType, StoredSolution> =
+            serde::Deserialize::from_value(v.get("entries"))
+                .map_err(|e| serde::DeError::custom(format!("field entries: {e}")))?;
+        // Both fields were added after the first persisted format; tolerate
+        // their absence (the vendored derive cannot express defaults).
+        let recency = match v.get("recency") {
+            serde::Value::Null => {
+                let mut tasks: Vec<TaskType> = entries.keys().copied().collect();
+                tasks.sort_unstable();
+                tasks.into_iter().collect()
+            }
+            other => serde::Deserialize::from_value(other)
+                .map_err(|e| serde::DeError::custom(format!("field recency: {e}")))?,
+        };
+        let capacity: Option<usize> = serde::Deserialize::from_value(v.get("capacity"))
+            .map_err(|e| serde::DeError::custom(format!("field capacity: {e}")))?;
+        Ok(SolutionHistory { entries, recency, capacity })
+    }
 }
 
 impl SolutionHistory {
-    /// Creates an empty history.
+    /// Creates an empty, unbounded history.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty history bounded to `capacity` entries with LRU-style
+    /// eviction: recording beyond the capacity evicts the least-recently
+    /// recorded-or-touched entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a history that can hold nothing cannot
+    /// honor `record`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a solution history must hold at least one entry");
+        SolutionHistory { capacity: Some(capacity), ..Self::default() }
+    }
+
+    /// The configured capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Inserts or replaces the entry for `task`, marks it most recently used
+    /// and evicts the least recently used entry if the capacity is exceeded.
+    fn insert_entry(&mut self, task: TaskType, solution: StoredSolution) {
+        self.entries.insert(task, solution);
+        self.recency.bump(&task);
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                let lru = self.recency.pop_lru().expect("recency tracks every entry");
+                self.entries.remove(&lru);
+            }
+        }
     }
 
     /// Stores the best mapping for a task category without job signatures,
     /// replacing any previous entry. Adaptation falls back to index wrapping
     /// for entries recorded this way.
     pub fn record(&mut self, task: TaskType, best: Mapping) {
-        self.entries.insert(task, StoredSolution { mapping: best, signatures: None });
+        self.insert_entry(task, StoredSolution { mapping: best, signatures: None });
     }
 
     /// Stores the best mapping for a task category together with the
@@ -112,12 +241,25 @@ impl SolutionHistory {
             best.num_jobs(),
             "one signature per job of the stored mapping"
         );
-        self.entries.insert(task, StoredSolution { mapping: best, signatures: Some(signatures) });
+        self.insert_entry(task, StoredSolution { mapping: best, signatures: Some(signatures) });
     }
 
-    /// The stored solution for a task category, if any.
+    /// The stored solution for a task category, if any. Does not affect the
+    /// eviction order (`&self`); callers that want a read to protect an
+    /// entry pair it with [`SolutionHistory::touch`].
     pub fn get(&self, task: TaskType) -> Option<&StoredSolution> {
         self.entries.get(&task)
+    }
+
+    /// Marks the entry for `task` most recently used, returning whether the
+    /// entry exists.
+    pub fn touch(&mut self, task: TaskType) -> bool {
+        if self.entries.contains_key(&task) {
+            self.recency.bump(&task);
+            true
+        } else {
+            false
+        }
     }
 
     /// Number of task categories with stored knowledge.
@@ -276,13 +418,7 @@ impl WarmStartEngine {
         num_accels: usize,
     ) -> Option<Mapping> {
         let solution = self.history.get(task)?;
-        match solution.signatures() {
-            Some(stored_sigs) if stored_sigs.len() == solution.mapping().num_jobs() => {
-                let assignment = match_signatures(new_signatures, stored_sigs);
-                Some(solution.mapping().gather(&assignment, num_accels))
-            }
-            _ => self.adapt(task, new_signatures.len(), num_accels),
-        }
+        Some(solution.adapt_to(new_signatures, num_accels))
     }
 
     /// Builds an initial population of `size` individuals for a new search
@@ -436,6 +572,167 @@ mod tests {
     fn mode_labels_are_distinct() {
         assert_eq!(WarmStartMode::default(), WarmStartMode::ProfileMatched);
         assert_ne!(WarmStartMode::IndexWrap.to_string(), WarmStartMode::ProfileMatched.to_string());
+    }
+
+    #[test]
+    fn unbounded_history_never_evicts() {
+        let mut h = SolutionHistory::new();
+        assert_eq!(h.capacity(), None);
+        for (i, task) in TaskType::ALL.into_iter().enumerate() {
+            h.record(task, mapping(4, 2, i as u64));
+        }
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn bounded_history_evicts_least_recently_recorded() {
+        let mut h = SolutionHistory::with_capacity(2);
+        assert_eq!(h.capacity(), Some(2));
+        h.record(TaskType::Vision, mapping(4, 2, 0));
+        h.record(TaskType::Language, mapping(4, 2, 1));
+        h.record(TaskType::Recommendation, mapping(4, 2, 2));
+        assert_eq!(h.len(), 2);
+        assert!(h.get(TaskType::Vision).is_none(), "oldest entry must be evicted");
+        assert!(h.get(TaskType::Language).is_some());
+        assert!(h.get(TaskType::Recommendation).is_some());
+    }
+
+    #[test]
+    fn touch_protects_an_entry_from_eviction() {
+        let mut h = SolutionHistory::with_capacity(2);
+        h.record(TaskType::Vision, mapping(4, 2, 0));
+        h.record_profiled(
+            TaskType::Language,
+            mapping(4, 2, 1),
+            WorkloadSpec::single_group(TaskType::Language, 4, 0).signatures(),
+        );
+        // Vision is LRU; touching it flips the eviction victim to Language.
+        assert!(h.touch(TaskType::Vision));
+        assert!(!h.touch(TaskType::Mix), "touch reports missing entries");
+        h.record(TaskType::Recommendation, mapping(4, 2, 2));
+        assert!(h.get(TaskType::Vision).is_some());
+        assert!(h.get(TaskType::Language).is_none());
+    }
+
+    #[test]
+    fn re_recording_a_task_bumps_it_without_growing() {
+        let mut h = SolutionHistory::with_capacity(2);
+        h.record(TaskType::Vision, mapping(4, 2, 0));
+        h.record(TaskType::Language, mapping(4, 2, 1));
+        // Re-record Vision: it becomes most recent, len stays 2.
+        h.record(TaskType::Vision, mapping(4, 2, 3));
+        assert_eq!(h.len(), 2);
+        h.record(TaskType::Mix, mapping(4, 2, 4));
+        assert!(h.get(TaskType::Language).is_none(), "Language was LRU after the re-record");
+        assert!(h.get(TaskType::Vision).is_some());
+    }
+
+    #[test]
+    fn bounded_history_round_trips_through_serde() {
+        let mut h = SolutionHistory::with_capacity(3);
+        h.record(TaskType::Vision, mapping(4, 2, 0));
+        h.record(TaskType::Language, mapping(4, 2, 1));
+        let json = serde_json::to_string(&h).expect("history serializes");
+        let mut back: SolutionHistory = serde_json::from_str(&json).expect("history deserializes");
+        assert_eq!(back.capacity(), Some(3));
+        assert_eq!(back.len(), 2);
+        // The revived history keeps evicting in the same order.
+        back.record(TaskType::Recommendation, mapping(4, 2, 2));
+        back.record(TaskType::Mix, mapping(4, 2, 3));
+        assert!(back.get(TaskType::Vision).is_none());
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = SolutionHistory::with_capacity(0);
+    }
+
+    /// Drops every occurrence of the named keys from a serde value tree —
+    /// used to reconstruct the pre-capacity persisted format.
+    fn strip_keys(v: &serde::Value, keys: &[&str]) -> serde::Value {
+        match v {
+            serde::Value::Map(entries) => serde::Value::Map(
+                entries
+                    .iter()
+                    .filter(|(k, _)| !keys.contains(&k.as_str()))
+                    .map(|(k, val)| (k.clone(), strip_keys(val, keys)))
+                    .collect(),
+            ),
+            serde::Value::Seq(items) => {
+                serde::Value::Seq(items.iter().map(|i| strip_keys(i, keys)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn deserializes_the_pre_capacity_persisted_format() {
+        // A WarmStartEngine persisted before PR 4 has no recency/capacity
+        // fields on its SolutionHistory and no core_class on its signatures.
+        // Such state must still load (README advertises serde persistence).
+        let group = WorkloadSpec::single_group(TaskType::Vision, 10, 2);
+        let mut engine = WarmStartEngine::new();
+        engine.record_profiled(TaskType::Vision, mapping(10, 4, 1), group.signatures());
+        let old_value = strip_keys(
+            &serde::Serialize::to_value(&engine),
+            &["recency", "capacity", "core_class"],
+        );
+        let old_json = serde_json::to_string(&old_value).unwrap();
+        assert!(!old_json.contains("recency") && !old_json.contains("core_class"));
+
+        let revived: WarmStartEngine = serde_json::from_str(&old_json).unwrap();
+        assert_eq!(revived.history().capacity(), None, "missing capacity means unbounded");
+        assert_eq!(revived.num_entries(), 1);
+        let fresh = WorkloadSpec::single_group(TaskType::Vision, 10, 9);
+        assert_eq!(
+            revived.adapt_matched(TaskType::Vision, &fresh.signatures(), 4),
+            engine.adapt_matched(TaskType::Vision, &fresh.signatures(), 4)
+        );
+        // The rebuilt recency order keeps working (record + evict).
+        let mut revived = revived;
+        revived.record(TaskType::Language, mapping(4, 2, 3));
+        assert_eq!(revived.num_entries(), 2);
+    }
+
+    use magma_model::WorkloadSpec;
+
+    #[test]
+    fn stored_solution_adapt_to_matches_engine_adaptation() {
+        let group = WorkloadSpec::single_group(TaskType::Vision, 12, 3);
+        let best = mapping(12, 4, 5);
+        let sol = StoredSolution::new(best.clone(), Some(group.signatures()));
+        let mut e = WarmStartEngine::new();
+        e.record_profiled(TaskType::Vision, best, group.signatures());
+        let fresh = WorkloadSpec::single_group(TaskType::Vision, 12, 9);
+        assert_eq!(
+            sol.adapt_to(&fresh.signatures(), 4),
+            e.adapt_matched(TaskType::Vision, &fresh.signatures(), 4).unwrap()
+        );
+        // Without signatures the standalone adaptation index-wraps.
+        let bare = StoredSolution::new(mapping(5, 4, 6), None);
+        let adapted = bare.adapt_to(&fresh.signatures(), 4);
+        assert_eq!(adapted.num_jobs(), 12);
+        assert_eq!(adapted.accel_sel()[7], bare.mapping().accel_sel()[2]);
+    }
+
+    #[test]
+    fn stored_solution_seed_population_contains_adapted_base() {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 10, 1);
+        let sol = StoredSolution::new(mapping(10, 4, 2), Some(group.signatures()));
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = sol.seed_population(&mut rng, &group.signatures(), 4, 12);
+        assert_eq!(pop.len(), 12);
+        assert_eq!(pop[0], sol.adapt_to(&group.signatures(), 4));
+        assert!(pop.iter().all(|m| m.accel_sel().iter().all(|&a| a < 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one signature per job")]
+    fn stored_solution_rejects_mismatched_signatures() {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 9, 1);
+        let _ = StoredSolution::new(mapping(10, 4, 2), Some(group.signatures()));
     }
 }
 

@@ -108,6 +108,7 @@ pub struct MapperBuilder {
     algorithm: Algorithm,
     budget: usize,
     seed: u64,
+    initial_population: Option<Vec<Mapping>>,
 }
 
 impl Default for MapperBuilder {
@@ -123,6 +124,7 @@ impl Default for MapperBuilder {
             algorithm: Algorithm::Magma,
             budget: 10_000,
             seed: 0,
+            initial_population: None,
         }
     }
 }
@@ -194,6 +196,16 @@ impl MapperBuilder {
         self
     }
 
+    /// Seeds the search with an initial population instead of random
+    /// initialization — the builder-level entry to the warm-start /
+    /// budget-limited-resume path (Section V-C; used by the serving layer's
+    /// cache-hit refinements). Honored by [`Algorithm::Magma`] only; other
+    /// algorithms ignore the seeds.
+    pub fn initial_population(mut self, population: Vec<Mapping>) -> Self {
+        self.initial_population = Some(population);
+        self
+    }
+
     /// Builds the problem (platform + group + analysis table) without running
     /// a search — useful when several algorithms should share one problem
     /// instance.
@@ -217,7 +229,10 @@ impl MapperBuilder {
 
     /// Runs the configured algorithm on an already-built problem.
     pub fn run_on(&self, problem: &M3e) -> MappingReport {
-        let optimizer = self.algorithm.build();
+        let optimizer: Box<dyn Optimizer> = match (&self.initial_population, self.algorithm) {
+            (Some(pop), Algorithm::Magma) => Box::new(Magma::with_warm_start(pop.clone())),
+            _ => self.algorithm.build(),
+        };
         let mut rng = StdRng::seed_from_u64(self.seed);
         let outcome = optimizer.search(problem, self.budget, &mut rng);
         let schedule = problem.schedule(&outcome.best_mapping);
@@ -262,6 +277,20 @@ mod tests {
         let herald = builder.algorithm(Algorithm::HeraldLike).run_on(&problem);
         assert!(magma.throughput_gflops > 0.0);
         assert!(herald.throughput_gflops > 0.0);
+    }
+
+    #[test]
+    fn initial_population_seeds_the_magma_search() {
+        let builder = MapperBuilder::new().group_size(10).budget(20).seed(4);
+        let problem = builder.build_problem();
+        // Refine from the problem's own best-of-200 mapping: with only 20
+        // samples the seeded run must start from (and so never fall below)
+        // that fitness, while an unseeded 20-sample run has no such floor.
+        let strong = builder.clone().budget(200).run_on(&problem);
+        let seeded =
+            builder.clone().initial_population(vec![strong.best_mapping.clone()]).run_on(&problem);
+        assert!(seeded.best_fitness >= strong.best_fitness);
+        assert_eq!(seeded.history.num_samples(), 20);
     }
 
     #[test]

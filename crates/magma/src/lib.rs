@@ -17,6 +17,9 @@
 //! * [`magma_optim`] — the MAGMA genetic algorithm and every baseline the
 //!   paper compares against (stdGA, DE, CMA-ES, PSO, TBPSA, A2C, PPO2,
 //!   Herald-like, AI-MT-like).
+//! * [`magma_serve`] — the online multi-tenant serving simulator: traffic
+//!   scenarios, admission batching, a signature-keyed mapping cache and a
+//!   virtual-clock latency/throughput metrics pipeline.
 //!
 //! # Paper cross-references
 //!
@@ -58,6 +61,7 @@ pub use magma_m3e as m3e;
 pub use magma_model as model;
 pub use magma_optim as optim;
 pub use magma_platform as platform;
+pub use magma_serve as serve;
 
 /// Convenience re-exports covering the common workflow: build a workload,
 /// pick a platform, run a mapper, inspect the schedule.
@@ -69,11 +73,15 @@ pub mod prelude {
         SolutionHistory, WarmStartEngine, WarmStartMode,
     };
     pub use magma_model::{
-        Group, Job, JobId, JobSignature, LayerShape, Model, TaskType, WorkloadSpec,
+        Group, Job, JobId, JobSignature, LayerShape, Model, TaskType, Tenant, TenantMix,
+        WorkloadSpec,
     };
     pub use magma_optim::{
         all_mappers, AiMtLike, BatchEvaluator, HeraldLike, Magma, MagmaConfig, OperatorSet,
         Optimizer, RandomSearch, SearchOutcome,
     };
     pub use magma_platform::{settings, AcceleratorPlatform, Setting};
+    pub use magma_serve::{
+        DispatchConfig, MappingCache, MappingService, Scenario, ServeReport, SimConfig,
+    };
 }

@@ -19,7 +19,12 @@
 //!   groups, and deterministic workload generators for each task type.
 //! * [`JobSignature`] — a platform-independent per-job profile (layer class,
 //!   compute and data-movement footprint) with a distance metric; the
-//!   transfer key of the profile-matched warm start (Table V).
+//!   transfer key of the profile-matched warm start (Table V). Under the
+//!   `MAGMA_SIGNATURE_PROFILE` knob a packed per-core latency class can be
+//!   attached, letting the metric see platform affinity too.
+//! * [`Tenant`], [`TenantMix`] and [`TenantJobStream`] — the co-resident
+//!   service owners behind the online serving simulator (`magma-serve`),
+//!   each emitting a deterministic job stream from its slice of the zoo.
 //!
 //! # Paper cross-references
 //!
@@ -53,6 +58,7 @@ pub mod layer;
 pub mod model;
 pub mod signature;
 pub mod task;
+pub mod tenant;
 pub mod workload;
 pub mod zoo;
 
@@ -61,4 +67,5 @@ pub use layer::LayerShape;
 pub use model::Model;
 pub use signature::{JobSignature, LayerClass};
 pub use task::TaskType;
+pub use tenant::{Tenant, TenantJobStream, TenantMix};
 pub use workload::WorkloadSpec;

@@ -19,7 +19,7 @@ use std::fmt;
 /// The coarse structural class of a layer, the strongest similarity signal:
 /// a convolution should inherit genes from a convolution, never from an
 /// embedding-dominated FC, whatever their MAC counts are.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum LayerClass {
     /// Standard 2-D convolution (spatial + cross-channel reduction).
     Conv,
@@ -59,7 +59,7 @@ impl fmt::Display for LayerClass {
 /// block of the stored job with the nearest signature. All quantities are
 /// per *job* (mini-batch included), so the same layer at different batch
 /// sizes is close but not identical.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct JobSignature {
     task: TaskType,
     class: LayerClass,
@@ -67,6 +67,36 @@ pub struct JobSignature {
     macs: u64,
     weight_elems: u64,
     activation_elems: u64,
+    core_class: u32,
+}
+
+// Hand-written so signatures persisted before `core_class` existed (e.g. a
+// serialized warm-start SolutionHistory) still load: a missing field means
+// "no platform profile attached" (0). The vendored serde derive cannot
+// express per-field defaults.
+impl serde::Deserialize for JobSignature {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.as_map().is_none() {
+            return Err(serde::DeError::mismatch("object", v));
+        }
+        fn field<T: serde::Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::DeError> {
+            serde::Deserialize::from_value(v.get(name))
+                .map_err(|e| serde::DeError::custom(format!("field {name}: {e}")))
+        }
+        Ok(JobSignature {
+            task: field(v, "task")?,
+            class: field(v, "class")?,
+            batch: field(v, "batch")?,
+            macs: field(v, "macs")?,
+            weight_elems: field(v, "weight_elems")?,
+            activation_elems: field(v, "activation_elems")?,
+            core_class: match v.get("core_class") {
+                serde::Value::Null => 0,
+                other => serde::Deserialize::from_value(other)
+                    .map_err(|e| serde::DeError::custom(format!("field core_class: {e}")))?,
+            },
+        })
+    }
 }
 
 impl JobSignature {
@@ -80,6 +110,21 @@ impl JobSignature {
     /// only inside Mix groups, where one group holds several categories).
     pub const TASK_MISMATCH_PENALTY: f64 = 4.0;
 
+    /// Penalty when two profiled jobs prefer *different* cores (their
+    /// fastest-core indices disagree). Applied only when both signatures
+    /// carry a core class (see [`JobSignature::with_core_class`]); chosen
+    /// well below [`Self::CLASS_MISMATCH_PENALTY`] so platform affinity
+    /// refines shape matching but never overrides the layer class.
+    pub const AFFINITY_MISMATCH_PENALTY: f64 = 2.0;
+
+    /// Weight per octave of best-core no-stall latency difference between two
+    /// profiled jobs (again only when both carry a core class).
+    pub const LATENCY_CLASS_WEIGHT: f64 = 0.25;
+
+    /// Presence flag of the packed core class (bit 31). A `core_class` of 0
+    /// means "no platform profile attached".
+    const CORE_CLASS_PRESENT: u32 = 0x8000_0000;
+
     /// Computes the signature of a job.
     pub fn of(job: &Job) -> Self {
         JobSignature {
@@ -89,7 +134,68 @@ impl JobSignature {
             macs: job.macs(),
             weight_elems: job.weight_elems(),
             activation_elems: job.activation_elems(),
+            core_class: 0,
         }
+    }
+
+    /// Packs a platform profile — the per-core no-stall latencies of the job
+    /// from the job-analysis table — into a core class: the index of the
+    /// fastest core (the job's *affinity*, low byte) and the octave-quantized
+    /// best-core latency (bits 8..24, in octaves above 1 ns). The result is
+    /// never 0, so an attached profile is always distinguishable from an
+    /// unprofiled signature.
+    ///
+    /// This is the seam behind the `MAGMA_SIGNATURE_PROFILE` knob: the
+    /// shape-only signature cannot see that two similarly sized jobs prefer
+    /// different cores of a heterogeneous platform; the packed class lets
+    /// [`JobSignature::distance`] tell them apart (see ROADMAP's "shape-only
+    /// metric" residual).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `no_stall_seconds` is empty.
+    pub fn encode_core_class(no_stall_seconds: &[f64]) -> u32 {
+        assert!(!no_stall_seconds.is_empty(), "a platform has at least one core");
+        let mut fastest = 0usize;
+        for (i, &lat) in no_stall_seconds.iter().enumerate() {
+            if lat < no_stall_seconds[fastest] {
+                fastest = i;
+            }
+        }
+        let best = no_stall_seconds[fastest];
+        let octaves = if best.is_finite() && best > 0.0 {
+            (best / 1e-9).max(1.0).ln() / std::f64::consts::LN_2
+        } else {
+            0.0
+        };
+        let latency_class = (octaves.round() as i64).clamp(0, 0xFFFF) as u32;
+        Self::CORE_CLASS_PRESENT | (latency_class << 8) | (fastest.min(0xFF) as u32)
+    }
+
+    /// Returns a copy with the given packed core class attached (0 detaches).
+    pub fn with_core_class(mut self, core_class: u32) -> Self {
+        self.core_class = core_class;
+        self
+    }
+
+    /// The packed core class, or 0 when no platform profile is attached.
+    pub fn core_class(&self) -> u32 {
+        self.core_class
+    }
+
+    /// Whether a platform profile is attached to this signature.
+    pub fn has_core_class(&self) -> bool {
+        self.core_class & Self::CORE_CLASS_PRESENT != 0
+    }
+
+    /// The preferred (fastest) core index of an attached profile.
+    fn affinity(&self) -> u32 {
+        self.core_class & 0xFF
+    }
+
+    /// The octave-quantized best-core latency of an attached profile.
+    fn latency_class(&self) -> u32 {
+        (self.core_class >> 8) & 0xFFFF
     }
 
     /// The task category of the profiled job.
@@ -143,6 +249,14 @@ impl JobSignature {
     /// [`Self::CLASS_MISMATCH_PENALTY`] / [`Self::TASK_MISMATCH_PENALTY`] on
     /// top, which keeps matching within a layer class (and, in Mix groups,
     /// within a task) whenever a same-class candidate exists.
+    ///
+    /// When **both** signatures carry a platform profile (a packed core
+    /// class, attached by `magma_m3e::attach_core_classes` under the
+    /// `MAGMA_SIGNATURE_PROFILE` knob), the distance additionally sees the
+    /// platform: [`Self::AFFINITY_MISMATCH_PENALTY`] when the jobs prefer
+    /// different cores, plus [`Self::LATENCY_CLASS_WEIGHT`] per octave of
+    /// best-core latency difference. Unprofiled signatures (the default) are
+    /// compared exactly as before the knob existed.
     pub fn distance(&self, other: &JobSignature) -> f64 {
         let log_gap = |a: u64, b: u64| ((1.0 + a as f64).ln() - (1.0 + b as f64).ln()).abs();
         let mut d = log_gap(self.macs, other.macs)
@@ -153,6 +267,13 @@ impl JobSignature {
         }
         if self.task != other.task {
             d += Self::TASK_MISMATCH_PENALTY;
+        }
+        if self.has_core_class() && other.has_core_class() {
+            if self.affinity() != other.affinity() {
+                d += Self::AFFINITY_MISMATCH_PENALTY;
+            }
+            d += Self::LATENCY_CLASS_WEIGHT
+                * (self.latency_class() as f64 - other.latency_class() as f64).abs();
         }
         d
     }
@@ -250,6 +371,92 @@ mod tests {
     fn arithmetic_intensity_matches_job() {
         let j = conv_job(0, 64, 4);
         assert!((j.signature().arithmetic_intensity() - j.arithmetic_intensity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_class_round_trips_through_packing() {
+        let cc = JobSignature::encode_core_class(&[3e-3, 1e-3, 2e-3, 4e-3]);
+        let sig = conv_job(0, 64, 4).signature().with_core_class(cc);
+        assert!(sig.has_core_class());
+        assert_eq!(sig.core_class(), cc);
+        assert_eq!(sig.affinity(), 1, "core 1 has the lowest latency");
+        // 1 ms above the 1 ns reference is ~20 octaves.
+        assert_eq!(sig.latency_class(), 20);
+        // Detaching restores the unprofiled signature.
+        let plain = sig.with_core_class(0);
+        assert!(!plain.has_core_class());
+        assert_eq!(plain, conv_job(0, 64, 4).signature());
+    }
+
+    #[test]
+    fn unprofiled_signatures_ignore_the_profile_term() {
+        // A/B: the same pair of jobs, with and without attached profiles.
+        let a = conv_job(0, 64, 4).signature();
+        let b = conv_job(1, 64, 4).signature();
+        assert_eq!(a.distance(&b), 0.0);
+        // Attaching a profile to only one side must change nothing (the
+        // term needs both sides to be profiled).
+        let a_profiled = a.with_core_class(JobSignature::encode_core_class(&[1e-3, 2e-3]));
+        assert_eq!(a_profiled.distance(&b), 0.0);
+    }
+
+    #[test]
+    fn profile_term_separates_shape_identical_jobs_with_different_affinity() {
+        // Two stored jobs with identical shapes but different core
+        // affinities, and a new job that prefers core 1. Shape-only distance
+        // ties; the profiled distance must prefer the same-affinity twin.
+        let shape = conv_job(0, 64, 4).signature();
+        let stored_core0 = shape.with_core_class(JobSignature::encode_core_class(&[1e-3, 2e-3]));
+        let stored_core1 = shape.with_core_class(JobSignature::encode_core_class(&[2e-3, 1e-3]));
+        let fresh = shape.with_core_class(JobSignature::encode_core_class(&[2e-3, 1e-3]));
+
+        // A/B: without profiles the two stored candidates are indistinguishable.
+        assert_eq!(
+            fresh.with_core_class(0).distance(&stored_core0.with_core_class(0)),
+            fresh.with_core_class(0).distance(&stored_core1.with_core_class(0)),
+        );
+        // With profiles the same-affinity candidate wins by the penalty gap.
+        assert!(fresh.distance(&stored_core1) < fresh.distance(&stored_core0));
+        assert_eq!(
+            fresh.distance(&stored_core0) - fresh.distance(&stored_core1),
+            JobSignature::AFFINITY_MISMATCH_PENALTY
+        );
+    }
+
+    #[test]
+    fn profile_term_stays_below_class_mismatch() {
+        // Affinity refines matching but must never override the layer class:
+        // a conv with the "wrong" affinity still beats any FC.
+        let conv = conv_job(0, 64, 4).signature();
+        let other_conv = conv.with_core_class(JobSignature::encode_core_class(&[2e-3, 1e-3]));
+        let fc = fc_job(1, 512)
+            .signature()
+            .with_core_class(JobSignature::encode_core_class(&[1e-3, 2e-3]));
+        let fresh = conv.with_core_class(JobSignature::encode_core_class(&[1e-3, 2e-3]));
+        assert!(fresh.distance(&other_conv) < fresh.distance(&fc));
+    }
+
+    #[test]
+    fn signature_serde_round_trips() {
+        let sig = conv_job(0, 64, 4)
+            .signature()
+            .with_core_class(JobSignature::encode_core_class(&[1e-3, 2e-3]));
+        let json = serde_json::to_string(&sig).unwrap();
+        let back: JobSignature = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn deserializes_pre_core_class_json() {
+        // Signatures persisted before the core_class field existed (PR 2's
+        // SolutionHistory format) must still load, as unprofiled.
+        let sig = conv_job(0, 64, 4).signature();
+        let json = serde_json::to_string(&sig).unwrap();
+        let old = json.replace(",\"core_class\":0", "").replace("\"core_class\":0,", "");
+        assert!(!old.contains("core_class"), "surgery failed: {old}");
+        let back: JobSignature = serde_json::from_str(&old).unwrap();
+        assert_eq!(back, sig);
+        assert!(!back.has_core_class());
     }
 
     #[test]

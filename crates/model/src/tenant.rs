@@ -1,0 +1,326 @@
+//! Tenants: the co-resident model owners of an online serving system.
+//!
+//! The paper's premise (Sections I & III) is a *multi-tenant* accelerator:
+//! several application owners — a vision service, a language service, a
+//! recommendation service — share one multi-core platform, and the host sees
+//! an interleaved stream of their inference jobs. The static experiments of
+//! the paper pre-form that stream into fixed groups; the online serving
+//! simulator (`magma-serve`) instead draws arrivals from a [`TenantMix`],
+//! one [`Tenant`] per co-resident service.
+//!
+//! Each tenant owns a slice of the [`zoo`] and emits jobs through
+//! a [`TenantJobStream`]: a deterministic round-robin over its models'
+//! accelerator layers, exactly mirroring how [`crate::workload`] interleaves
+//! queued requests. Determinism matters twice — the serving simulator must be
+//! bit-reproducible at a fixed seed, and a periodic per-tenant job stream is
+//! what makes repeated-tenant traffic actually *repeat* (the property the
+//! signature-keyed mapping cache exploits).
+
+use crate::{zoo, Job, JobId, LayerShape, Model, TaskType};
+
+/// One co-resident service: a named owner of a set of models, with a traffic
+/// weight used when sampling which tenant the next arrival belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    name: String,
+    task: TaskType,
+    models: Vec<Model>,
+    weight: f64,
+}
+
+impl Tenant {
+    /// Creates a tenant owning `models`, with relative traffic `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty, if none of the models has a layer that
+    /// runs on the accelerator, or if `weight` is not finite and positive.
+    pub fn new(name: impl Into<String>, task: TaskType, models: Vec<Model>, weight: f64) -> Self {
+        assert!(!models.is_empty(), "a tenant must own at least one model");
+        assert!(
+            models.iter().any(|m| m.accelerator_layers().next().is_some()),
+            "a tenant's models must contain at least one accelerator layer"
+        );
+        assert!(weight.is_finite() && weight > 0.0, "tenant weight must be finite and positive");
+        Tenant { name: name.into(), task, models, weight }
+    }
+
+    /// The tenant's human-readable name (appears in per-tenant metrics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The application domain of the tenant's traffic.
+    pub fn task(&self) -> TaskType {
+        self.task
+    }
+
+    /// The models this tenant serves requests from.
+    pub fn models(&self) -> &[Model] {
+        &self.models
+    }
+
+    /// The tenant's relative traffic weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// A job stream over this tenant's models at the given mini-batch size.
+    pub fn job_stream(&self, mini_batch: usize) -> TenantJobStream {
+        TenantJobStream::new(self, mini_batch)
+    }
+}
+
+/// The set of tenants sharing the platform, with weighted traffic sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMix {
+    tenants: Vec<Tenant>,
+}
+
+impl TenantMix {
+    /// Creates a mix from an explicit tenant list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty.
+    pub fn new(tenants: Vec<Tenant>) -> Self {
+        assert!(!tenants.is_empty(), "a tenant mix must contain at least one tenant");
+        TenantMix { tenants }
+    }
+
+    /// The standard data-center mix: one equally weighted tenant per pure
+    /// task category (vision, language, recommendation), each owning the
+    /// zoo's full model set for its category — the serving analogue of the
+    /// paper's Mix task.
+    pub fn standard() -> Self {
+        TenantMix::new(vec![
+            Tenant::new("vision", TaskType::Vision, zoo::vision_models(), 1.0),
+            Tenant::new("language", TaskType::Language, zoo::language_models(), 1.0),
+            Tenant::new(
+                "recommendation",
+                TaskType::Recommendation,
+                zoo::recommendation_models(),
+                1.0,
+            ),
+        ])
+    }
+
+    /// A single-tenant mix — the repeated-tenant traffic pattern where the
+    /// same service's job windows recur and the mapping cache pays off.
+    pub fn single(name: impl Into<String>, task: TaskType, models: Vec<Model>) -> Self {
+        TenantMix::new(vec![Tenant::new(name, task, models, 1.0)])
+    }
+
+    /// The tenants in the mix.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the mix is empty (never true for a constructed mix).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Picks a tenant index given per-tenant effective weights and a uniform
+    /// draw `u` in `[0, 1)`. Exposed so trace generators can modulate the
+    /// weights over time (tenant-mix drift) while keeping selection
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.len()` or if no weight is positive.
+    pub fn pick(&self, weights: &[f64], u: f64) -> usize {
+        assert_eq!(weights.len(), self.tenants.len(), "one weight per tenant");
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        assert!(total > 0.0, "at least one tenant weight must be positive");
+        let mut target = u.clamp(0.0, 1.0) * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                if target < w {
+                    return i;
+                }
+                target -= w;
+            }
+        }
+        // Rounding at u ≈ 1.0 lands past the last positive weight.
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0).unwrap()
+    }
+}
+
+/// A deterministic, endless job stream for one tenant.
+///
+/// Jobs are produced by round-robining over the tenant's models and walking
+/// each model's accelerator layers in order, wrapping around — the exact
+/// interleaving of [`crate::workload::build_jobs_from_models`], but
+/// incremental, so an online simulator can pull one job per request. The
+/// stream is a pure function of the tenant (no RNG): a tenant's k-th job is
+/// always the same, which makes repeated-tenant traffic periodic.
+#[derive(Debug, Clone)]
+pub struct TenantJobStream {
+    models: Vec<Model>,
+    layer_lists: Vec<Vec<(usize, LayerShape)>>,
+    cursors: Vec<usize>,
+    next_model: usize,
+    mini_batch: usize,
+}
+
+impl TenantJobStream {
+    /// Creates the stream at the given mini-batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mini_batch == 0`.
+    pub fn new(tenant: &Tenant, mini_batch: usize) -> Self {
+        assert!(mini_batch > 0, "mini-batch must be non-zero");
+        let layer_lists = tenant
+            .models
+            .iter()
+            .map(|m| {
+                m.layers()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.runs_on_accelerator())
+                    .map(|(i, l)| (i, *l))
+                    .collect()
+            })
+            .collect();
+        TenantJobStream {
+            models: tenant.models.clone(),
+            layer_lists,
+            cursors: vec![0; tenant.models.len()],
+            next_model: 0,
+            mini_batch,
+        }
+    }
+
+    /// Produces the next job of the stream with the given id.
+    pub fn next_job(&mut self, id: JobId) -> Job {
+        loop {
+            let m = self.next_model % self.models.len();
+            self.next_model += 1;
+            let layers = &self.layer_lists[m];
+            if layers.is_empty() {
+                continue;
+            }
+            let (layer_index, layer) = layers[self.cursors[m] % layers.len()];
+            self.cursors[m] += 1;
+            return Job::new(
+                id,
+                self.models[m].name(),
+                layer_index,
+                layer,
+                self.mini_batch,
+                self.models[m].task(),
+            );
+        }
+    }
+
+    /// The length of the stream's period in emitted jobs: after this many
+    /// jobs every model cursor and the round-robin position are back at their
+    /// initial state, so the stream repeats exactly.
+    pub fn period(&self) -> usize {
+        let nonempty: Vec<usize> =
+            self.layer_lists.iter().map(|l| l.len()).filter(|&n| n > 0).collect();
+        nonempty.iter().fold(1, |acc, &n| lcm(acc, n)) * nonempty.len().max(1)
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mix_covers_all_pure_tasks() {
+        let mix = TenantMix::standard();
+        assert_eq!(mix.len(), 3);
+        assert!(!mix.is_empty());
+        for (tenant, task) in mix.tenants().iter().zip(TaskType::PURE) {
+            assert_eq!(tenant.task(), task);
+            assert!(tenant.weight() > 0.0);
+            assert!(!tenant.models().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_mix_has_one_tenant() {
+        let mix = TenantMix::single("recom", TaskType::Recommendation, vec![zoo::ncf()]);
+        assert_eq!(mix.len(), 1);
+        assert_eq!(mix.tenants()[0].name(), "recom");
+    }
+
+    #[test]
+    fn pick_is_weight_proportional_and_total_order_stable() {
+        let mix = TenantMix::standard();
+        // u in the first third → tenant 0, middle third → 1, last third → 2.
+        assert_eq!(mix.pick(&[1.0, 1.0, 1.0], 0.0), 0);
+        assert_eq!(mix.pick(&[1.0, 1.0, 1.0], 0.5), 1);
+        assert_eq!(mix.pick(&[1.0, 1.0, 1.0], 0.999), 2);
+        // Zero weights are skipped entirely.
+        assert_eq!(mix.pick(&[0.0, 1.0, 0.0], 0.7), 1);
+        // u == 1.0 still lands on the last positive weight.
+        assert_eq!(mix.pick(&[1.0, 1.0, 0.0], 1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant weight")]
+    fn pick_rejects_all_zero_weights() {
+        let mix = TenantMix::single("v", TaskType::Vision, vec![zoo::shufflenet()]);
+        let _ = mix.pick(&[0.0], 0.5);
+    }
+
+    #[test]
+    fn job_stream_matches_workload_interleaving() {
+        // The incremental stream must produce exactly the jobs of the batch
+        // generator over the same model list.
+        let tenant = Tenant::new("v", TaskType::Vision, zoo::vision_models(), 1.0);
+        let batch = crate::workload::build_jobs_from_models(tenant.models(), 40, 4);
+        let mut stream = tenant.job_stream(4);
+        for want in batch {
+            let got = stream.next_job(want.id());
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn job_stream_is_periodic() {
+        let tenant = Tenant::new("r", TaskType::Recommendation, vec![zoo::ncf()], 1.0);
+        let period = tenant.job_stream(4).period();
+        assert!(period > 0);
+        let mut a = tenant.job_stream(4);
+        let first: Vec<Job> = (0..period).map(|i| a.next_job(JobId(i))).collect();
+        let second: Vec<Job> = (0..period).map(|i| a.next_job(JobId(i))).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn job_stream_mini_batch_is_propagated() {
+        let tenant = Tenant::new("l", TaskType::Language, zoo::language_models(), 2.0);
+        let mut stream = tenant.job_stream(8);
+        for i in 0..10 {
+            assert_eq!(stream.next_job(JobId(i)).batch(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn tenant_without_models_panics() {
+        let _ = Tenant::new("empty", TaskType::Vision, vec![], 1.0);
+    }
+}

@@ -172,9 +172,47 @@ impl Magma {
         &self.config
     }
 
+    /// Budget-limited resume: continues a search from `seeds` (e.g. a
+    /// warm-start population adapted from a stored solution) for exactly
+    /// `budget` further evaluations, keeping every other hyper-parameter of
+    /// this configuration.
+    ///
+    /// This is the refinement half of the serving layer's adapt-then-refine
+    /// path: a cache hit adapts the stored mapping into a seed population
+    /// (`StoredSolution::seed_population`) and spends a small fraction of the
+    /// cold-search budget here. The first seed is evaluated first, so the
+    /// outcome is never worse than the adapted solution itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0` or `seeds` is empty.
+    pub fn refine(
+        &self,
+        problem: &dyn MappingProblem,
+        seeds: Vec<Mapping>,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> SearchOutcome {
+        assert!(!seeds.is_empty(), "refinement needs at least one seed");
+        let magma = Magma {
+            config: MagmaConfig { initial_population: Some(seeds), ..self.config.clone() },
+        };
+        magma.search(problem, budget, rng)
+    }
+
     fn population_size(&self, problem: &dyn MappingProblem, budget: usize) -> usize {
         let base = self.config.population_size.unwrap_or(problem.num_jobs());
         base.max(16).min(budget.max(2))
+    }
+
+    /// The population size [`Magma::search`] (and therefore
+    /// [`Magma::refine`]) will actually use on `problem` at `budget`.
+    /// Callers building a seed population (e.g. the serving layer's
+    /// cache-hit path) size it with this so the seeds fill exactly one
+    /// initial generation — no seed is dropped and none of the refinement
+    /// budget is padded with random individuals.
+    pub fn population_size_for(&self, problem: &dyn MappingProblem, budget: usize) -> usize {
+        self.population_size(problem, budget)
     }
 
     // ----- genetic operators -------------------------------------------------
@@ -416,6 +454,37 @@ mod tests {
         );
         // With only 20 samples the seeded optimum must already be found.
         assert_eq!(outcome.best_fitness, toy_optimum(10));
+    }
+
+    #[test]
+    fn refine_is_budget_limited_and_never_below_its_seed() {
+        let problem = ToyProblem { jobs: 10, accels: 2 };
+        let accel: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let prio: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        let seed = Mapping::new(accel, prio, 2);
+        let seed_fitness = problem.evaluate(&seed);
+        // Even a minimal refinement budget evaluates the seed itself.
+        for budget in [1, 4, 16] {
+            let outcome = Magma::default().refine(
+                &problem,
+                vec![seed.clone()],
+                budget,
+                &mut StdRng::seed_from_u64(9),
+            );
+            assert_eq!(outcome.history.num_samples(), budget, "budget {budget}");
+            assert!(outcome.best_fitness >= seed_fitness, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn refine_is_deterministic() {
+        let problem = ToyProblem { jobs: 12, accels: 3 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let seeds: Vec<Mapping> = (0..6).map(|_| Mapping::random(&mut rng, 12, 3)).collect();
+        let a = Magma::default().refine(&problem, seeds.clone(), 60, &mut StdRng::seed_from_u64(5));
+        let b = Magma::default().refine(&problem, seeds, 60, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(a.best_mapping, b.best_mapping);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The six accelerator settings of Table III, their default bandwidths, and
-//! the process-wide runtime knobs (`MAGMA_THREADS`).
+//! the process-wide runtime knobs (`MAGMA_THREADS`, `MAGMA_SIGNATURE_PROFILE`
+//! and the `MAGMA_SERVE_*` family read by [`ServeKnobs`]).
 
 use crate::platform::{AcceleratorPlatform, DEFAULT_LARGE_BW_GBPS, DEFAULT_SMALL_BW_GBPS};
 use magma_cost::{DataflowStyle, SubAccelConfig};
@@ -17,6 +18,117 @@ pub fn magma_threads() -> usize {
     match std::env::var("MAGMA_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
         Some(n) if n >= 1 => n,
         _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Reads the `MAGMA_SIGNATURE_PROFILE` environment knob: when set to `1`,
+/// `M3e` attaches a packed per-core latency class to every job signature it
+/// computes, so `JobSignature::distance` (and therefore profile-matched warm
+/// start and the serving-layer mapping cache) sees platform affinity on top
+/// of layer shape. Default off — the shape-only metric of PR 2 is unchanged
+/// unless the knob is set.
+pub fn magma_signature_profile() -> bool {
+    std::env::var("MAGMA_SIGNATURE_PROFILE").map(|v| v.trim() == "1").unwrap_or(false)
+}
+
+/// Parses environment variable `name` into `T`, falling back to `default`
+/// when unset, empty or unparsable.
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// The `MAGMA_SERVE_*` knob family configuring the online serving simulator
+/// (`magma-serve` / the `serve_sim` binary).
+///
+/// | Variable | Field | Meaning |
+/// |---|---|---|
+/// | `MAGMA_SERVE_REQUESTS` | `requests` | arrivals per simulated scenario |
+/// | `MAGMA_SERVE_GROUP` | `group_target` | dispatch-group size target of the admission batcher |
+/// | `MAGMA_SERVE_MAX_WAIT_X` | `max_wait_x` | admission deadline, in multiples of one mean batch-formation window (`group_target × mean inter-arrival`) |
+/// | `MAGMA_SERVE_CACHE_CAP` | `cache_capacity` | bounded LRU capacity of the signature-keyed mapping cache |
+/// | `MAGMA_SERVE_COLD_BUDGET` | `cold_budget` | sampling budget of a full (cache-miss) MAGMA search |
+/// | `MAGMA_SERVE_REFINE_BUDGET` | `refine_budget` | sampling budget of a cache-hit refinement |
+/// | `MAGMA_SERVE_QUANT` | `quant_step` | log-scale quantization step of the cache key (nats) |
+/// | `MAGMA_SERVE_LOAD` | `offered_load` | offered load relative to the calibrated (unoptimized) service rate |
+/// | `MAGMA_SERVE_SLA_X` | `sla_x` | per-job SLA bound, in multiples of one batch window + calibrated service time |
+/// | `MAGMA_SERVE_OVERHEAD_US` | `overhead_us_per_sample` | virtual mapper cost charged per search sample, in µs |
+/// | `MAGMA_SERVE_SEED` | `seed` | trace/search seed |
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeKnobs {
+    /// Arrivals per simulated scenario.
+    pub requests: usize,
+    /// Dispatch-group size target of the admission batcher.
+    pub group_target: usize,
+    /// Admission deadline in batch-formation windows.
+    pub max_wait_x: f64,
+    /// Capacity of the signature-keyed mapping cache (bounded LRU).
+    pub cache_capacity: usize,
+    /// Sampling budget of a full (cache-miss) MAGMA search.
+    pub cold_budget: usize,
+    /// Sampling budget of a cache-hit refinement (the "≤ 10% of cold" lever).
+    pub refine_budget: usize,
+    /// Log-scale quantization step of the cache key, in nats.
+    pub quant_step: f64,
+    /// Offered load relative to the calibrated service rate.
+    pub offered_load: f64,
+    /// Per-job SLA bound in batch windows (see `magma-serve` docs).
+    pub sla_x: f64,
+    /// Virtual mapper cost charged per search sample, in microseconds.
+    pub overhead_us_per_sample: f64,
+    /// Trace/search seed.
+    pub seed: u64,
+}
+
+impl ServeKnobs {
+    /// Full-scale defaults: the scenario sizes `serve_sim` runs without
+    /// `--smoke`.
+    pub fn full() -> Self {
+        ServeKnobs {
+            requests: 400,
+            group_target: 30,
+            max_wait_x: 2.0,
+            cache_capacity: 64,
+            cold_budget: 600,
+            refine_budget: 60,
+            quant_step: 1.0,
+            offered_load: 0.7,
+            sla_x: 3.0,
+            overhead_us_per_sample: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// CI-friendly smoke defaults: tiny trace, tiny budgets, same shape.
+    pub fn smoke() -> Self {
+        ServeKnobs {
+            requests: 96,
+            group_target: 8,
+            cache_capacity: 16,
+            cold_budget: 60,
+            refine_budget: 6,
+            ..Self::full()
+        }
+    }
+
+    /// Reads the knob family from the environment on top of the smoke or
+    /// full defaults. Zero values for counts/budgets are clamped to 1 so a
+    /// misconfigured environment can never produce a degenerate simulator.
+    pub fn from_env(smoke: bool) -> Self {
+        let d = if smoke { Self::smoke() } else { Self::full() };
+        ServeKnobs {
+            requests: env_parse("MAGMA_SERVE_REQUESTS", d.requests).max(1),
+            group_target: env_parse("MAGMA_SERVE_GROUP", d.group_target).max(1),
+            max_wait_x: env_parse("MAGMA_SERVE_MAX_WAIT_X", d.max_wait_x).max(0.0),
+            cache_capacity: env_parse("MAGMA_SERVE_CACHE_CAP", d.cache_capacity).max(1),
+            cold_budget: env_parse("MAGMA_SERVE_COLD_BUDGET", d.cold_budget).max(1),
+            refine_budget: env_parse("MAGMA_SERVE_REFINE_BUDGET", d.refine_budget).max(1),
+            quant_step: env_parse("MAGMA_SERVE_QUANT", d.quant_step).max(1e-6),
+            offered_load: env_parse("MAGMA_SERVE_LOAD", d.offered_load).max(1e-3),
+            sla_x: env_parse("MAGMA_SERVE_SLA_X", d.sla_x).max(0.0),
+            overhead_us_per_sample: env_parse("MAGMA_SERVE_OVERHEAD_US", d.overhead_us_per_sample)
+                .max(0.0),
+            seed: env_parse("MAGMA_SERVE_SEED", d.seed),
+        }
     }
 }
 
@@ -241,6 +353,31 @@ mod tests {
         // The knob may or may not be set in the ambient environment; either
         // way the resolved count must be usable as a worker-pool size.
         assert!(magma_threads() >= 1);
+    }
+
+    #[test]
+    fn serve_knobs_defaults_are_sane() {
+        let full = ServeKnobs::full();
+        let smoke = ServeKnobs::smoke();
+        // Smoke must be a strict shrink of full on every cost-bearing knob.
+        assert!(smoke.requests < full.requests);
+        assert!(smoke.group_target < full.group_target);
+        assert!(smoke.cold_budget < full.cold_budget);
+        assert!(smoke.refine_budget < full.refine_budget);
+        // The refinement budget is the "≤ 10% of cold" acceptance lever.
+        assert!(full.refine_budget * 10 <= full.cold_budget);
+        assert!(smoke.refine_budget * 10 <= smoke.cold_budget);
+        // from_env falls back to the defaults when the knobs are unset (the
+        // ambient test environment never sets MAGMA_SERVE_*).
+        assert_eq!(ServeKnobs::from_env(true), smoke);
+        assert_eq!(ServeKnobs::from_env(false), full);
+    }
+
+    #[test]
+    fn signature_profile_defaults_off() {
+        // The ambient test environment never sets MAGMA_SIGNATURE_PROFILE,
+        // so the shape-only metric stays the default.
+        assert!(!magma_signature_profile());
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The signature-keyed mapping cache: a bounded LRU from quantized
+//! [`JobSignature`] sets to stored solutions.
+//!
+//! PR 2 established that solved mappings transfer to *similar* job groups
+//! (Table V); this cache turns that property into an online win. A dispatch
+//! group is keyed by the **sorted multiset of its quantized job signatures**
+//! — layer class, task and log-scale magnitude buckets — so two groups whose
+//! jobs are pairwise similar (whatever their order) share a key. A hit hands
+//! back a [`StoredSolution`] whose mapping is adapted via profile matching
+//! and refined with a small budget; a miss triggers a full MAGMA search
+//! whose result is inserted for the next recurrence.
+//!
+//! The cache is a bounded LRU: lookups and insertions mark an entry most
+//! recently used; inserting beyond the capacity evicts the least recently
+//! used entry. [`CacheStats`] counts hits, misses, insertions and evictions
+//! for the metrics pipeline.
+
+use magma_m3e::{LruOrder, StoredSolution};
+use magma_model::{JobSignature, LayerClass, TaskType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One job signature, quantized to log-scale magnitude buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuantizedSignature {
+    /// Task category (exact).
+    pub task: TaskType,
+    /// Layer class (exact).
+    pub class: LayerClass,
+    /// `ln(1 + macs) / step`, rounded.
+    pub macs_bucket: u32,
+    /// `ln(1 + weight_elems) / step`, rounded.
+    pub weights_bucket: u32,
+    /// `ln(1 + activation_elems) / step`, rounded.
+    pub activations_bucket: u32,
+}
+
+/// The cache key of a dispatch group: its quantized signatures as a sorted
+/// multiset (order-insensitive by construction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SignatureKey(Vec<QuantizedSignature>);
+
+impl SignatureKey {
+    /// Number of jobs behind the key.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key covers no jobs (never true for a quantized group).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Quantizes a group's signatures into its cache key. `step` is the
+/// log-scale bucket width in nats: jobs whose MACs (or weight / activation
+/// footprints) differ by less than `e^step` land in the same bucket.
+///
+/// # Panics
+///
+/// Panics if `step` is not finite and positive.
+pub fn quantize_signatures(sigs: &[JobSignature], step: f64) -> SignatureKey {
+    assert!(step.is_finite() && step > 0.0, "quantization step must be finite and positive");
+    let bucket = |x: u64| ((1.0 + x as f64).ln() / step).round() as u32;
+    let mut quantized: Vec<QuantizedSignature> = sigs
+        .iter()
+        .map(|s| QuantizedSignature {
+            task: s.task(),
+            class: s.class(),
+            macs_bucket: bucket(s.macs()),
+            weights_bucket: bucket(s.weight_elems()),
+            activations_bucket: bucket(s.activation_elems()),
+        })
+        .collect();
+    quantized.sort_unstable();
+    SignatureKey(quantized)
+}
+
+/// Hit/miss/eviction counters of a [`MappingCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Insertions (fresh keys and replacements).
+    pub insertions: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]` (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The bounded LRU mapping cache. Recency bookkeeping is the shared
+/// [`magma_m3e::LruOrder`] (the same machinery bounding
+/// [`magma_m3e::SolutionHistory`]).
+#[derive(Debug, Clone)]
+pub struct MappingCache {
+    capacity: usize,
+    entries: HashMap<SignatureKey, StoredSolution>,
+    /// Recency order; always lists exactly the keys of `entries`.
+    recency: LruOrder<SignatureKey>,
+    stats: CacheStats,
+}
+
+impl MappingCache {
+    /// Creates an empty cache bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a mapping cache must hold at least one entry");
+        MappingCache {
+            capacity,
+            entries: HashMap::new(),
+            recency: LruOrder::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks `key` up, counting a hit or miss and marking a hit entry most
+    /// recently used.
+    pub fn lookup(&mut self, key: &SignatureKey) -> Option<&StoredSolution> {
+        if self.entries.contains_key(key) {
+            self.stats.hits += 1;
+            self.recency.bump(key);
+            self.entries.get(key)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or replaces) the entry for `key`, marks it most recently
+    /// used and evicts the least recently used entry when over capacity.
+    pub fn insert(&mut self, key: SignatureKey, solution: StoredSolution) {
+        self.stats.insertions += 1;
+        self.entries.insert(key.clone(), solution);
+        self.recency.bump(&key);
+        while self.entries.len() > self.capacity {
+            let lru = self.recency.pop_lru().expect("recency tracks every entry");
+            self.entries.remove(&lru);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_m3e::Mapping;
+    use magma_model::{TaskType, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(task: TaskType, n: usize, seed: u64) -> SignatureKey {
+        quantize_signatures(&WorkloadSpec::single_group(task, n, seed).signatures(), 1.0)
+    }
+
+    fn solution(n: usize, seed: u64) -> StoredSolution {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StoredSolution::new(Mapping::random(&mut rng, n, 4), None)
+    }
+
+    #[test]
+    fn key_is_order_insensitive_and_seed_sensitive() {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 16, 3);
+        let sigs = group.signatures();
+        let reversed: Vec<_> = sigs.iter().rev().copied().collect();
+        assert_eq!(quantize_signatures(&sigs, 1.0), quantize_signatures(&reversed, 1.0));
+        // Different workloads (almost surely) produce different keys.
+        assert_ne!(key(TaskType::Vision, 16, 0), key(TaskType::Language, 16, 0));
+    }
+
+    #[test]
+    fn coarser_steps_merge_nearby_magnitudes() {
+        let group = WorkloadSpec::single_group(TaskType::Mix, 12, 1);
+        let sigs = group.signatures();
+        let fine = quantize_signatures(&sigs, 1e-6);
+        let coarse = quantize_signatures(&sigs, 50.0);
+        assert_eq!(fine.len(), 12);
+        assert_eq!(coarse.len(), 12);
+        // At an absurdly coarse step every magnitude bucket collapses, so
+        // the key degenerates to (task, class) pairs.
+        assert!(coarse.0.iter().all(|q| q.macs_bucket <= 1));
+        // At a fine step distinct layers keep distinct buckets.
+        let mut fine_buckets: Vec<u32> = fine.0.iter().map(|q| q.macs_bucket).collect();
+        fine_buckets.dedup();
+        assert!(fine_buckets.len() > 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut cache = MappingCache::new(2);
+        let (a, b, c) =
+            (key(TaskType::Vision, 8, 0), key(TaskType::Language, 8, 0), key(TaskType::Mix, 8, 0));
+        cache.insert(a.clone(), solution(8, 0));
+        cache.insert(b.clone(), solution(8, 1));
+        // Touch `a` so `b` becomes LRU.
+        assert!(cache.lookup(&a).is_some());
+        cache.insert(c.clone(), solution(8, 2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&b).is_none(), "b was LRU and must be evicted");
+        assert!(cache.lookup(&a).is_some());
+        assert!(cache.lookup(&c).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn replacement_does_not_grow_or_evict() {
+        let mut cache = MappingCache::new(2);
+        let a = key(TaskType::Vision, 8, 0);
+        cache.insert(a.clone(), solution(8, 0));
+        cache.insert(a.clone(), solution(8, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn hit_rate_tracks_counters() {
+        let mut cache = MappingCache::new(4);
+        let a = key(TaskType::Vision, 8, 0);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert!(cache.lookup(&a).is_none());
+        cache.insert(a.clone(), solution(8, 0));
+        assert!(cache.lookup(&a).is_some());
+        assert_eq!(cache.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MappingCache::new(0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The mapping service: cache-hit adapt-then-refine vs cache-miss cold
+//! search, both through the parallel batch evaluator.
+//!
+//! Every dispatch group becomes an [`M3e`] problem; the service then either
+//!
+//! * **hits** the [`MappingCache`]: the stored solution is adapted onto the
+//!   new group by profile matching ([`StoredSolution::seed_population`], the
+//!   machinery behind `WarmStartEngine::adapt_matched`) and refined with the
+//!   small `refine_budget` via [`Magma::refine`] — the budget-limited resume
+//!   path; or
+//! * **misses**: a full MAGMA search runs at `cold_budget`.
+//!
+//! Both paths evaluate candidates through `magma_optim::parallel` (every
+//! `Magma` search batches its generations), so `MAGMA_THREADS` is a pure
+//! wall-clock knob here too — dispatch outcomes are bit-identical at every
+//! worker count. Either way the best mapping found is (re-)inserted under
+//! the group's key, so the cache tracks the freshest solution per traffic
+//! pattern.
+
+use crate::cache::{quantize_signatures, CacheStats, MappingCache};
+use magma_m3e::{M3e, Mapping, MappingProblem, Schedule, StoredSolution};
+use magma_optim::{Magma, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a dispatch was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DispatchKind {
+    /// Cache miss: full MAGMA search at the cold budget.
+    ColdSearch,
+    /// Cache hit: stored solution adapted and refined at the small budget.
+    CacheHit,
+}
+
+impl fmt::Display for DispatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchKind::ColdSearch => f.write_str("cold-search"),
+            DispatchKind::CacheHit => f.write_str("cache-hit"),
+        }
+    }
+}
+
+/// Budgets and cache geometry of the mapping service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchConfig {
+    /// Sampling budget of a cache-miss search.
+    pub cold_budget: usize,
+    /// Sampling budget of a cache-hit refinement (the ≤ 10%-of-cold lever).
+    pub refine_budget: usize,
+    /// Log-scale quantization step of the cache key, in nats.
+    pub quant_step: f64,
+    /// LRU capacity of the mapping cache.
+    pub cache_capacity: usize,
+}
+
+impl DispatchConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any budget or the capacity is zero, or `quant_step` is not
+    /// finite and positive.
+    pub fn new(
+        cold_budget: usize,
+        refine_budget: usize,
+        quant_step: f64,
+        cache_capacity: usize,
+    ) -> Self {
+        assert!(cold_budget > 0 && refine_budget > 0, "budgets must be non-zero");
+        assert!(cache_capacity > 0, "the cache must hold at least one entry");
+        assert!(quant_step.is_finite() && quant_step > 0.0, "quant step must be positive");
+        DispatchConfig { cold_budget, refine_budget, quant_step, cache_capacity }
+    }
+}
+
+/// The result of mapping one dispatch group.
+#[derive(Debug, Clone)]
+pub struct DispatchOutcome {
+    /// Whether the cache served this dispatch.
+    pub kind: DispatchKind,
+    /// Search samples actually evaluated.
+    pub samples: usize,
+    /// Fitness of the best mapping (GFLOP/s under the throughput objective).
+    pub best_fitness: f64,
+    /// The best mapping found.
+    pub mapping: Mapping,
+    /// The full schedule of the best mapping (per-job finish times feed the
+    /// latency metrics).
+    pub schedule: Schedule,
+}
+
+/// The stateful mapping service: one [`MappingCache`] plus the search
+/// budgets.
+#[derive(Debug)]
+pub struct MappingService {
+    config: DispatchConfig,
+    cache: MappingCache,
+}
+
+impl MappingService {
+    /// Creates a service with an empty cache.
+    pub fn new(config: DispatchConfig) -> Self {
+        MappingService { cache: MappingCache::new(config.cache_capacity), config }
+    }
+
+    /// The configured budgets.
+    pub fn config(&self) -> &DispatchConfig {
+        &self.config
+    }
+
+    /// The cache's running counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Maps one dispatch group. `seed` drives the (deterministic) search
+    /// RNG; the simulator derives it from the trace seed and dispatch index.
+    pub fn map_group(&mut self, problem: &M3e, seed: u64) -> DispatchOutcome {
+        let sigs = problem.signatures();
+        let key = quantize_signatures(sigs, self.config.quant_step);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_accels = MappingProblem::num_accels(problem);
+        let magma = Magma::default();
+
+        let (kind, outcome) = match self.cache.lookup(&key) {
+            Some(stored) => {
+                let budget = self.config.refine_budget;
+                // Sized by Magma itself so the seeds fill exactly one
+                // initial population.
+                let pop = magma.population_size_for(problem, budget);
+                let seeds = stored.seed_population(&mut rng, sigs, num_accels, pop);
+                (DispatchKind::CacheHit, magma.refine(problem, seeds, budget, &mut rng))
+            }
+            None => {
+                (DispatchKind::ColdSearch, magma.search(problem, self.config.cold_budget, &mut rng))
+            }
+        };
+
+        self.cache
+            .insert(key, StoredSolution::new(outcome.best_mapping.clone(), Some(sigs.to_vec())));
+        let schedule = problem.schedule(&outcome.best_mapping);
+        DispatchOutcome {
+            kind,
+            samples: outcome.history.num_samples(),
+            best_fitness: outcome.best_fitness,
+            mapping: outcome.best_mapping,
+            schedule,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_m3e::Objective;
+    use magma_model::{TaskType, WorkloadSpec};
+    use magma_platform::{settings, Setting};
+
+    fn problem(seed: u64) -> M3e {
+        let group = WorkloadSpec::single_group(TaskType::Recommendation, 8, seed);
+        M3e::new(settings::build(Setting::S2), group, Objective::Throughput)
+    }
+
+    fn config() -> DispatchConfig {
+        DispatchConfig::new(80, 8, 1.0, 8)
+    }
+
+    #[test]
+    fn first_dispatch_is_cold_repeat_is_a_hit() {
+        let mut service = MappingService::new(config());
+        let p = problem(0);
+        let cold = service.map_group(&p, 1);
+        assert_eq!(cold.kind, DispatchKind::ColdSearch);
+        assert_eq!(cold.samples, 80);
+        let hit = service.map_group(&p, 2);
+        assert_eq!(hit.kind, DispatchKind::CacheHit);
+        assert_eq!(hit.samples, 8);
+        assert_eq!(service.cache_len(), 1);
+        assert_eq!(service.cache_stats().hits, 1);
+        assert_eq!(service.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_on_an_identical_group_recovers_cold_quality() {
+        let mut service = MappingService::new(config());
+        let p = problem(3);
+        let cold = service.map_group(&p, 1);
+        let hit = service.map_group(&p, 99);
+        // The adapted seed IS the stored best mapping (identical signature
+        // set), so refinement can only improve on the cold result.
+        assert!(hit.best_fitness >= cold.best_fitness * (1.0 - 1e-12));
+        assert!(hit.samples * 10 <= cold.samples);
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_in_the_seed() {
+        let p = problem(5);
+        let run = || {
+            let mut service = MappingService::new(config());
+            let a = service.map_group(&p, 7);
+            let b = service.map_group(&p, 8);
+            (a.best_fitness, a.mapping, b.best_fitness, b.mapping)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_groups_miss_each_other() {
+        let mut service = MappingService::new(config());
+        let a = problem(0);
+        let b = M3e::new(
+            settings::build(Setting::S2),
+            WorkloadSpec::single_group(TaskType::Vision, 8, 0),
+            Objective::Throughput,
+        );
+        assert_eq!(service.map_group(&a, 1).kind, DispatchKind::ColdSearch);
+        assert_eq!(service.map_group(&b, 2).kind, DispatchKind::ColdSearch);
+        assert_eq!(service.cache_len(), 2);
+    }
+
+    #[test]
+    fn schedule_covers_the_group() {
+        let mut service = MappingService::new(config());
+        let p = problem(1);
+        let out = service.map_group(&p, 3);
+        assert_eq!(out.schedule.segments().len(), 8);
+        assert!(out.schedule.makespan_sec() > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! magma-serve — an online multi-tenant serving simulator with a
+//! signature-keyed mapping cache.
+//!
+//! The paper's premise is multi-tenant serving: groups of jobs from
+//! co-resident DNNs arriving at a shared multi-core accelerator (Sections I
+//! & III). The static experiments optimize *pre-formed* groups; this crate
+//! closes the loop from **traffic** to **mappings**:
+//!
+//! ```text
+//!  TenantMix ──▶ trace (Poisson / bursty / drift, seeded)
+//!                  │ arrivals
+//!                  ▼
+//!           AdmissionBatcher (size target + deadline)
+//!                  │ dispatch groups
+//!                  ▼
+//!           MappingService ──▶ MappingCache (LRU over quantized
+//!                  │               JobSignature sets)
+//!                  │   hit: adapt (profile match) + refine (small budget)
+//!                  │   miss: full MAGMA search (cold budget)
+//!                  ▼
+//!           virtual-clock schedule ──▶ ServeMetrics (p50/p95/p99,
+//!                                       SLA, hit rate, throughput)
+//! ```
+//!
+//! * [`trace`] — seeded arrival scenarios over the model zoo's tenants.
+//! * [`batcher`] — admission batching under a group-size/deadline policy.
+//! * [`cache`] — the bounded LRU over quantized [`magma_model::JobSignature`]
+//!   sets.
+//! * [`dispatch`] — cold search vs adapt-then-refine, both through the
+//!   parallel batch evaluator (`magma_optim::parallel`).
+//! * [`sim`] — the deterministic event-driven virtual-clock loop.
+//! * [`metrics`] — the latency/throughput/SLA pipeline.
+//! * [`report`] — the schema-stable `BENCH_serve.json` contract
+//!   (`magma-serve/v1`).
+//!
+//! # Paper cross-references
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | Sections I & III (multi-tenant job streams, groups) | [`trace`], [`batcher`] |
+//! | Section V-C / Table V (solution transfer to similar groups) | [`cache`], [`dispatch`] |
+//! | Section IV (M3E as the per-group mapping engine) | [`dispatch`] |
+//!
+//! # Determinism
+//!
+//! A simulation is a pure function of `(SimConfig, TenantMix)`: virtual
+//! clock only, seeded RNG only, and candidate evaluation through the
+//! order-stable parallel batch oracle — so `BENCH_serve.json` is
+//! bit-identical at every `MAGMA_THREADS` setting (locked down by
+//! `tests/integration_serve.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use magma_platform::settings::ServeKnobs;
+//! use magma_serve::report::run_standard_scenarios;
+//!
+//! let knobs = ServeKnobs { requests: 32, cold_budget: 30, refine_budget: 3,
+//!                          ..ServeKnobs::smoke() };
+//! let report = run_standard_scenarios(&knobs, true);
+//! assert_eq!(report.schema, magma_serve::report::SCHEMA);
+//! assert!(report.scenarios.iter().all(|s| s.metrics.jobs == 32));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod dispatch;
+pub mod metrics;
+pub mod report;
+pub mod sim;
+pub mod trace;
+
+pub use batcher::{AdmissionBatcher, BatchPolicy, DispatchGroup};
+pub use cache::{quantize_signatures, CacheStats, MappingCache, SignatureKey};
+pub use dispatch::{DispatchConfig, DispatchKind, DispatchOutcome, MappingService};
+pub use metrics::{LatencyStats, ServeMetrics};
+pub use report::{run_standard_scenarios, ServeReport, SCHEMA};
+pub use sim::{simulate, SimConfig, SimResult};
+pub use trace::{generate_trace, Arrival, Scenario, TraceParams};

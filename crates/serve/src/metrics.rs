@@ -1,0 +1,225 @@
+//! The metrics pipeline: latency percentiles, per-tenant SLA accounting,
+//! throughput and cache/dispatch summaries.
+//!
+//! Like the SG2042 HPC characterization in PAPERS.md, the serving simulator
+//! reports a full profile — p50/p95/p99 percentiles, not just means — for
+//! queueing, service and end-to-end latency, globally and per tenant. All
+//! statistics are computed with deterministic, order-stable arithmetic so
+//! the emitted report is bit-identical across runs and thread counts.
+
+use crate::dispatch::{DispatchKind, DispatchOutcome};
+use magma_model::TaskType;
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile of an ascending-sorted sample vector.
+///
+/// Returns 0.0 for an empty vector; `q` is clamped to `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summary statistics of one latency population, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_sec: f64,
+    /// Median (nearest rank).
+    pub p50_sec: f64,
+    /// 95th percentile (nearest rank).
+    pub p95_sec: f64,
+    /// 99th percentile (nearest rank).
+    pub p99_sec: f64,
+    /// Maximum.
+    pub max_sec: f64,
+}
+
+impl LatencyStats {
+    /// Computes the summary of `samples` (not required to be sorted).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = samples.len();
+        let mean_sec = if count == 0 { 0.0 } else { samples.iter().sum::<f64>() / count as f64 };
+        LatencyStats {
+            count,
+            mean_sec,
+            p50_sec: percentile(&samples, 0.50),
+            p95_sec: percentile(&samples, 0.95),
+            p99_sec: percentile(&samples, 0.99),
+            max_sec: samples.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Per-tenant latency and SLA accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Tenant task category.
+    pub task: TaskType,
+    /// Jobs completed for this tenant.
+    pub jobs: usize,
+    /// End-to-end (arrival → completion) latency profile.
+    pub latency: LatencyStats,
+    /// The SLA bound applied, in seconds.
+    pub sla_sec: f64,
+    /// Jobs whose end-to-end latency exceeded the bound.
+    pub sla_violations: usize,
+    /// `sla_violations / jobs` (0 when no jobs).
+    pub sla_violation_rate: f64,
+}
+
+/// Cache summary in the emitted report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Capacity evictions.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// Live entries at the end of the run.
+    pub entries: usize,
+}
+
+/// Mapping-quality and budget summary over all dispatches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSummary {
+    /// Total dispatch groups.
+    pub dispatches: usize,
+    /// Cache-miss (cold-search) dispatches.
+    pub cold: usize,
+    /// Cache-hit (adapt-then-refine) dispatches.
+    pub hits: usize,
+    /// Search samples spent by cold dispatches.
+    pub cold_samples: u64,
+    /// Search samples spent by hit dispatches.
+    pub hit_samples: u64,
+    /// Mean best-mapping throughput of cold dispatches, GFLOP/s.
+    pub cold_gflops_mean: f64,
+    /// Mean best-mapping throughput of hit dispatches, GFLOP/s.
+    pub hit_gflops_mean: f64,
+    /// `hit_gflops_mean / cold_gflops_mean` (0 when either side is empty) —
+    /// the ≥ 0.9 acceptance metric.
+    pub hit_cold_throughput_ratio: f64,
+    /// Mean hit samples / mean cold samples (0 when either side is empty) —
+    /// the ≤ 0.1 acceptance metric.
+    pub hit_sample_fraction: f64,
+}
+
+impl DispatchSummary {
+    /// Aggregates the per-dispatch outcomes.
+    pub fn from_outcomes(outcomes: &[DispatchOutcome]) -> Self {
+        let mut s = DispatchSummary {
+            dispatches: outcomes.len(),
+            cold: 0,
+            hits: 0,
+            cold_samples: 0,
+            hit_samples: 0,
+            cold_gflops_mean: 0.0,
+            hit_gflops_mean: 0.0,
+            hit_cold_throughput_ratio: 0.0,
+            hit_sample_fraction: 0.0,
+        };
+        let (mut cold_gflops, mut hit_gflops) = (0.0f64, 0.0f64);
+        for o in outcomes {
+            match o.kind {
+                DispatchKind::ColdSearch => {
+                    s.cold += 1;
+                    s.cold_samples += o.samples as u64;
+                    cold_gflops += o.best_fitness;
+                }
+                DispatchKind::CacheHit => {
+                    s.hits += 1;
+                    s.hit_samples += o.samples as u64;
+                    hit_gflops += o.best_fitness;
+                }
+            }
+        }
+        if s.cold > 0 {
+            s.cold_gflops_mean = cold_gflops / s.cold as f64;
+        }
+        if s.hits > 0 {
+            s.hit_gflops_mean = hit_gflops / s.hits as f64;
+        }
+        if s.cold > 0 && s.hits > 0 && s.cold_gflops_mean > 0.0 {
+            s.hit_cold_throughput_ratio = s.hit_gflops_mean / s.cold_gflops_mean;
+            let cold_mean = s.cold_samples as f64 / s.cold as f64;
+            let hit_mean = s.hit_samples as f64 / s.hits as f64;
+            if cold_mean > 0.0 {
+                s.hit_sample_fraction = hit_mean / cold_mean;
+            }
+        }
+        s
+    }
+}
+
+/// The full metrics block of one simulated scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Virtual-clock span of the run, from the clock origin (t = 0, just
+    /// before the first arrival) to the last completion, in seconds.
+    pub duration_sec: f64,
+    /// Jobs per virtual second.
+    pub jobs_per_sec: f64,
+    /// Useful work per virtual second, GFLOP/s.
+    pub throughput_gflops: f64,
+    /// Queueing (arrival → dispatch) latency profile.
+    pub queueing: LatencyStats,
+    /// Service (dispatch → completion, incl. mapper overhead) profile.
+    pub service: LatencyStats,
+    /// End-to-end (arrival → completion) latency profile.
+    pub end_to_end: LatencyStats,
+    /// Per-tenant breakdown, in tenant-mix order.
+    pub tenants: Vec<TenantReport>,
+    /// Mapping-cache counters.
+    pub cache: CacheReport,
+    /// Dispatch/budget/quality summary.
+    pub dispatch: DispatchSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn latency_stats_are_ordered() {
+        let stats = LatencyStats::from_samples((0..250).map(|i| (i % 97) as f64).collect());
+        assert_eq!(stats.count, 250);
+        assert!(stats.p50_sec <= stats.p95_sec);
+        assert!(stats.p95_sec <= stats.p99_sec);
+        assert!(stats.p99_sec <= stats.max_sec);
+        assert!(stats.mean_sec > 0.0);
+    }
+
+    #[test]
+    fn empty_latency_stats_are_zero() {
+        let stats = LatencyStats::from_samples(Vec::new());
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean_sec, 0.0);
+        assert_eq!(stats.max_sec, 0.0);
+    }
+}

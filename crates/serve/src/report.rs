@@ -1,0 +1,201 @@
+//! The schema-stable serving report behind `BENCH_serve.json`.
+//!
+//! Mirrors the contract of `magma-bench`'s `BENCH_parallel_eval.json`
+//! ([`SCHEMA`] is a versioned tag; fields are only ever added, with a
+//! version bump, never renamed or removed) so trend tooling can diff serving
+//! profiles across commits. The report is purely virtual-clock — it contains
+//! **no wall-clock measurements and no thread counts** — which is what makes
+//! the determinism suite's bit-identical-JSON assertion possible across
+//! `MAGMA_THREADS` settings.
+
+use crate::sim::{simulate, SimConfig};
+use crate::trace::Scenario;
+use magma_model::{TaskType, TenantMix};
+use magma_platform::settings::ServeKnobs;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Version tag of the report layout. Bump when (and only when) fields are
+/// added; existing fields are never renamed or removed.
+pub const SCHEMA: &str = "magma-serve/v1";
+
+/// One simulated scenario's block in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Short stable identifier (e.g. `repeat_recommendation`).
+    pub name: String,
+    /// The traffic scenario simulated.
+    pub scenario: Scenario,
+    /// Arrivals simulated.
+    pub requests: usize,
+    /// Dispatch-group size target.
+    pub group_target: usize,
+    /// Calibrated mean inter-arrival gap, µs of virtual time.
+    pub mean_interarrival_us: f64,
+    /// Per-job SLA bound, µs of virtual time.
+    pub sla_us: f64,
+    /// The full metrics block.
+    pub metrics: crate::metrics::ServeMetrics,
+}
+
+/// The full report written to `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Schema version tag ([`SCHEMA`]).
+    pub schema: String,
+    /// `smoke` or `full`.
+    pub mode: String,
+    /// Trace/search seed.
+    pub seed: u64,
+    /// Cold-search sampling budget.
+    pub cold_budget: usize,
+    /// Cache-hit refinement budget.
+    pub refine_budget: usize,
+    /// Mapping-cache capacity.
+    pub cache_capacity: usize,
+    /// One entry per simulated scenario.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// The standard scenario ladder: what `serve_sim` runs and the determinism
+/// suite locks down.
+///
+/// * `poisson_mix` — stationary multi-tenant traffic (the paper's Mix task,
+///   served online).
+/// * `repeat_recommendation` — a single small-model tenant whose job windows
+///   recur; the repeated-tenant trace of the acceptance criterion.
+/// * (full mode only) `bursty_mix` and `drift_mix` — deadline-path stress
+///   and cache-invalidation-under-drift.
+pub fn standard_scenarios(smoke: bool) -> Vec<(&'static str, Scenario, TenantMix)> {
+    let mut scenarios = vec![
+        ("poisson_mix", Scenario::Poisson, TenantMix::standard()),
+        (
+            "repeat_recommendation",
+            Scenario::Poisson,
+            TenantMix::single(
+                "recommendation",
+                TaskType::Recommendation,
+                vec![magma_model::zoo::ncf()],
+            ),
+        ),
+    ];
+    if !smoke {
+        scenarios.push(("bursty_mix", Scenario::Bursty, TenantMix::standard()));
+        scenarios.push(("drift_mix", Scenario::Drift, TenantMix::standard()));
+    }
+    scenarios
+}
+
+/// Runs the standard scenario ladder under `knobs` and assembles the report.
+pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
+    let scenarios = standard_scenarios(smoke)
+        .into_iter()
+        .map(|(name, scenario, mix)| {
+            let config = SimConfig::from_knobs(knobs, scenario);
+            let result = simulate(&config, &mix);
+            ScenarioResult {
+                name: name.to_string(),
+                scenario,
+                requests: config.requests,
+                group_target: config.group_target,
+                mean_interarrival_us: result.mean_interarrival_sec * 1e6,
+                sla_us: result.sla_sec * 1e6,
+                metrics: result.metrics,
+            }
+        })
+        .collect();
+    ServeReport {
+        schema: SCHEMA.to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        seed: knobs.seed,
+        cold_budget: knobs.cold_budget,
+        refine_budget: knobs.refine_budget,
+        cache_capacity: knobs.cache_capacity,
+        scenarios,
+    }
+}
+
+/// Writes the report to `BENCH_serve.json` in `MAGMA_BENCH_DIR` (default:
+/// the current directory, i.e. the repo root under `cargo run`), returning
+/// the path on success — same contract as the perf harness, so CI never
+/// silently uploads a stale profile.
+pub fn write_bench_json(report: &ServeReport) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("MAGMA_BENCH_DIR").map(PathBuf::from).unwrap_or_else(|_| ".".into());
+    let path = dir.join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::other(format!("serializing the serve report: {e}")))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_knobs() -> ServeKnobs {
+        ServeKnobs {
+            requests: 40,
+            group_target: 8,
+            cold_budget: 40,
+            refine_budget: 4,
+            cache_capacity: 8,
+            ..ServeKnobs::smoke()
+        }
+    }
+
+    #[test]
+    fn smoke_ladder_has_the_acceptance_scenario() {
+        let names: Vec<&str> = standard_scenarios(true).iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(names, ["poisson_mix", "repeat_recommendation"]);
+        let full: Vec<&str> = standard_scenarios(false).iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(full.len(), 4);
+        assert!(full.contains(&"repeat_recommendation"));
+    }
+
+    #[test]
+    fn report_round_trips_through_serde_with_stable_keys() {
+        let report = run_standard_scenarios(&tiny_knobs(), true);
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.scenarios.len(), 2);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        // The schema contract: these keys must never be renamed (only added
+        // to, with a SCHEMA bump).
+        for key in [
+            "\"schema\"",
+            "\"mode\"",
+            "\"seed\"",
+            "\"cold_budget\"",
+            "\"refine_budget\"",
+            "\"cache_capacity\"",
+            "\"scenarios\"",
+            "\"name\"",
+            "\"scenario\"",
+            "\"requests\"",
+            "\"group_target\"",
+            "\"mean_interarrival_us\"",
+            "\"sla_us\"",
+            "\"metrics\"",
+            "\"jobs\"",
+            "\"duration_sec\"",
+            "\"jobs_per_sec\"",
+            "\"throughput_gflops\"",
+            "\"queueing\"",
+            "\"service\"",
+            "\"end_to_end\"",
+            "\"p50_sec\"",
+            "\"p95_sec\"",
+            "\"p99_sec\"",
+            "\"tenants\"",
+            "\"sla_violations\"",
+            "\"cache\"",
+            "\"hit_rate\"",
+            "\"dispatch\"",
+            "\"hit_cold_throughput_ratio\"",
+            "\"hit_sample_fraction\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

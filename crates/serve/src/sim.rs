@@ -1,0 +1,417 @@
+//! The deterministic, virtual-clock, event-driven serving simulator.
+//!
+//! The loop closes the paper's missing link from *traffic* to *mappings*:
+//! arrivals (from [`crate::trace`]) feed the admission batcher
+//! ([`crate::batcher`]); when the accelerator is free and a group is ready,
+//! the mapping service ([`crate::dispatch`]) searches or cache-adapts a
+//! mapping; the resulting schedule's per-job finish times advance the
+//! virtual clock and feed the metrics pipeline ([`crate::metrics`]).
+//!
+//! Everything is virtual-time: searching costs `overhead_sec_per_sample`
+//! per evaluated sample (so cache hits buy latency, not just samples), and
+//! the group then occupies the accelerator for its schedule's makespan.
+//! The simulation is a pure function of `(config, mix)` — no wall clock, no
+//! ambient RNG — and every search evaluates candidates through the parallel
+//! batch oracle, so results are bit-identical at every `MAGMA_THREADS`.
+//!
+//! # Calibration
+//!
+//! Arrival rates are specified as an *offered load* relative to the
+//! platform's unoptimized service rate: a calibration group (the first
+//! `group_target` jobs of the mix, round-robin across tenants) is scheduled
+//! under a seeded random mapping, and its per-job makespan share becomes the
+//! unit the mean inter-arrival gap is derived from. This keeps one knob
+//! meaningful across platforms from S1 to S6. The per-job SLA bound is
+//! `sla_x × (batch window + calibrated group service time + cold mapper
+//! overhead)` — the latency a job would see in a healthy, uncongested
+//! system, times a tolerance factor.
+
+use crate::batcher::{AdmissionBatcher, BatchPolicy};
+use crate::dispatch::{DispatchConfig, DispatchOutcome, MappingService};
+use crate::metrics::{CacheReport, DispatchSummary, LatencyStats, ServeMetrics, TenantReport};
+use crate::trace::{generate_trace, Scenario, TraceParams};
+use magma_m3e::{M3e, Mapping, Objective};
+use magma_model::{Group, JobId, TenantMix};
+use magma_platform::settings::{self, ServeKnobs};
+use magma_platform::Setting;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The full parameter set of one simulated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The accelerator platform (Table III setting).
+    pub setting: Setting,
+    /// The traffic scenario.
+    pub scenario: Scenario,
+    /// Arrivals to simulate.
+    pub requests: usize,
+    /// Dispatch-group size target.
+    pub group_target: usize,
+    /// Admission deadline in batch-formation windows.
+    pub max_wait_x: f64,
+    /// Mini-batch size per job.
+    pub mini_batch: usize,
+    /// Offered load relative to the calibrated service rate.
+    pub offered_load: f64,
+    /// SLA tolerance factor (see module docs).
+    pub sla_x: f64,
+    /// Virtual mapper cost per evaluated sample, in seconds.
+    pub overhead_sec_per_sample: f64,
+    /// Search budgets and cache geometry.
+    pub dispatch: DispatchConfig,
+    /// Trace/search seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Builds a config from the `MAGMA_SERVE_*` knob family for a scenario
+    /// on the default platform (S2, the paper's main evaluation setting).
+    pub fn from_knobs(knobs: &ServeKnobs, scenario: Scenario) -> Self {
+        SimConfig {
+            setting: Setting::S2,
+            scenario,
+            requests: knobs.requests,
+            group_target: knobs.group_target,
+            max_wait_x: knobs.max_wait_x,
+            mini_batch: magma_model::workload::DEFAULT_MINI_BATCH,
+            offered_load: knobs.offered_load,
+            sla_x: knobs.sla_x,
+            overhead_sec_per_sample: knobs.overhead_us_per_sample * 1e-6,
+            dispatch: DispatchConfig::new(
+                knobs.cold_budget,
+                knobs.refine_budget,
+                knobs.quant_step,
+                knobs.cache_capacity,
+            ),
+            seed: knobs.seed,
+        }
+    }
+}
+
+/// The output of one simulated scenario: the metrics block plus the
+/// calibration constants that shaped it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The full metrics block.
+    pub metrics: ServeMetrics,
+    /// The calibrated mean inter-arrival gap, in virtual seconds.
+    pub mean_interarrival_sec: f64,
+    /// The per-job SLA bound applied, in virtual seconds.
+    pub sla_sec: f64,
+}
+
+/// One completed job's bookkeeping.
+struct JobRecord {
+    tenant: usize,
+    arrival_sec: f64,
+    dispatched_sec: f64,
+    completed_sec: f64,
+    flops: u64,
+}
+
+/// Runs one scenario to completion.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (zero requests/group target, a
+/// non-positive offered load) — [`SimConfig::from_knobs`] never builds such
+/// a config.
+pub fn simulate(config: &SimConfig, mix: &TenantMix) -> SimResult {
+    assert!(config.requests > 0 && config.group_target > 0);
+    assert!(config.offered_load > 0.0 && config.offered_load.is_finite());
+    let platform = settings::build(config.setting);
+
+    // --- calibration: unoptimized service time of one representative group.
+    let calib_group = calibration_group(mix, config.group_target, config.mini_batch);
+    let calib_n = calib_group.len();
+    let calib_problem = M3e::new(platform.clone(), calib_group, Objective::Throughput);
+    let mut calib_rng = StdRng::seed_from_u64(config.seed);
+    let calib_mapping = Mapping::random(&mut calib_rng, calib_n, platform.num_sub_accels());
+    let calib_makespan = calib_problem.schedule(&calib_mapping).makespan_sec();
+    let mean_interarrival_sec = calib_makespan / calib_n as f64 / config.offered_load;
+    let batch_window_sec = config.group_target as f64 * mean_interarrival_sec;
+    let cold_overhead_sec = config.dispatch.cold_budget as f64 * config.overhead_sec_per_sample;
+    let sla_sec = config.sla_x * (batch_window_sec + calib_makespan + cold_overhead_sec);
+
+    // --- trace + components.
+    let trace = generate_trace(
+        &TraceParams {
+            scenario: config.scenario,
+            requests: config.requests,
+            mean_interarrival_sec,
+            mini_batch: config.mini_batch,
+            seed: config.seed,
+        },
+        mix,
+    );
+    let mut batcher = AdmissionBatcher::new(BatchPolicy::new(
+        config.group_target,
+        config.max_wait_x * batch_window_sec,
+    ));
+    let mut service = MappingService::new(config.dispatch);
+
+    // --- event loop: arrivals and dispatches in virtual-time order.
+    let mut records: Vec<JobRecord> = Vec::with_capacity(trace.len());
+    let mut outcomes: Vec<DispatchOutcome> = Vec::new();
+    let mut free_at = 0.0f64;
+    let mut next = 0usize;
+    loop {
+        let next_arrival = trace.get(next).map(|a| a.time_sec);
+        let dispatch_at = batcher.earliest_ready().map(|r| r.max(free_at));
+        match (next_arrival, dispatch_at) {
+            // The next arrival happens before (or exactly when) the next
+            // group could be cut: admit it first so it can join the group.
+            (Some(ta), Some(td)) if ta <= td => {
+                batcher.push(trace[next].clone());
+                next += 1;
+            }
+            (Some(_), None) => {
+                batcher.push(trace[next].clone());
+                next += 1;
+            }
+            (_, Some(td)) => {
+                let group = batcher.take_group(td).expect("ready time reached");
+                let jobs: Vec<_> = group
+                    .arrivals
+                    .iter()
+                    .enumerate()
+                    .map(|(k, a)| a.job.clone().with_id(JobId(k)))
+                    .collect();
+                let problem = M3e::new(platform.clone(), Group::new(jobs), Objective::Throughput);
+                let seed =
+                    config.seed.wrapping_add((outcomes.len() as u64).wrapping_mul(K_SEED_STRIDE));
+                let outcome = service.map_group(&problem, seed);
+                let overhead = outcome.samples as f64 * config.overhead_sec_per_sample;
+                let mut end_by_job = vec![0.0f64; group.arrivals.len()];
+                for seg in outcome.schedule.segments() {
+                    end_by_job[seg.job.0] = seg.end_sec;
+                }
+                for (k, a) in group.arrivals.iter().enumerate() {
+                    records.push(JobRecord {
+                        tenant: a.tenant,
+                        arrival_sec: a.time_sec,
+                        dispatched_sec: td,
+                        completed_sec: td + overhead + end_by_job[k],
+                        flops: a.job.flops(),
+                    });
+                }
+                free_at = td + overhead + outcome.schedule.makespan_sec();
+                outcomes.push(outcome);
+            }
+            (None, None) => break,
+        }
+    }
+
+    let metrics = assemble_metrics(&records, &outcomes, &service, mix, sla_sec);
+    SimResult { metrics, mean_interarrival_sec, sla_sec }
+}
+
+/// Seed stride decorrelating per-dispatch search RNG streams (the 64-bit
+/// golden ratio, as used by splitmix-style generators).
+const K_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The calibration group: the first `target` jobs of the mix, round-robin
+/// across tenants, re-identified 0..target.
+fn calibration_group(mix: &TenantMix, target: usize, mini_batch: usize) -> Group {
+    let mut streams: Vec<_> = mix.tenants().iter().map(|t| t.job_stream(mini_batch)).collect();
+    let tenants = streams.len();
+    let jobs = (0..target).map(|k| streams[k % tenants].next_job(JobId(k))).collect();
+    Group::new(jobs)
+}
+
+/// Folds the run's records into the metrics block.
+fn assemble_metrics(
+    records: &[JobRecord],
+    outcomes: &[DispatchOutcome],
+    service: &MappingService,
+    mix: &TenantMix,
+    sla_sec: f64,
+) -> ServeMetrics {
+    let duration_sec = records.iter().map(|r| r.completed_sec).fold(0.0f64, f64::max);
+    let total_flops: u64 = records.iter().map(|r| r.flops).sum();
+    let (jobs_per_sec, throughput_gflops) = if duration_sec > 0.0 {
+        (records.len() as f64 / duration_sec, total_flops as f64 / duration_sec / 1e9)
+    } else {
+        (0.0, 0.0)
+    };
+
+    let queueing = LatencyStats::from_samples(
+        records.iter().map(|r| r.dispatched_sec - r.arrival_sec).collect(),
+    );
+    let service_lat = LatencyStats::from_samples(
+        records.iter().map(|r| r.completed_sec - r.dispatched_sec).collect(),
+    );
+    let end_to_end = LatencyStats::from_samples(
+        records.iter().map(|r| r.completed_sec - r.arrival_sec).collect(),
+    );
+
+    let tenants = mix
+        .tenants()
+        .iter()
+        .enumerate()
+        .map(|(i, tenant)| {
+            let latencies: Vec<f64> = records
+                .iter()
+                .filter(|r| r.tenant == i)
+                .map(|r| r.completed_sec - r.arrival_sec)
+                .collect();
+            let jobs = latencies.len();
+            let sla_violations = latencies.iter().filter(|&&l| l > sla_sec).count();
+            TenantReport {
+                tenant: tenant.name().to_string(),
+                task: tenant.task(),
+                jobs,
+                latency: LatencyStats::from_samples(latencies),
+                sla_sec,
+                sla_violations,
+                sla_violation_rate: if jobs == 0 {
+                    0.0
+                } else {
+                    sla_violations as f64 / jobs as f64
+                },
+            }
+        })
+        .collect();
+
+    let stats = service.cache_stats();
+    ServeMetrics {
+        jobs: records.len(),
+        duration_sec,
+        jobs_per_sec,
+        throughput_gflops,
+        queueing,
+        service: service_lat,
+        end_to_end,
+        tenants,
+        cache: CacheReport {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            hit_rate: stats.hit_rate(),
+            entries: service.cache_len(),
+        },
+        dispatch: DispatchSummary::from_outcomes(outcomes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_model::TaskType;
+
+    fn tiny_config(scenario: Scenario, seed: u64) -> SimConfig {
+        SimConfig {
+            setting: Setting::S2,
+            scenario,
+            requests: 48,
+            group_target: 8,
+            max_wait_x: 2.0,
+            mini_batch: 4,
+            offered_load: 0.7,
+            sla_x: 3.0,
+            overhead_sec_per_sample: 1e-6,
+            dispatch: DispatchConfig::new(40, 4, 1.0, 16),
+            seed,
+        }
+    }
+
+    #[test]
+    fn every_arrival_completes_exactly_once() {
+        let result = simulate(&tiny_config(Scenario::Poisson, 0), &TenantMix::standard());
+        let m = &result.metrics;
+        assert_eq!(m.jobs, 48);
+        assert_eq!(m.tenants.iter().map(|t| t.jobs).sum::<usize>(), 48);
+        assert_eq!(m.dispatch.cold + m.dispatch.hits, m.dispatch.dispatches);
+        assert!(m.duration_sec > 0.0);
+        assert!(m.jobs_per_sec > 0.0);
+        assert!(m.throughput_gflops > 0.0);
+    }
+
+    #[test]
+    fn latency_decomposition_is_consistent() {
+        let result = simulate(&tiny_config(Scenario::Bursty, 1), &TenantMix::standard());
+        let m = &result.metrics;
+        // Percentile ordering within each profile.
+        for stats in [&m.queueing, &m.service, &m.end_to_end] {
+            assert!(stats.p50_sec <= stats.p95_sec);
+            assert!(stats.p95_sec <= stats.p99_sec);
+            assert!(stats.p99_sec <= stats.max_sec);
+            assert!(stats.mean_sec >= 0.0);
+        }
+        // End-to-end mean = queueing mean + service mean (same population).
+        let sum = m.queueing.mean_sec + m.service.mean_sec;
+        assert!((m.end_to_end.mean_sec - sum).abs() < 1e-9 * sum.max(1.0));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let mix = TenantMix::standard();
+        let a = simulate(&tiny_config(Scenario::Drift, 2), &mix);
+        let b = simulate(&tiny_config(Scenario::Drift, 2), &mix);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_tenant_traffic_hits_the_cache() {
+        let mix =
+            TenantMix::single("recom", TaskType::Recommendation, vec![magma_model::zoo::ncf()]);
+        let mut config = tiny_config(Scenario::Poisson, 3);
+        config.requests = 64;
+        let result = simulate(&config, &mix);
+        let d = &result.metrics.dispatch;
+        assert!(d.hits > 0, "periodic single-tenant windows must recur: {d:?}");
+        assert!(result.metrics.cache.hit_rate > 0.0);
+        // The acceptance criterion at miniature scale: hits reach ≥ 90% of
+        // cold throughput on ≤ 10% of the cold sample budget.
+        assert!(
+            d.hit_cold_throughput_ratio >= 0.9,
+            "hit/cold ratio {} too low",
+            d.hit_cold_throughput_ratio
+        );
+        assert!(d.hit_sample_fraction <= 0.101, "fraction {}", d.hit_sample_fraction);
+    }
+
+    #[test]
+    fn higher_load_increases_queueing() {
+        let mix = TenantMix::standard();
+        let mut relaxed = tiny_config(Scenario::Poisson, 4);
+        relaxed.offered_load = 0.2;
+        let mut loaded = tiny_config(Scenario::Poisson, 4);
+        loaded.offered_load = 3.0;
+        let a = simulate(&relaxed, &mix);
+        let b = simulate(&loaded, &mix);
+        // Queueing latency is measured in units of the (load-dependent)
+        // inter-arrival scale; normalize before comparing.
+        let norm_a = a.metrics.queueing.mean_sec / a.mean_interarrival_sec;
+        let norm_b = b.metrics.queueing.mean_sec / b.mean_interarrival_sec;
+        assert!(norm_b > norm_a, "overload must queue: {norm_b} vs {norm_a}");
+    }
+
+    #[test]
+    fn sla_bound_scales_with_tolerance() {
+        let mix = TenantMix::standard();
+        let mut tight = tiny_config(Scenario::Poisson, 5);
+        tight.sla_x = 0.01;
+        let mut loose = tiny_config(Scenario::Poisson, 5);
+        loose.sla_x = 100.0;
+        let t = simulate(&tight, &mix);
+        let l = simulate(&loose, &mix);
+        let violations =
+            |r: &SimResult| r.metrics.tenants.iter().map(|t| t.sla_violations).sum::<usize>();
+        assert!(violations(&t) > 0, "a near-zero SLA must violate");
+        assert_eq!(violations(&l), 0, "a huge SLA must not violate");
+        assert!(t.sla_sec < l.sla_sec);
+    }
+
+    #[test]
+    fn from_knobs_mirrors_the_knob_family() {
+        let knobs = ServeKnobs::smoke();
+        let config = SimConfig::from_knobs(&knobs, Scenario::Bursty);
+        assert_eq!(config.requests, knobs.requests);
+        assert_eq!(config.group_target, knobs.group_target);
+        assert_eq!(config.dispatch.cold_budget, knobs.cold_budget);
+        assert_eq!(config.dispatch.refine_budget, knobs.refine_budget);
+        assert_eq!(config.scenario, Scenario::Bursty);
+    }
+}

@@ -1,0 +1,240 @@
+//! Seeded arrival-trace synthesis: Poisson, bursty/diurnal and
+//! tenant-mix-drift traffic over a [`TenantMix`].
+//!
+//! A trace is the input of the serving simulator: a time-ordered list of
+//! [`Arrival`]s, each one job from one tenant. Inter-arrival gaps are drawn
+//! from an exponential distribution (inverse-CDF over the seeded RNG — no
+//! distribution crate needed), optionally modulated by the scenario; tenant
+//! selection is weighted, optionally drifting over the trace. Job content
+//! comes from each tenant's deterministic [`TenantJobStream`], so the same
+//! `(mix, params)` pair always produces bit-identical traces — and a
+//! single-tenant mix produces *periodic* job windows, the repeated-tenant
+//! pattern the mapping cache exploits.
+
+use magma_model::{JobId, TaskType, TenantJobStream, TenantMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The traffic scenario shaping a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Scenario {
+    /// Stationary Poisson arrivals with fixed tenant weights.
+    #[default]
+    Poisson,
+    /// Diurnal-style bursts: arrival blocks alternate between a high-rate
+    /// and a low-rate phase (mean rate preserved), stressing the batcher's
+    /// deadline path during troughs and its size path during peaks.
+    Bursty,
+    /// Tenant-mix drift: traffic shifts linearly from vision-heavy to
+    /// language-heavy across the trace, invalidating cached mappings as the
+    /// dominant tenant changes.
+    Drift,
+}
+
+impl Scenario {
+    /// All scenarios, in presentation order.
+    pub const ALL: [Scenario; 3] = [Scenario::Poisson, Scenario::Bursty, Scenario::Drift];
+
+    /// Inter-arrival gap multiplier for arrival `index` of `total`. Bursty
+    /// traffic alternates 0.4× / 1.6× in blocks of [`BURST_BLOCK`] arrivals
+    /// (mean 1.0× preserved); other scenarios are unmodulated.
+    fn gap_factor(self, index: usize, _total: usize) -> f64 {
+        match self {
+            Scenario::Bursty => {
+                if (index / BURST_BLOCK).is_multiple_of(2) {
+                    0.4
+                } else {
+                    1.6
+                }
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Effective tenant weights at trace progress `p` in `[0, 1]`: drift
+    /// scales vision tenants by `1 + 2(1-p)` and language tenants by
+    /// `1 + 2p`, so the trace starts vision-heavy (3:1) and ends
+    /// language-heavy (1:3); other scenarios use the base weights.
+    fn tenant_weights(self, mix: &TenantMix, p: f64) -> Vec<f64> {
+        mix.tenants()
+            .iter()
+            .map(|t| {
+                let factor = match (self, t.task()) {
+                    (Scenario::Drift, TaskType::Vision) => 1.0 + 2.0 * (1.0 - p),
+                    (Scenario::Drift, TaskType::Language) => 1.0 + 2.0 * p,
+                    _ => 1.0,
+                };
+                t.weight() * factor
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Arrivals per bursty high/low phase block.
+pub const BURST_BLOCK: usize = 20;
+
+/// Parameters of one synthesized trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParams {
+    /// The traffic scenario.
+    pub scenario: Scenario,
+    /// Number of arrivals to synthesize.
+    pub requests: usize,
+    /// Mean inter-arrival gap in virtual seconds.
+    pub mean_interarrival_sec: f64,
+    /// Mini-batch size of every job.
+    pub mini_batch: usize,
+    /// RNG seed (gaps + tenant selection).
+    pub seed: u64,
+}
+
+/// One request: a job from a tenant arriving at a virtual-clock instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival time in seconds.
+    pub time_sec: f64,
+    /// Index of the emitting tenant in the mix.
+    pub tenant: usize,
+    /// The job to be mapped and executed. Job ids are re-assigned per
+    /// dispatch group; here they number the arrivals of the trace.
+    pub job: magma_model::Job,
+}
+
+/// Synthesizes the full arrival trace for `mix` under `params`.
+///
+/// # Panics
+///
+/// Panics if `requests == 0`, `mini_batch == 0` or the mean inter-arrival
+/// gap is not finite and positive.
+pub fn generate_trace(params: &TraceParams, mix: &TenantMix) -> Vec<Arrival> {
+    assert!(params.requests > 0, "a trace needs at least one arrival");
+    assert!(
+        params.mean_interarrival_sec.is_finite() && params.mean_interarrival_sec > 0.0,
+        "mean inter-arrival gap must be finite and positive"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut streams: Vec<TenantJobStream> =
+        mix.tenants().iter().map(|t| t.job_stream(params.mini_batch)).collect();
+    let mut arrivals = Vec::with_capacity(params.requests);
+    let mut now = 0.0f64;
+    let denom = params.requests.saturating_sub(1).max(1) as f64;
+    for i in 0..params.requests {
+        // Exponential gap via inverse CDF; 1 - u is in (0, 1] so ln is finite.
+        let u: f64 = rng.gen();
+        let gap = -(1.0 - u).max(f64::MIN_POSITIVE).ln() * params.mean_interarrival_sec;
+        now += gap * params.scenario.gap_factor(i, params.requests);
+        let progress = i as f64 / denom;
+        let weights = params.scenario.tenant_weights(mix, progress);
+        let tenant = mix.pick(&weights, rng.gen());
+        let job = streams[tenant].next_job(JobId(i));
+        arrivals.push(Arrival { time_sec: now, tenant, job });
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(scenario: Scenario, seed: u64) -> TraceParams {
+        TraceParams { scenario, requests: 120, mean_interarrival_sec: 1e-3, mini_batch: 4, seed }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_time_ordered() {
+        let mix = TenantMix::standard();
+        let a = generate_trace(&params(Scenario::Poisson, 7), &mix);
+        let b = generate_trace(&params(Scenario::Poisson, 7), &mix);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 120);
+        assert!(a.windows(2).all(|w| w[0].time_sec <= w[1].time_sec));
+        assert!(a.iter().all(|x| x.time_sec.is_finite() && x.time_sec > 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mix = TenantMix::standard();
+        let a = generate_trace(&params(Scenario::Poisson, 1), &mix);
+        let b = generate_trace(&params(Scenario::Poisson, 2), &mix);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_gap_is_roughly_honored() {
+        let mix = TenantMix::standard();
+        let p = TraceParams {
+            scenario: Scenario::Poisson,
+            requests: 2_000,
+            mean_interarrival_sec: 1e-3,
+            mini_batch: 4,
+            seed: 3,
+        };
+        let trace = generate_trace(&p, &mix);
+        let mean = trace.last().unwrap().time_sec / 2_000.0;
+        assert!((0.8e-3..1.25e-3).contains(&mean), "observed mean gap {mean}");
+    }
+
+    #[test]
+    fn bursty_trace_alternates_fast_and_slow_blocks() {
+        let mix = TenantMix::standard();
+        let trace = generate_trace(&params(Scenario::Bursty, 5), &mix);
+        let span = |lo: usize, hi: usize| trace[hi].time_sec - trace[lo].time_sec;
+        // High-rate block (0..20) must be denser than the low-rate block
+        // (20..40) — with 4x rate separation this holds at any seed that
+        // isn't adversarial; the fixed seed keeps it deterministic.
+        assert!(span(0, 19) < span(20, 39));
+    }
+
+    #[test]
+    fn drift_trace_shifts_from_vision_to_language() {
+        let mix = TenantMix::standard();
+        let p = TraceParams {
+            scenario: Scenario::Drift,
+            requests: 600,
+            mean_interarrival_sec: 1e-3,
+            mini_batch: 4,
+            seed: 11,
+        };
+        let trace = generate_trace(&p, &mix);
+        let count = |range: std::ops::Range<usize>, task: TaskType| {
+            trace[range].iter().filter(|a| a.job.task() == task).count()
+        };
+        // First third is vision-heavy, last third language-heavy.
+        assert!(count(0..200, TaskType::Vision) > count(0..200, TaskType::Language));
+        assert!(count(400..600, TaskType::Language) > count(400..600, TaskType::Vision));
+    }
+
+    #[test]
+    fn single_tenant_trace_is_periodic_in_job_content() {
+        let mix =
+            TenantMix::single("recom", TaskType::Recommendation, vec![magma_model::zoo::ncf()]);
+        let period = mix.tenants()[0].job_stream(4).period();
+        let p = TraceParams {
+            scenario: Scenario::Poisson,
+            requests: 3 * period,
+            mean_interarrival_sec: 1e-3,
+            mini_batch: 4,
+            seed: 0,
+        };
+        let trace = generate_trace(&p, &mix);
+        for i in 0..period {
+            assert_eq!(trace[i].job.layer(), trace[i + period].job.layer());
+        }
+    }
+
+    #[test]
+    fn scenario_labels_are_distinct() {
+        let mut labels: Vec<String> = Scenario::ALL.iter().map(|s| s.to_string()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Serving determinism suite: the online simulator must emit bit-identical
+//! `BENCH_serve.json` metrics at a fixed seed, whatever the worker-thread
+//! count and however often it is re-run.
+//!
+//! The report is purely virtual-clock (no wall-clock fields, no thread
+//! counts), every search evaluates candidates through the order-stable
+//! parallel batch oracle, and every RNG is seeded — so the *entire
+//! serialized report* must be byte-equal across `MAGMA_THREADS` ∈ {1, 4}
+//! (pinned per-thread via `magma_optim::parallel::with_threads`, exactly as
+//! the optimizer determinism suite does) and across repeated runs. The suite
+//! also locks the acceptance criterion: on the repeated-tenant scenario,
+//! cache-hit dispatches reach ≥ 90% of cold-search throughput at ≤ 10% of
+//! the cold sample budget.
+
+use magma_optim::parallel::with_threads;
+use magma_platform::settings::ServeKnobs;
+use magma_serve::report::{run_standard_scenarios, ServeReport};
+
+/// Miniature but non-trivial knobs: several dispatch groups per scenario,
+/// cold/refine budgets in the acceptance ratio, a real (bounded) cache.
+fn test_knobs() -> ServeKnobs {
+    ServeKnobs {
+        requests: 64,
+        group_target: 8,
+        cold_budget: 50,
+        refine_budget: 5,
+        cache_capacity: 12,
+        seed: 7,
+        ..ServeKnobs::smoke()
+    }
+}
+
+fn report_json(threads: usize) -> String {
+    with_threads(threads, || {
+        let report = run_standard_scenarios(&test_knobs(), true);
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    })
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let serial = report_json(1);
+    let parallel = report_json(4);
+    assert_eq!(serial, parallel, "MAGMA_THREADS must never change serving metrics");
+    // Oversubscription (more workers than candidates) must not matter either.
+    assert_eq!(serial, report_json(64));
+}
+
+#[test]
+fn report_is_bit_identical_across_repeated_runs() {
+    assert_eq!(report_json(2), report_json(2));
+}
+
+#[test]
+fn report_survives_a_serde_round_trip_under_parallel_evaluation() {
+    let json = report_json(4);
+    let report: ServeReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(report.schema, magma_serve::SCHEMA);
+    assert_eq!(report.scenarios.len(), 2);
+    assert_eq!(serde_json::to_string_pretty(&report).unwrap(), json);
+}
+
+#[test]
+fn different_seeds_produce_different_reports() {
+    let a = report_json(1);
+    let b = with_threads(1, || {
+        let knobs = ServeKnobs { seed: 8, ..test_knobs() };
+        serde_json::to_string_pretty(&run_standard_scenarios(&knobs, true)).unwrap()
+    });
+    assert_ne!(a, b, "the seed must actually drive the trace and searches");
+}
+
+#[test]
+fn acceptance_criterion_holds_on_the_repeated_tenant_trace() {
+    let report = with_threads(4, || run_standard_scenarios(&test_knobs(), true));
+    let repeat = report
+        .scenarios
+        .iter()
+        .find(|s| s.name == "repeat_recommendation")
+        .expect("standard ladder contains the repeated-tenant scenario");
+    let d = &repeat.metrics.dispatch;
+    assert!(d.hits > 0, "repeated-tenant windows must recur in the cache: {d:?}");
+    assert!(
+        d.hit_cold_throughput_ratio >= 0.9,
+        "hit dispatches reached only {:.3} of cold throughput",
+        d.hit_cold_throughput_ratio
+    );
+    assert!(
+        d.hit_sample_fraction <= 0.101,
+        "hits spent {:.3} of the cold budget",
+        d.hit_sample_fraction
+    );
+    // The cache never exceeds its bound.
+    assert!(repeat.metrics.cache.entries <= test_knobs().cache_capacity);
+}
+
+#[test]
+fn every_scenario_completes_all_requests_with_sane_profiles() {
+    let report = with_threads(2, || run_standard_scenarios(&test_knobs(), true));
+    for s in &report.scenarios {
+        let m = &s.metrics;
+        assert_eq!(m.jobs, 64, "{}", s.name);
+        assert_eq!(m.tenants.iter().map(|t| t.jobs).sum::<usize>(), m.jobs, "{}", s.name);
+        assert!(m.duration_sec > 0.0 && m.throughput_gflops > 0.0, "{}", s.name);
+        for stats in [&m.queueing, &m.service, &m.end_to_end] {
+            assert_eq!(stats.count, m.jobs, "{}", s.name);
+            assert!(stats.p50_sec <= stats.p95_sec && stats.p95_sec <= stats.p99_sec);
+            assert!(stats.p99_sec <= stats.max_sec && stats.max_sec.is_finite());
+        }
+        assert_eq!(m.cache.hits + m.cache.misses, m.dispatch.dispatches as u64, "{}", s.name);
+    }
+}
