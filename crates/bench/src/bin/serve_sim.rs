@@ -4,14 +4,19 @@
 //!
 //! Runs the standard scenario ladder of `magma_serve::report` — stationary
 //! Poisson multi-tenant traffic, a repeated-tenant trace, and (full mode)
-//! bursty and tenant-drift traffic — through the virtual-clock simulator,
-//! prints a latency/throughput/cache profile per scenario and writes the
-//! schema-stable `BENCH_serve.json` (schema `magma-serve/v1`).
+//! bursty and tenant-drift traffic — through the virtual-clock simulator in
+//! **both serving modes** (overlap: search slices interleaved with
+//! accelerator execution through the steppable session API; legacy: the
+//! serial baseline), prints a latency/throughput/cache profile per scenario
+//! plus the overlap-vs-legacy comparison, and writes the schema-stable
+//! `BENCH_serve.json` (schema `magma-serve/v2`, self-checked via
+//! `ServeReport::validate`).
 //!
-//! The run doubles as an acceptance check: on the repeated-tenant scenario
-//! the cache-hit dispatches must reach ≥ 90% of the cold-search throughput
-//! while spending ≤ 10% of the cold sample budget, or the binary panics (so
-//! CI can never silently regress the serving win).
+//! The run doubles as an acceptance check and panics on regression (so CI
+//! can never silently lose either win): on the repeated-tenant scenario the
+//! cache-hit dispatches must reach ≥ 90% of the cold-search throughput while
+//! spending ≤ 10% of the cold sample budget, and overlap mode must report a
+//! strictly lower mean end-to-end latency than legacy mode.
 //!
 //! # Knobs
 //!
@@ -25,15 +30,18 @@
 //! | `MAGMA_SERVE_COLD_BUDGET` | cache-miss search budget |
 //! | `MAGMA_SERVE_REFINE_BUDGET` | cache-hit refinement budget |
 //! | `MAGMA_SERVE_QUANT` | cache-key quantization step (nats) |
+//! | `MAGMA_SERVE_CACHE_EPSILON` | nearest-key cache probe threshold (0 = exact-key only) |
 //! | `MAGMA_SERVE_LOAD` | offered load vs calibrated service rate |
 //! | `MAGMA_SERVE_SLA_X` | SLA tolerance factor |
 //! | `MAGMA_SERVE_OVERHEAD_US` | virtual mapper cost per sample (µs) |
+//! | `MAGMA_SERVE_OVERLAP` | `0` makes legacy the primary ladder (both are always simulated) |
+//! | `MAGMA_SERVE_SLICE` | samples per search slice in overlap mode (result-invariant) |
 //! | `MAGMA_SERVE_SEED` | trace/search seed |
 //! | `MAGMA_THREADS` | evaluation worker threads — wall-clock only, the report never changes |
 //! | `MAGMA_BENCH_DIR` | output directory of `BENCH_serve.json` |
 
 use magma_serve::metrics::LatencyStats;
-use magma_serve::report::{run_standard_scenarios, write_bench_json};
+use magma_serve::report::{run_standard_scenarios, write_bench_json, ScenarioResult};
 use magma_serve::ServeReport;
 
 fn main() {
@@ -44,18 +52,29 @@ fn main() {
     println!("serve_sim — online multi-tenant serving (magma-serve)");
     println!(
         "mode {}, {} requests/scenario, groups of {}, budgets {}/{} (cold/refine), \
-         cache {} entries, seed {}",
+         cache {} entries (epsilon {}), slice {}, seed {}",
         if smoke { "smoke" } else { "full" },
         knobs.requests,
         knobs.group_target,
         knobs.cold_budget,
         knobs.refine_budget,
         knobs.cache_capacity,
+        knobs.cache_epsilon,
+        knobs.search_slice,
         knobs.seed
+    );
+    println!(
+        "primary serving mode: {} (MAGMA_SERVE_OVERLAP={})",
+        if knobs.overlap { "overlap" } else { "legacy" },
+        knobs.overlap as u8
     );
     println!("==============================================================");
 
     let report = run_standard_scenarios(&knobs, smoke);
+    if let Err(violation) = report.validate() {
+        eprintln!("magma-serve/v2 schema self-check failed: {violation}");
+        std::process::exit(1);
+    }
     print_report(&report);
     check_acceptance(&report);
 
@@ -79,78 +98,127 @@ fn latency_row(label: &str, s: &LatencyStats) {
     );
 }
 
-fn print_report(report: &ServeReport) {
-    for s in &report.scenarios {
-        let m = &s.metrics;
+fn print_scenario(s: &ScenarioResult) {
+    let m = &s.metrics;
+    println!(
+        "\n[{}] {} ({}) — {} jobs in {:.1} ms of virtual time ({:.0} jobs/s, {:.1} GFLOP/s)",
+        s.name,
+        s.scenario,
+        if s.overlap { "overlap" } else { "legacy" },
+        m.jobs,
+        m.duration_sec * 1e3,
+        m.jobs_per_sec,
+        m.throughput_gflops
+    );
+    println!(
+        "  {:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "latency (µs)", "mean", "p50", "p95", "p99", "max"
+    );
+    latency_row("queueing", &m.queueing);
+    latency_row("service", &m.service);
+    latency_row("end-to-end", &m.end_to_end);
+    println!(
+        "  cache: {} hits ({} near) / {} misses (rate {:.2}), {} evictions, {} live entries",
+        m.cache.hits,
+        m.cache.near_hits,
+        m.cache.misses,
+        m.cache.hit_rate,
+        m.cache.evictions,
+        m.cache.entries
+    );
+    println!(
+        "  dispatch: {} cold ({} samples, {:.1} GFLOP/s mean) vs {} hits \
+         ({} samples, {:.1} GFLOP/s mean) → ratio {:.3} at {:.1}% of cold budget",
+        m.dispatch.cold,
+        m.dispatch.cold_samples,
+        m.dispatch.cold_gflops_mean,
+        m.dispatch.hits,
+        m.dispatch.hit_samples,
+        m.dispatch.hit_gflops_mean,
+        m.dispatch.hit_cold_throughput_ratio,
+        m.dispatch.hit_sample_fraction * 100.0
+    );
+    for t in &m.tenants {
         println!(
-            "\n[{}] {} — {} jobs in {:.1} ms of virtual time ({:.0} jobs/s, {:.1} GFLOP/s)",
-            s.name,
-            s.scenario,
-            m.jobs,
-            m.duration_sec * 1e3,
-            m.jobs_per_sec,
-            m.throughput_gflops
+            "  tenant {:<16} {} jobs, p99 {:.1} µs, SLA({:.1} µs ×{:.2}) violations {} ({:.1}%)",
+            t.tenant,
+            t.jobs,
+            t.latency.p99_sec * 1e6,
+            t.sla_sec * 1e6,
+            t.sla_multiplier,
+            t.sla_violations,
+            t.sla_violation_rate * 100.0
         );
-        println!(
-            "  {:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            "latency (µs)", "mean", "p50", "p95", "p99", "max"
-        );
-        latency_row("queueing", &m.queueing);
-        latency_row("service", &m.service);
-        latency_row("end-to-end", &m.end_to_end);
-        println!(
-            "  cache: {} hits / {} misses (rate {:.2}), {} evictions, {} live entries",
-            m.cache.hits, m.cache.misses, m.cache.hit_rate, m.cache.evictions, m.cache.entries
-        );
-        println!(
-            "  dispatch: {} cold ({} samples, {:.1} GFLOP/s mean) vs {} hits \
-             ({} samples, {:.1} GFLOP/s mean) → ratio {:.3} at {:.1}% of cold budget",
-            m.dispatch.cold,
-            m.dispatch.cold_samples,
-            m.dispatch.cold_gflops_mean,
-            m.dispatch.hits,
-            m.dispatch.hit_samples,
-            m.dispatch.hit_gflops_mean,
-            m.dispatch.hit_cold_throughput_ratio,
-            m.dispatch.hit_sample_fraction * 100.0
-        );
-        for t in &m.tenants {
-            println!(
-                "  tenant {:<16} {} jobs, p99 {:.1} µs, SLA({:.1} µs) violations {} ({:.1}%)",
-                t.tenant,
-                t.jobs,
-                t.latency.p99_sec * 1e6,
-                t.sla_sec * 1e6,
-                t.sla_violations,
-                t.sla_violation_rate * 100.0
-            );
-        }
     }
 }
 
-/// The acceptance criterion on the repeated-tenant scenario. Panics on
+fn print_report(report: &ServeReport) {
+    for s in &report.scenarios {
+        print_scenario(s);
+    }
+    println!("\n--- baseline ({}) ---", if report.primary_overlap { "legacy" } else { "overlap" });
+    for s in &report.baseline_scenarios {
+        print_scenario(s);
+    }
+    println!("\noverlap vs legacy (end-to-end, µs of virtual time):");
+    println!(
+        "  {:<22} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "scenario", "ovl mean", "leg mean", "ovl p95", "leg p95", "speedup"
+    );
+    for c in &report.comparison {
+        println!(
+            "  {:<22} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x",
+            c.name,
+            c.overlap_mean_e2e_us,
+            c.legacy_mean_e2e_us,
+            c.overlap_p95_e2e_us,
+            c.legacy_p95_e2e_us,
+            c.mean_speedup
+        );
+    }
+}
+
+/// The acceptance criteria on the repeated-tenant scenario. Panics on
 /// regression so CI fails loudly.
 fn check_acceptance(report: &ServeReport) {
-    let repeat = report
-        .scenarios
-        .iter()
-        .find(|s| s.name == "repeat_recommendation")
-        .expect("the standard ladder always contains the repeated-tenant scenario");
-    let d = &repeat.metrics.dispatch;
-    assert!(d.hits > 0, "repeated-tenant traffic produced no cache hits");
+    let repeat = |ladder: &[ScenarioResult]| -> ScenarioResult {
+        ladder
+            .iter()
+            .find(|s| s.name == "repeated_tenant")
+            .expect("the standard ladder always contains the repeated-tenant scenario")
+            .clone()
+    };
+    // Cache economics hold in both serving modes.
+    for ladder in [report.overlap_scenarios(), report.legacy_scenarios()] {
+        let d = repeat(ladder).metrics.dispatch;
+        assert!(d.hits > 0, "repeated-tenant traffic produced no cache hits");
+        assert!(
+            d.hit_cold_throughput_ratio >= 0.9,
+            "cache-hit dispatch reached only {:.1}% of cold-search throughput (acceptance: ≥ 90%)",
+            d.hit_cold_throughput_ratio * 100.0
+        );
+        assert!(
+            d.hit_sample_fraction <= 0.101,
+            "cache hits spent {:.1}% of the cold sample budget (acceptance: ≤ 10%)",
+            d.hit_sample_fraction * 100.0
+        );
+    }
+    // Overlap must strictly beat legacy end-to-end on the repeated trace.
+    let overlap = repeat(report.overlap_scenarios());
+    let legacy = repeat(report.legacy_scenarios());
     assert!(
-        d.hit_cold_throughput_ratio >= 0.9,
-        "cache-hit dispatch reached only {:.1}% of cold-search throughput (acceptance: ≥ 90%)",
-        d.hit_cold_throughput_ratio * 100.0
+        overlap.metrics.end_to_end.mean_sec < legacy.metrics.end_to_end.mean_sec,
+        "overlap mean e2e {:.1} µs is not below legacy {:.1} µs",
+        overlap.metrics.end_to_end.mean_sec * 1e6,
+        legacy.metrics.end_to_end.mean_sec * 1e6
     );
-    assert!(
-        d.hit_sample_fraction <= 0.101,
-        "cache hits spent {:.1}% of the cold sample budget (acceptance: ≤ 10%)",
-        d.hit_sample_fraction * 100.0
-    );
+    let d = overlap.metrics.dispatch;
     println!(
-        "\nacceptance: hit/cold throughput ratio {:.3} (≥ 0.9) at {:.1}% of the cold budget (≤ 10%)",
+        "\nacceptance: hit/cold throughput ratio {:.3} (≥ 0.9) at {:.1}% of the cold budget \
+         (≤ 10%); overlap e2e mean {:.1} µs < legacy {:.1} µs",
         d.hit_cold_throughput_ratio,
-        d.hit_sample_fraction * 100.0
+        d.hit_sample_fraction * 100.0,
+        overlap.metrics.end_to_end.mean_sec * 1e6,
+        legacy.metrics.end_to_end.mean_sec * 1e6
     );
 }

@@ -228,6 +228,12 @@ impl MapperBuilder {
     }
 
     /// Runs the configured algorithm on an already-built problem.
+    ///
+    /// The run is driven through the steppable session API: since the
+    /// redesign, [`Optimizer::search`] is a provided method that opens one
+    /// [`magma_optim::SearchSession`] via [`Optimizer::start`] and steps it
+    /// to the budget — so this is exactly the loop a serving layer would
+    /// run, without duplicating it here.
     pub fn run_on(&self, problem: &M3e) -> MappingReport {
         let optimizer: Box<dyn Optimizer> = match (&self.initial_population, self.algorithm) {
             (Some(pop), Algorithm::Magma) => Box::new(Magma::with_warm_start(pop.clone())),

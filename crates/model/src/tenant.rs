@@ -19,17 +19,21 @@
 use crate::{zoo, Job, JobId, LayerShape, Model, TaskType};
 
 /// One co-resident service: a named owner of a set of models, with a traffic
-/// weight used when sampling which tenant the next arrival belongs to.
+/// weight used when sampling which tenant the next arrival belongs to and an
+/// optional per-tenant SLA contract multiplier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tenant {
     name: String,
     task: TaskType,
     models: Vec<Model>,
     weight: f64,
+    sla_multiplier: Option<f64>,
 }
 
 impl Tenant {
-    /// Creates a tenant owning `models`, with relative traffic `weight`.
+    /// Creates a tenant owning `models`, with relative traffic `weight` and
+    /// no per-tenant SLA contract (the serving layer's uniform bound
+    /// applies; see [`Tenant::with_sla_multiplier`]).
     ///
     /// # Panics
     ///
@@ -42,7 +46,37 @@ impl Tenant {
             "a tenant's models must contain at least one accelerator layer"
         );
         assert!(weight.is_finite() && weight > 0.0, "tenant weight must be finite and positive");
-        Tenant { name: name.into(), task, models, weight }
+        Tenant { name: name.into(), task, models, weight, sla_multiplier: None }
+    }
+
+    /// Attaches a per-tenant SLA contract: the serving layer's baseline SLA
+    /// bound is scaled by `multiplier` for this tenant's jobs (e.g. `0.5`
+    /// for a latency-critical tenant on half the uniform bound, `2.0` for a
+    /// batch tenant tolerating twice the bound). Tenants without a
+    /// multiplier keep the uniform bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not finite and positive.
+    pub fn with_sla_multiplier(mut self, multiplier: f64) -> Self {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "an SLA multiplier must be finite and positive"
+        );
+        self.sla_multiplier = Some(multiplier);
+        self
+    }
+
+    /// The per-tenant SLA multiplier, if one was contracted.
+    pub fn sla_multiplier(&self) -> Option<f64> {
+        self.sla_multiplier
+    }
+
+    /// The SLA bound this tenant is held to, given the serving layer's
+    /// baseline bound: `base_sla_sec` scaled by the contracted multiplier,
+    /// or the baseline itself without a contract.
+    pub fn effective_sla_sec(&self, base_sla_sec: f64) -> f64 {
+        base_sla_sec * self.sla_multiplier.unwrap_or(1.0)
     }
 
     /// The tenant's human-readable name (appears in per-tenant metrics).
@@ -109,6 +143,27 @@ impl TenantMix {
     /// same service's job windows recur and the mapping cache pays off.
     pub fn single(name: impl Into<String>, task: TaskType, models: Vec<Model>) -> Self {
         TenantMix::new(vec![Tenant::new(name, task, models, 1.0)])
+    }
+
+    /// Attaches per-tenant SLA contracts to an existing mix, in tenant
+    /// order: `multipliers[i]` becomes tenant `i`'s SLA multiplier (see
+    /// [`Tenant::with_sla_multiplier`]). The idiomatic way to build, e.g., a
+    /// standard mix where the vision tenant is latency-critical:
+    /// `TenantMix::standard().with_sla_multipliers(&[0.5, 1.0, 2.0])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multipliers.len() != self.len()` or any multiplier is not
+    /// finite and positive.
+    pub fn with_sla_multipliers(mut self, multipliers: &[f64]) -> Self {
+        assert_eq!(multipliers.len(), self.tenants.len(), "one SLA multiplier per tenant");
+        self.tenants = self
+            .tenants
+            .into_iter()
+            .zip(multipliers)
+            .map(|(t, &x)| t.with_sla_multiplier(x))
+            .collect();
+        self
     }
 
     /// The tenants in the mix.
@@ -322,5 +377,35 @@ mod tests {
     #[should_panic(expected = "at least one model")]
     fn tenant_without_models_panics() {
         let _ = Tenant::new("empty", TaskType::Vision, vec![], 1.0);
+    }
+
+    #[test]
+    fn sla_multiplier_defaults_to_the_uniform_bound() {
+        let t = Tenant::new("v", TaskType::Vision, vec![zoo::shufflenet()], 1.0);
+        assert_eq!(t.sla_multiplier(), None);
+        assert_eq!(t.effective_sla_sec(3.0), 3.0);
+        let tight = t.with_sla_multiplier(0.5);
+        assert_eq!(tight.sla_multiplier(), Some(0.5));
+        assert_eq!(tight.effective_sla_sec(3.0), 1.5);
+    }
+
+    #[test]
+    fn mix_threads_sla_multipliers_in_tenant_order() {
+        let mix = TenantMix::standard().with_sla_multipliers(&[0.5, 1.0, 2.0]);
+        let m: Vec<Option<f64>> = mix.tenants().iter().map(|t| t.sla_multiplier()).collect();
+        assert_eq!(m, vec![Some(0.5), Some(1.0), Some(2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one SLA multiplier per tenant")]
+    fn mismatched_sla_multiplier_count_panics() {
+        let _ = TenantMix::standard().with_sla_multipliers(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_sla_multiplier_panics() {
+        let t = Tenant::new("v", TaskType::Vision, vec![zoo::shufflenet()], 1.0);
+        let _ = t.with_sla_multiplier(0.0);
     }
 }

@@ -8,9 +8,10 @@
 //! generation (the paper's configuration: the best 1/2 of individuals form
 //! the elite group).
 
-use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::optimizer::{Optimizer, SearchSession};
+use crate::session::{CoreSession, SessionCore};
 use crate::vector::{clamp_unit, VectorProblem};
-use magma_m3e::{MappingProblem, SearchHistory};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
@@ -62,69 +63,115 @@ impl Optimizer for CmaEs {
         "CMA"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let vp = VectorProblem::new(problem);
-        let dims = vp.dims();
-        let lambda = self.config.population_size.max(4).min(budget.max(4));
-        let mu = ((lambda as f64 * self.config.elite_fraction) as usize).max(1);
-        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        let core = CmaCore::new(*self, problem, rng);
+        CoreSession::new(problem, rng, core).boxed()
+    }
+}
 
-        let mut history = SearchHistory::new();
-        let mut remaining = budget;
+/// The incremental separable-CMA-ES stepper: individuals of a generation are
+/// sampled lazily from the frozen `(mean, sigma)` distribution; the
+/// distribution update runs only when the whole generation has been
+/// evaluated. A session stopped mid-generation never updates on a partial
+/// elite set — matching the one-shot search, whose partial final generation
+/// could no longer influence any sample.
+struct CmaCore {
+    cma: CmaEs,
+    lambda: usize,
+    mu: usize,
+    normal: Normal,
+    mean: Vec<f64>,
+    sigma: Vec<f64>,
+    gen_xs: Vec<Vec<f64>>,
+    gen_fits: Vec<f64>,
+}
 
-        // Mean starts at the centre of the hyper-cube; per-dimension sigma at
-        // the configured initial step size.
-        let mut mean: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.3..0.7)).collect();
-        let mut sigma: Vec<f64> = vec![self.config.initial_sigma; dims];
+impl CmaCore {
+    fn new(cma: CmaEs, problem: &dyn MappingProblem, rng: &mut StdRng) -> Self {
+        let dims = VectorProblem::new(problem).dims();
+        // Nominal (budget-independent) offspring count; the one-shot budget
+        // clamp only bound runs that ended inside their first generation.
+        let lambda = cma.config.population_size.max(4);
+        let mu = ((lambda as f64 * cma.config.elite_fraction) as usize).max(1);
+        // Mean starts at the centre of the hyper-cube; per-dimension sigma
+        // at the configured initial step size (drawn at session start, like
+        // the one-shot search drew it at entry).
+        let mean: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.3..0.7)).collect();
+        CmaCore {
+            cma,
+            lambda,
+            mu,
+            normal: Normal::new(0.0, 1.0).expect("unit normal"),
+            mean,
+            sigma: vec![cma.config.initial_sigma; dims],
+            gen_xs: Vec::new(),
+            gen_fits: Vec::new(),
+        }
+    }
 
-        while remaining > 0 {
-            let this_gen = lambda.min(remaining);
-            // Sample the generation serially (deterministic RNG stream),
-            // evaluate it as one parallel batch.
-            let xs: Vec<Vec<f64>> = (0..this_gen)
-                .map(|_| {
-                    let mut x: Vec<f64> =
-                        (0..dims).map(|d| mean[d] + sigma[d] * normal.sample(rng)).collect();
-                    clamp_unit(&mut x);
-                    x
-                })
-                .collect();
-            let fits = vp.evaluate_generation(&xs, &mut history);
-            let mut samples: Vec<(Vec<f64>, f64)> = xs.into_iter().zip(fits).collect();
-            remaining -= this_gen;
+    /// The rank-weighted mean / per-dimension variance update over the
+    /// completed generation (the one-shot per-generation block, verbatim).
+    fn update_distribution(&mut self) {
+        let dims = self.mean.len();
+        let xs = std::mem::take(&mut self.gen_xs);
+        let fits = std::mem::take(&mut self.gen_fits);
+        let mut samples: Vec<(Vec<f64>, f64)> = xs.into_iter().zip(fits).collect();
+        samples.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let elites = &samples[..self.mu.min(samples.len())];
 
-            samples.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let elites = &samples[..mu.min(samples.len())];
-
-            // Weighted (rank-linear) mean of the elites.
-            let weights: Vec<f64> = (0..elites.len()).map(|r| (elites.len() - r) as f64).collect();
-            let wsum: f64 = weights.iter().sum();
-            let mut new_mean = vec![0.0; dims];
-            for (w, (x, _)) in weights.iter().zip(elites) {
-                for d in 0..dims {
-                    new_mean[d] += w * x[d] / wsum;
-                }
-            }
-
-            // Per-dimension variance from the elites around the *old* mean
-            // (rank-mu style update), blended with the previous sigma.
-            let lr = self.config.variance_learning_rate;
+        // Weighted (rank-linear) mean of the elites.
+        let weights: Vec<f64> = (0..elites.len()).map(|r| (elites.len() - r) as f64).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut new_mean = vec![0.0; dims];
+        for (w, (x, _)) in weights.iter().zip(elites) {
             for d in 0..dims {
-                let var: f64 = elites.iter().map(|(x, _)| (x[d] - mean[d]).powi(2)).sum::<f64>()
-                    / elites.len() as f64;
-                let new_sigma = var.sqrt().max(1e-4);
-                sigma[d] = (1.0 - lr) * sigma[d] + lr * new_sigma;
+                new_mean[d] += w * x[d] / wsum;
             }
-            mean = new_mean;
         }
 
-        SearchOutcome::from_history(history)
+        // Per-dimension variance from the elites around the *old* mean
+        // (rank-mu style update), blended with the previous sigma.
+        let lr = self.cma.config.variance_learning_rate;
+        for d in 0..dims {
+            let var: f64 = elites.iter().map(|(x, _)| (x[d] - self.mean[d]).powi(2)).sum::<f64>()
+                / elites.len() as f64;
+            let new_sigma = var.sqrt().max(1e-4);
+            self.sigma[d] = (1.0 - lr) * self.sigma[d] + lr * new_sigma;
+        }
+        self.mean = new_mean;
+    }
+}
+
+impl SessionCore for CmaCore {
+    fn next_wave(
+        &mut self,
+        want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        let vp = VectorProblem::new(problem);
+        let dims = self.mean.len();
+        if self.gen_xs.len() == self.lambda {
+            self.update_distribution();
+        }
+        let count = want.min(self.lambda - self.gen_xs.len());
+        let mut wave = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut x: Vec<f64> =
+                (0..dims).map(|d| self.mean[d] + self.sigma[d] * self.normal.sample(rng)).collect();
+            clamp_unit(&mut x);
+            wave.push(vp.decode(&x));
+            self.gen_xs.push(x);
+        }
+        wave
+    }
+
+    fn absorb(&mut self, _wave: Vec<Mapping>, fits: &[f64], _problem: &dyn MappingProblem) {
+        self.gen_fits.extend_from_slice(fits);
     }
 }
 

@@ -8,9 +8,10 @@
 //! generation), which is what lets a generation evaluate as one parallel
 //! batch.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::optimizer::{Optimizer, SearchSession};
+use crate::session::{CoreSession, SessionCore};
 use crate::vector::{clamp_unit, VectorProblem};
-use magma_m3e::{MappingProblem, SearchHistory};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -54,69 +55,136 @@ impl Optimizer for DifferentialEvolution {
         "DE"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let vp = VectorProblem::new(problem);
-        let dims = vp.dims();
-        let np = self.config.population_size.max(4).min(budget.max(4));
-        let mut history = SearchHistory::new();
-        let mut remaining = budget;
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        CoreSession::new(problem, rng, DeCore::new(*self, problem)).boxed()
+    }
+}
 
-        // Initial population, evaluated as one batch.
-        let pop_init: Vec<Vec<f64>> =
-            (0..np.min(remaining)).map(|_| vp.random_point(rng)).collect();
-        let fit_init = vp.evaluate_generation(&pop_init, &mut history);
-        remaining -= pop_init.len();
-        let mut pop = pop_init;
-        let mut fit = fit_init;
+/// The incremental DE/rand/1/bin stepper. Trials stay generation-synchronous
+/// — every trial of a generation is built from the population frozen at the
+/// generation boundary — but are *bred lazily*, one per demanded sample, and
+/// selection is applied only once the whole generation has been evaluated.
+/// A session stopped mid-generation has therefore drawn exactly the one-shot
+/// search's RNG stream.
+struct DeCore {
+    de: DifferentialEvolution,
+    np: usize,
+    /// The frozen population and fitnesses trials are built against.
+    pop: Vec<Vec<f64>>,
+    fit: Vec<f64>,
+    /// Candidates emitted for the generation in flight (init individuals or
+    /// trial vectors), in emission order.
+    gen_xs: Vec<Vec<f64>>,
+    /// Fitnesses absorbed for the generation in flight.
+    gen_fits: Vec<f64>,
+    in_generations: bool,
+}
 
-        // Generation-synchronous rand/1/bin: every trial of a generation is
-        // built from the *previous* generation's population, so the whole
-        // generation can be evaluated as one parallel batch and selection
-        // applied afterwards in index order.
-        while remaining > 0 && pop.len() >= 4 {
-            let this_gen = pop.len().min(remaining);
-            let mut trials: Vec<Vec<f64>> = Vec::with_capacity(this_gen);
-            for (i, target) in pop.iter().enumerate().take(this_gen) {
-                // Pick three mutually distinct individuals, all different
-                // from i (rand/1/bin requires r1 ≠ r2 ≠ r3 ≠ i; the loop
-                // guard keeps pop.len() ≥ 4 so this always terminates).
-                let mut pick = |taken: &[usize]| loop {
-                    let j = rng.gen_range(0..pop.len());
-                    if j != i && !taken.contains(&j) {
-                        return j;
-                    }
-                };
-                let a = pick(&[]);
-                let b = pick(&[a]);
-                let c = pick(&[a, b]);
-                let jrand = rng.gen_range(0..dims);
-                let mut trial = target.clone();
-                for d in 0..dims {
-                    if rng.gen::<f64>() < self.config.crossover_rate || d == jrand {
-                        trial[d] =
-                            pop[a][d] + self.config.differential_weight * (pop[b][d] - pop[c][d]);
-                    }
-                }
-                clamp_unit(&mut trial);
-                trials.push(trial);
+impl DeCore {
+    fn new(de: DifferentialEvolution, _problem: &dyn MappingProblem) -> Self {
+        // Nominal (budget-independent) population size; the one-shot budget
+        // clamp only bound runs that ended inside the initial population.
+        let np = de.config.population_size.max(4);
+        DeCore {
+            de,
+            np,
+            pop: Vec::new(),
+            fit: Vec::new(),
+            gen_xs: Vec::new(),
+            gen_fits: Vec::new(),
+            in_generations: false,
+        }
+    }
+
+    /// Breeds trial `i` of the current generation (rand/1/bin) against the
+    /// frozen population — the exact per-trial RNG draws of the one-shot
+    /// loop.
+    fn breed_trial(&self, i: usize, dims: usize, rng: &mut StdRng) -> Vec<f64> {
+        let mut pick = |taken: &[usize]| loop {
+            let j = rng.gen_range(0..self.pop.len());
+            if j != i && !taken.contains(&j) {
+                return j;
             }
-            let trial_fits = vp.evaluate_generation(&trials, &mut history);
-            remaining -= this_gen;
-            for (i, (trial, f)) in trials.into_iter().zip(trial_fits).enumerate() {
-                if f > fit[i] {
-                    pop[i] = trial;
-                    fit[i] = f;
+        };
+        let a = pick(&[]);
+        let b = pick(&[a]);
+        let c = pick(&[a, b]);
+        let jrand = rng.gen_range(0..dims);
+        let mut trial = self.pop[i].clone();
+        for (d, gene) in trial.iter_mut().enumerate() {
+            if rng.gen::<f64>() < self.de.config.crossover_rate || d == jrand {
+                *gene = self.pop[a][d]
+                    + self.de.config.differential_weight * (self.pop[b][d] - self.pop[c][d]);
+            }
+        }
+        clamp_unit(&mut trial);
+        trial
+    }
+
+    /// Size of the generation in flight: the initial population and every
+    /// trial generation are all `np` wide.
+    fn gen_target(&self) -> usize {
+        self.np
+    }
+
+    /// Folds the completed generation back: the initial population becomes
+    /// the frozen population; a trial generation is selected index-by-index.
+    fn close_generation(&mut self) {
+        let xs = std::mem::take(&mut self.gen_xs);
+        let fits = std::mem::take(&mut self.gen_fits);
+        if !self.in_generations {
+            self.pop = xs;
+            self.fit = fits;
+            self.in_generations = true;
+        } else {
+            for (i, (trial, f)) in xs.into_iter().zip(fits).enumerate() {
+                if f > self.fit[i] {
+                    self.pop[i] = trial;
+                    self.fit[i] = f;
                 }
             }
         }
+    }
+}
 
-        SearchOutcome::from_history(history)
+impl SessionCore for DeCore {
+    fn next_wave(
+        &mut self,
+        want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        let vp = VectorProblem::new(problem);
+        let dims = vp.dims();
+        if self.gen_xs.len() == self.gen_target() {
+            self.close_generation();
+            // Mirrors the one-shot `pop.len() >= 4` guard: rand/1/bin needs
+            // four distinct individuals (never hit at the nominal np ≥ 4).
+            if self.in_generations && self.pop.len() < 4 {
+                return Vec::new();
+            }
+        }
+        let count = want.min(self.gen_target() - self.gen_xs.len());
+        let mut wave = Vec::with_capacity(count);
+        for _ in 0..count {
+            let i = self.gen_xs.len();
+            let x = if self.in_generations {
+                self.breed_trial(i, dims, rng)
+            } else {
+                vp.random_point(rng)
+            };
+            wave.push(vp.decode(&x));
+            self.gen_xs.push(x);
+        }
+        wave
+    }
+
+    fn absorb(&mut self, _wave: Vec<Mapping>, fits: &[f64], _problem: &dyn MappingProblem) {
+        self.gen_fits.extend_from_slice(fits);
     }
 }
 

@@ -1,8 +1,8 @@
 //! The Herald-like manual mapper.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
-use crate::parallel::BatchEvaluator;
-use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use crate::optimizer::{Optimizer, SearchSession};
+use crate::session::{CoreSession, OneShotCore};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
 /// Herald-like mapper: dataflow-affinity placement with greedy load
@@ -74,19 +74,14 @@ impl Optimizer for HeraldLike {
         "Herald-like"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        _budget: usize,
-        _rng: &mut StdRng,
-    ) -> SearchOutcome {
-        // A one-element batch: the heuristic proposes a single mapping, but
-        // it goes through the same batch oracle as every other optimizer.
-        let mapping = self.build_mapping(problem);
-        let fitness = problem.evaluate_batch(std::slice::from_ref(&mapping))[0];
-        let mut history = SearchHistory::new();
-        history.record(&mapping, fitness);
-        SearchOutcome::from_history(history)
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        // The heuristic proposes a single deterministic mapping: its session
+        // spends one sample on the first step and reports exhaustion after.
+        CoreSession::new(problem, rng, OneShotCore::new(self.build_mapping(problem))).boxed()
     }
 }
 

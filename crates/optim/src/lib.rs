@@ -24,6 +24,17 @@
 //! knob. Parallelism only changes wall-clock time, never results — the
 //! returned fitnesses are bit-identical at every worker count.
 //!
+//! # Search sessions
+//!
+//! Every optimizer is driven through a resumable, budget-sliced
+//! [`SearchSession`]: [`Optimizer::start`] opens a session and
+//! [`SearchSession::step`] evaluates up to a slice's worth of candidates,
+//! carrying population / distribution / policy state (and the RNG stream)
+//! across slices. [`Optimizer::search`] is a provided method that steps one
+//! session to the budget, and stepping at *any* slice sizes is bit-identical
+//! to it (locked down by `tests/integration_sessions.rs`) — which is what
+//! lets `magma-serve` overlap search slices with accelerator execution.
+//!
 //! # Paper cross-references
 //!
 //! | Paper artefact | Here |
@@ -66,13 +77,14 @@ pub mod parallel;
 pub mod pso;
 pub mod random;
 pub mod rl;
+mod session;
 pub mod stdga;
 pub mod tbpsa;
 pub mod vector;
 
 pub use heuristics::{AiMtLike, HeraldLike};
 pub use magma_ga::{Magma, MagmaConfig, OperatorSet};
-pub use optimizer::{Optimizer, SearchOutcome};
+pub use optimizer::{Optimizer, SearchOutcome, SearchSession, StepReport};
 pub use parallel::BatchEvaluator;
 pub use random::RandomSearch;
 

@@ -20,9 +20,9 @@
 //! The population size defaults to the group size (as in the paper), elites
 //! survive unchanged, and the whole search respects a fixed sampling budget.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
-use crate::parallel::BatchEvaluator;
-use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use crate::optimizer::{Optimizer, SearchOutcome, SearchSession};
+use crate::session::{CoreSession, SessionCore};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -194,10 +194,32 @@ impl Magma {
         rng: &mut StdRng,
     ) -> SearchOutcome {
         assert!(!seeds.is_empty(), "refinement needs at least one seed");
-        let magma = Magma {
-            config: MagmaConfig { initial_population: Some(seeds), ..self.config.clone() },
-        };
-        magma.search(problem, budget, rng)
+        self.refining(seeds).search(problem, budget, rng)
+    }
+
+    /// The resumable counterpart of [`Magma::refine`]: opens a
+    /// [`SearchSession`] seeded with `seeds`, so a serving layer can advance
+    /// the refinement in slices (e.g. interleaved with accelerator
+    /// execution) and stop at whatever budget it decides to spend. Stepping
+    /// the session to `budget` samples produces exactly the outcome of
+    /// [`Magma::refine`] at that budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn refine_session<'a>(
+        &self,
+        problem: &'a dyn MappingProblem,
+        seeds: Vec<Mapping>,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        assert!(!seeds.is_empty(), "refinement needs at least one seed");
+        self.refining(seeds).start(problem, rng)
+    }
+
+    /// A clone of this configuration with `seeds` as the initial population.
+    fn refining(&self, seeds: Vec<Mapping>) -> Magma {
+        Magma { config: MagmaConfig { initial_population: Some(seeds), ..self.config.clone() } }
     }
 
     fn population_size(&self, problem: &dyn MappingProblem, budget: usize) -> usize {
@@ -307,73 +329,127 @@ impl Optimizer for Magma {
         "MAGMA"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let n = problem.num_jobs();
-        let m = problem.num_accels();
-        let pop_size = self.population_size(problem, budget);
-        let elite_count = ((pop_size as f64 * self.config.elite_ratio).round() as usize)
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        CoreSession::new(problem, rng, MagmaCore::new(self.clone(), problem)).boxed()
+    }
+}
+
+/// The incremental MAGMA stepper: carries the population across budget
+/// slices. The initial population is emitted lazily (seed individuals first,
+/// random fill after); each later generation breeds children lazily, one per
+/// demanded sample, from a parent pool frozen when the previous generation
+/// finished evaluating — so a session stopped mid-generation has drawn
+/// exactly the RNG stream of the one-shot search whose budget ran out there.
+struct MagmaCore {
+    magma: Magma,
+    num_jobs: usize,
+    num_accels: usize,
+    pop_size: usize,
+    elite_count: usize,
+    /// Individuals of the initial population emitted so far.
+    init_emitted: usize,
+    /// Whether the initial population has been fully evaluated.
+    in_generations: bool,
+    /// Evaluated (mapping, fitness) pairs of the generation in flight.
+    evaluated: Vec<(Mapping, f64)>,
+    /// Elites carried into the generation in flight (empty during init).
+    carry: Vec<(Mapping, f64)>,
+    /// Parent pool of the generation in flight (top half, sorted).
+    parents: Vec<Mapping>,
+    children_target: usize,
+    children_bred: usize,
+}
+
+impl MagmaCore {
+    fn new(magma: Magma, problem: &dyn MappingProblem) -> Self {
+        let num_jobs = problem.num_jobs();
+        let num_accels = problem.num_accels();
+        // The nominal (budget-independent) population size: the one-shot
+        // search clamped this to the budget, but that clamp only ever bound
+        // runs that ended inside the initial population — which a lazily
+        // emitting session reproduces without knowing the budget.
+        let pop_size = magma.config.population_size.unwrap_or(num_jobs).max(16);
+        let elite_count = ((pop_size as f64 * magma.config.elite_ratio).round() as usize)
             .clamp(1, pop_size.saturating_sub(1).max(1));
-
-        let mut history = SearchHistory::new();
-        let mut remaining = budget;
-
-        // --- initial population (generated fully before evaluating, so the
-        // RNG stream is independent of the evaluation backend) ---
-        let mut population: Vec<Mapping> = match &self.config.initial_population {
-            Some(seed) => {
-                let mut pop: Vec<Mapping> = seed.iter().take(pop_size).cloned().collect();
-                while pop.len() < pop_size {
-                    pop.push(Mapping::random(rng, n, m));
-                }
-                pop
-            }
-            None => (0..pop_size).map(|_| Mapping::random(rng, n, m)).collect(),
-        };
-        population.truncate(remaining);
-        let fits = problem.evaluate_batch(&population);
-        remaining -= population.len();
-        let mut scored: Vec<(Mapping, f64)> = Vec::with_capacity(pop_size);
-        for (ind, f) in population.into_iter().zip(fits) {
-            history.record(&ind, f);
-            scored.push((ind, f));
+        MagmaCore {
+            magma,
+            num_jobs,
+            num_accels,
+            pop_size,
+            elite_count,
+            init_emitted: 0,
+            in_generations: false,
+            evaluated: Vec::new(),
+            carry: Vec::new(),
+            parents: Vec::new(),
+            children_target: 0,
+            children_bred: 0,
         }
+    }
 
-        // --- generations: breed one full generation (serial RNG), evaluate
-        // it as a batch (parallel), record in breeding order ---
-        while remaining > 0 && scored.len() >= 2 {
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let elites: Vec<(Mapping, f64)> = scored[..elite_count.min(scored.len())].to_vec();
-            let parent_pool: Vec<&Mapping> = scored[..(scored.len() / 2).max(2).min(scored.len())]
-                .iter()
-                .map(|(m, _)| m)
-                .collect();
-
-            let num_children = pop_size.saturating_sub(elites.len()).min(remaining);
-            let children: Vec<Mapping> = (0..num_children)
-                .map(|_| {
-                    let dad = parent_pool.choose(rng).unwrap();
-                    let mom = parent_pool.choose(rng).unwrap();
-                    self.make_child(dad, mom, m, rng)
-                })
-                .collect();
-            let fits = problem.evaluate_batch(&children);
-            remaining -= children.len();
-
-            let mut next: Vec<(Mapping, f64)> = elites;
-            for (child, f) in children.into_iter().zip(fits) {
-                history.record(&child, f);
-                next.push((child, f));
-            }
-            scored = next;
+    /// The next individual of the initial population: a warm-start seed
+    /// while they last, a fresh random mapping after.
+    fn next_initial(&self, index: usize, rng: &mut StdRng) -> Mapping {
+        match &self.magma.config.initial_population {
+            Some(seed) if index < seed.len().min(self.pop_size) => seed[index].clone(),
+            _ => Mapping::random(rng, self.num_jobs, self.num_accels),
         }
+    }
 
-        SearchOutcome::from_history(history)
+    /// Closes the fully evaluated generation (or initial population) and
+    /// sets up breeding for the next one: sort, pick elites and the parent
+    /// pool — exactly the per-generation bookkeeping of the one-shot loop.
+    fn begin_generation(&mut self) {
+        let mut scored = std::mem::take(&mut self.carry);
+        scored.append(&mut self.evaluated);
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let half = (scored.len() / 2).max(2).min(scored.len());
+        self.parents = scored[..half].iter().map(|(mapping, _)| mapping.clone()).collect();
+        scored.truncate(self.elite_count.min(scored.len()));
+        self.carry = scored;
+        self.children_target = self.pop_size.saturating_sub(self.carry.len());
+        self.children_bred = 0;
+    }
+}
+
+impl SessionCore for MagmaCore {
+    fn next_wave(
+        &mut self,
+        want: usize,
+        _problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        if !self.in_generations {
+            if self.init_emitted < self.pop_size {
+                let count = want.min(self.pop_size - self.init_emitted);
+                let wave: Vec<Mapping> =
+                    (0..count).map(|k| self.next_initial(self.init_emitted + k, rng)).collect();
+                self.init_emitted += count;
+                return wave;
+            }
+            self.in_generations = true;
+            self.begin_generation();
+        } else if self.children_bred == self.children_target {
+            self.begin_generation();
+        }
+        let count = want.min(self.children_target - self.children_bred);
+        let wave: Vec<Mapping> = (0..count)
+            .map(|_| {
+                let dad = self.parents.choose(rng).unwrap();
+                let mom = self.parents.choose(rng).unwrap();
+                self.magma.make_child(dad, mom, self.num_accels, rng)
+            })
+            .collect();
+        self.children_bred += count;
+        wave
+    }
+
+    fn absorb(&mut self, wave: Vec<Mapping>, fits: &[f64], _problem: &dyn MappingProblem) {
+        self.evaluated.extend(wave.into_iter().zip(fits.iter().copied()));
     }
 }
 

@@ -1,4 +1,6 @@
-//! The common interface all mapping optimizers implement.
+//! The common interface all mapping optimizers implement: resumable
+//! [`SearchSession`]s started by [`Optimizer::start`], with the classic
+//! one-shot [`Optimizer::search`] kept as a provided method on top.
 
 use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
@@ -32,26 +34,109 @@ impl SearchOutcome {
     }
 }
 
+/// The accounting block returned by every [`SearchSession::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Samples actually evaluated by this step (may be less than requested
+    /// when the optimizer is exhausted, e.g. a one-shot heuristic; zero
+    /// strictly means "stepping further will never evaluate anything").
+    pub spent: usize,
+    /// Samples evaluated by the session so far, including this step.
+    pub total_spent: usize,
+    /// Best fitness seen so far, `None` only while nothing was evaluated.
+    pub best_fitness: Option<f64>,
+}
+
+/// A resumable, budget-sliced search in progress.
+///
+/// A session is created by [`Optimizer::start`] and advanced by calling
+/// [`step`](SearchSession::step) with a slice of the sampling budget; it
+/// carries the optimizer's full state (population, distribution, policy —
+/// and the borrowed RNG) across slices. The hard invariant every
+/// implementation upholds (and `tests/integration_sessions.rs` locks down):
+/// **stepping in any slice sizes produces exactly the [`SearchOutcome`] of
+/// a one-shot [`Optimizer::search`] at the same total budget** — the same
+/// evaluated candidates in the same order, bit-identical fitnesses, and the
+/// same RNG stream. This is what lets a serving layer interleave search
+/// slices with accelerator execution (overlap mode in `magma-serve`), meter
+/// real per-step mapper cost, and preempt a search under deadline pressure
+/// without changing any result.
+pub trait SearchSession {
+    /// Evaluates **up to** `samples` further candidates and returns the
+    /// accounting for this slice. A report with `spent == 0` means the
+    /// optimizer is exhausted (it will never evaluate more, e.g. a one-shot
+    /// heuristic after its single sample); callers driving a session to a
+    /// budget must treat it as a stop signal.
+    fn step(&mut self, samples: usize) -> StepReport;
+
+    /// The best mapping and fitness found so far, `None` until the first
+    /// sample was evaluated.
+    fn best(&self) -> Option<(&Mapping, f64)>;
+
+    /// Samples evaluated so far across all steps.
+    fn spent(&self) -> usize;
+
+    /// Consumes the session and returns the outcome of everything evaluated
+    /// so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sample was evaluated yet (an outcome needs at least one
+    /// mapping).
+    fn finish(self: Box<Self>) -> SearchOutcome;
+}
+
 /// A mapping optimizer: given a black-box [`MappingProblem`] and a sampling
 /// budget, find the best mapping it can.
 ///
 /// Implementations must be deterministic given the same `rng` seed so the
-/// paper's experiments are reproducible.
+/// paper's experiments are reproducible. The required method is
+/// [`start`](Optimizer::start), which opens a resumable [`SearchSession`];
+/// the classic one-shot [`search`](Optimizer::search) is a provided method
+/// that steps a session to the budget, so both entry points produce
+/// bit-identical outcomes by construction.
 pub trait Optimizer {
     /// Human-readable name used in result tables (matches Table IV labels).
     fn name(&self) -> &str;
 
+    /// Opens a resumable search session on `problem`, borrowing `rng` for
+    /// the session's lifetime. No candidate is evaluated until the first
+    /// [`SearchSession::step`] call.
+    fn start<'a>(
+        &self,
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a>;
+
     /// Runs the search, evaluating at most `budget` candidate mappings.
+    ///
+    /// Provided method: loops [`SearchSession::step`] over one session until
+    /// the budget is spent or the optimizer is exhausted. Migration note:
+    /// before the session redesign this was the required method; existing
+    /// callers compile unchanged and receive bit-identical outcomes.
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `budget == 0`.
+    /// Panics if `budget == 0`.
     fn search(
         &self,
         problem: &dyn MappingProblem,
         budget: usize,
         rng: &mut StdRng,
-    ) -> SearchOutcome;
+    ) -> SearchOutcome {
+        assert!(budget > 0, "sampling budget must be non-zero");
+        let mut session = self.start(problem, rng);
+        loop {
+            let remaining = budget - session.spent();
+            if remaining == 0 {
+                break;
+            }
+            if session.step(remaining).spent == 0 {
+                break;
+            }
+        }
+        session.finish()
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,10 @@
 //! previous iteration's global best), so each iteration evaluates as one
 //! parallel batch.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::optimizer::{Optimizer, SearchSession};
+use crate::session::{CoreSession, SessionCore};
 use crate::vector::{clamp_unit, VectorProblem};
-use magma_m3e::{MappingProblem, SearchHistory};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -58,79 +59,141 @@ impl Optimizer for Pso {
         "PSO"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        CoreSession::new(problem, rng, PsoCore::new(*self, problem)).boxed()
+    }
+}
+
+/// The incremental synchronous-swarm PSO stepper. Particles are sampled
+/// (initial swarm) and moved (later iterations) lazily, one per demanded
+/// sample, but the personal/global bests are folded in only at iteration
+/// boundaries — so every particle of an iteration still moves against the
+/// *previous* iteration's bests, exactly as the one-shot synchronous update
+/// did, whatever the slice sizes.
+struct PsoCore {
+    pso: Pso,
+    n: usize,
+    pos: Vec<Vec<f64>>,
+    vel: Vec<Vec<f64>>,
+    pbest: Vec<Vec<f64>>,
+    pbest_fit: Vec<f64>,
+    gbest: Vec<f64>,
+    gbest_fit: f64,
+    /// Particles emitted (sampled or moved) in the iteration in flight.
+    emitted: usize,
+    /// Fitnesses absorbed for the iteration in flight.
+    gen_fits: Vec<f64>,
+    in_iterations: bool,
+}
+
+impl PsoCore {
+    fn new(pso: Pso, _problem: &dyn MappingProblem) -> Self {
+        // Nominal (budget-independent) swarm size; the one-shot budget clamp
+        // only bound runs that ended inside the initial swarm.
+        let n = pso.config.swarm_size.max(2);
+        PsoCore {
+            pso,
+            n,
+            pos: Vec::new(),
+            vel: Vec::new(),
+            pbest: Vec::new(),
+            pbest_fit: Vec::new(),
+            gbest: Vec::new(),
+            gbest_fit: f64::NEG_INFINITY,
+            emitted: 0,
+            gen_fits: Vec::new(),
+            in_iterations: false,
+        }
+    }
+
+    /// Folds the completed iteration's fitnesses into the personal and
+    /// global bests, in particle order (the one-shot post-batch fold).
+    fn close_iteration(&mut self) {
+        let fits = std::mem::take(&mut self.gen_fits);
+        if !self.in_iterations {
+            for (x, &f) in self.pos.iter().zip(&fits) {
+                if f > self.gbest_fit {
+                    self.gbest_fit = f;
+                    self.gbest = x.clone();
+                }
+                self.pbest.push(x.clone());
+                self.pbest_fit.push(f);
+            }
+            self.in_iterations = true;
+        } else {
+            for (i, &f) in fits.iter().enumerate() {
+                if f > self.pbest_fit[i] {
+                    self.pbest_fit[i] = f;
+                    self.pbest[i] = self.pos[i].clone();
+                }
+                if f > self.gbest_fit {
+                    self.gbest_fit = f;
+                    self.gbest = self.pos[i].clone();
+                }
+            }
+        }
+        self.emitted = 0;
+    }
+
+    /// Moves particle `i` against the previous iteration's bests (the exact
+    /// per-particle RNG draws of the one-shot loop).
+    fn move_particle(&mut self, i: usize, dims: usize, rng: &mut StdRng) {
+        let c = &self.pso.config;
+        for d in 0..dims {
+            let r1 = rng.gen::<f64>();
+            let r2 = rng.gen::<f64>();
+            let v = c.inertia * self.vel[i][d]
+                + c.cognitive * r1 * (self.pbest[i][d] - self.pos[i][d])
+                + c.social * r2 * (self.gbest[d] - self.pos[i][d]);
+            self.vel[i][d] = v.clamp(-c.max_velocity, c.max_velocity);
+            self.pos[i][d] += self.vel[i][d];
+        }
+        clamp_unit(&mut self.pos[i]);
+    }
+}
+
+impl SessionCore for PsoCore {
+    fn next_wave(
+        &mut self,
+        want: usize,
         problem: &dyn MappingProblem,
-        budget: usize,
         rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
+    ) -> Vec<Mapping> {
         let vp = VectorProblem::new(problem);
         let dims = vp.dims();
-        let n = self.config.swarm_size.max(2).min(budget.max(2));
-        let mut history = SearchHistory::new();
-        let mut remaining = budget;
-
-        let mut vel: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut pbest: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut pbest_fit: Vec<f64> = Vec::with_capacity(n);
-        let mut gbest: Vec<f64> = Vec::new();
-        let mut gbest_fit = f64::NEG_INFINITY;
-
-        // Initial swarm: sample positions and velocities serially, evaluate
-        // the whole swarm as one batch.
-        let mut pos: Vec<Vec<f64>> = Vec::with_capacity(n);
-        for _ in 0..n.min(remaining) {
-            pos.push(vp.random_point(rng));
-            vel.push(
-                (0..dims)
-                    .map(|_| rng.gen_range(-self.config.max_velocity..self.config.max_velocity))
-                    .collect(),
-            );
+        if self.emitted == self.n {
+            self.close_iteration();
         }
-        let fits = vp.evaluate_generation(&pos, &mut history);
-        remaining -= pos.len();
-        for (x, &f) in pos.iter().zip(&fits) {
-            if f > gbest_fit {
-                gbest_fit = f;
-                gbest = x.clone();
+        let count = want.min(self.n - self.emitted);
+        let mut wave = Vec::with_capacity(count);
+        for _ in 0..count {
+            let i = self.emitted;
+            if !self.in_iterations {
+                self.pos.push(vp.random_point(rng));
+                self.vel.push(
+                    (0..dims)
+                        .map(|_| {
+                            rng.gen_range(
+                                -self.pso.config.max_velocity..self.pso.config.max_velocity,
+                            )
+                        })
+                        .collect(),
+                );
+            } else {
+                self.move_particle(i, dims, rng);
             }
-            pbest.push(x.clone());
-            pbest_fit.push(f);
+            wave.push(vp.decode(&self.pos[i]));
+            self.emitted += 1;
         }
+        wave
+    }
 
-        // Synchronous PSO: every particle moves against the global best of
-        // the *previous* iteration, so one iteration is one parallel batch
-        // and the bests are folded in afterwards in particle order.
-        while remaining > 0 && !pos.is_empty() {
-            let this_gen = pos.len().min(remaining);
-            for i in 0..this_gen {
-                for d in 0..dims {
-                    let r1 = rng.gen::<f64>();
-                    let r2 = rng.gen::<f64>();
-                    let v = self.config.inertia * vel[i][d]
-                        + self.config.cognitive * r1 * (pbest[i][d] - pos[i][d])
-                        + self.config.social * r2 * (gbest[d] - pos[i][d]);
-                    vel[i][d] = v.clamp(-self.config.max_velocity, self.config.max_velocity);
-                    pos[i][d] += vel[i][d];
-                }
-                clamp_unit(&mut pos[i]);
-            }
-            let fits = vp.evaluate_generation(&pos[..this_gen], &mut history);
-            remaining -= this_gen;
-            for (i, &f) in fits.iter().enumerate() {
-                if f > pbest_fit[i] {
-                    pbest_fit[i] = f;
-                    pbest[i] = pos[i].clone();
-                }
-                if f > gbest_fit {
-                    gbest_fit = f;
-                    gbest = pos[i].clone();
-                }
-            }
-        }
-
-        SearchOutcome::from_history(history)
+    fn absorb(&mut self, _wave: Vec<Mapping>, fits: &[f64], _problem: &dyn MappingProblem) {
+        self.gen_fits.extend_from_slice(fits);
     }
 }
 

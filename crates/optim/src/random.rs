@@ -4,9 +4,9 @@
 //! best-effort reference of Fig. 10 (the paper runs ~1 M random samples to
 //! approximate the achievable optimum of a problem instance).
 
-use crate::optimizer::{Optimizer, SearchOutcome};
-use crate::parallel::BatchEvaluator;
-use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use crate::optimizer::{Optimizer, SearchSession};
+use crate::session::{CoreSession, SessionCore};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
 /// Samples are drawn and evaluated in batches of this size, bounding the
@@ -30,28 +30,32 @@ impl Optimizer for RandomSearch {
         "Random"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let mut history = SearchHistory::new();
-        let mut remaining = budget;
-        while remaining > 0 {
-            let this_batch = BATCH.min(remaining);
-            let mappings: Vec<Mapping> = (0..this_batch)
-                .map(|_| Mapping::random(rng, problem.num_jobs(), problem.num_accels()))
-                .collect();
-            let fits = problem.evaluate_batch(&mappings);
-            for (m, f) in mappings.iter().zip(fits) {
-                history.record(m, f);
-            }
-            remaining -= this_batch;
-        }
-        SearchOutcome::from_history(history)
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        CoreSession::new(problem, rng, RandomCore).boxed()
     }
+}
+
+/// The incremental random-search stepper: memoryless, so each wave is
+/// simply up to `BATCH` fresh uniform mappings capped at the slice.
+struct RandomCore;
+
+impl SessionCore for RandomCore {
+    fn next_wave(
+        &mut self,
+        want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        (0..want.min(BATCH))
+            .map(|_| Mapping::random(rng, problem.num_jobs(), problem.num_accels()))
+            .collect()
+    }
+
+    fn absorb(&mut self, _wave: Vec<Mapping>, _fits: &[f64], _problem: &dyn MappingProblem) {}
 }
 
 #[cfg(test)]

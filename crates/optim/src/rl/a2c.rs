@@ -1,13 +1,13 @@
 //! Advantage Actor-Critic (A2C), following the paper's configuration:
 //! 3 × 128 MLP policy and critic, discount 0.99, learning rate 7e-4, RMSProp.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
-use crate::parallel::BatchEvaluator;
+use crate::optimizer::{Optimizer, SearchSession};
 use crate::rl::env::{
     observation, observation_dim, EpisodeActions, RewardNormalizer, PRIORITY_BUCKETS,
 };
 use crate::rl::nn::{policy_grad_logits, sample_categorical, softmax, GradOptimizer, Mlp};
-use magma_m3e::{MappingProblem, SearchHistory};
+use crate::session::{CoreSession, SessionCore};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
 /// A2C hyper-parameters (Table IV).
@@ -52,77 +52,117 @@ impl Optimizer for A2c {
         "RL A2C"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let n = problem.num_jobs();
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        let core = A2cCore::new(*self, problem, rng);
+        CoreSession::new(problem, rng, core).boxed()
+    }
+}
+
+/// One rolled-out episode awaiting its fitness: the data the actor-critic
+/// update needs.
+struct A2cEpisode {
+    observations: Vec<Vec<f64>>,
+    accels: Vec<usize>,
+    buckets: Vec<usize>,
+}
+
+/// The incremental A2C stepper. A2C's natural granularity is one episode =
+/// one evaluated mapping: each wave rolls out a single episode with the
+/// current policy and the actor-critic update runs as soon as its fitness is
+/// absorbed — the exact episode loop of the one-shot search, sliced.
+struct A2cCore {
+    a2c: A2c,
+    policy: Mlp,
+    critic: Mlp,
+    opt: GradOptimizer,
+    normalizer: RewardNormalizer,
+    inflight: Option<A2cEpisode>,
+}
+
+impl A2cCore {
+    fn new(a2c: A2c, problem: &dyn MappingProblem, rng: &mut StdRng) -> Self {
         let m = problem.num_accels();
         let obs_dim = observation_dim(problem);
-        let h = self.config.hidden;
+        let h = a2c.config.hidden;
         let act_dim = m + PRIORITY_BUCKETS;
-        let mut policy = Mlp::new(&[obs_dim, h, h, h, act_dim], rng);
-        let mut critic = Mlp::new(&[obs_dim, h, h, h, 1], rng);
-        let opt = GradOptimizer::RmsProp { lr: self.config.learning_rate, decay: 0.99 };
-
-        let mut history = SearchHistory::new();
-        let mut normalizer = RewardNormalizer::new();
-
-        for _episode in 0..budget {
-            // ----- roll out one episode -----
-            let mut loads = vec![0.0f64; m];
-            let mut observations = Vec::with_capacity(n);
-            let mut accels = Vec::with_capacity(n);
-            let mut buckets = Vec::with_capacity(n);
-            for step in 0..n {
-                let obs = observation(problem, step, &loads);
-                let logits = policy.forward(&obs);
-                let pa = softmax(&logits[..m]);
-                let pb = softmax(&logits[m..]);
-                let a = sample_categorical(&pa, rng);
-                let b = sample_categorical(&pb, rng);
-                loads[a] += problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
-                observations.push(obs);
-                accels.push(a);
-                buckets.push(b);
-            }
-            let mapping =
-                EpisodeActions { accels: accels.clone(), buckets: buckets.clone() }.into_mapping(m);
-            // A2C updates after every episode, so its rollout "batch" is a
-            // single mapping — still routed through the shared batch oracle.
-            let fitness = problem.evaluate_batch(std::slice::from_ref(&mapping))[0];
-            history.record(&mapping, fitness);
-            let norm_reward = normalizer.normalize(fitness);
-
-            // ----- actor-critic update -----
-            for step in 0..n {
-                let ret = norm_reward * self.config.gamma.powi((n - 1 - step) as i32);
-                let obs = &observations[step];
-                let (v_out, v_cache) = critic.forward_cached(obs);
-                let advantage = ret - v_out[0];
-                critic.backward(&v_cache, &[2.0 * (v_out[0] - ret)]);
-
-                let (logits, p_cache) = policy.forward_cached(obs);
-                let pa = softmax(&logits[..m]);
-                let pb = softmax(&logits[m..]);
-                let mut grad = Vec::with_capacity(m + PRIORITY_BUCKETS);
-                grad.extend(policy_grad_logits(&pa, accels[step], advantage));
-                grad.extend(policy_grad_logits(&pb, buckets[step], advantage));
-                // Entropy bonus: push probabilities toward uniform.
-                for (i, g) in grad.iter_mut().enumerate() {
-                    let p = if i < m { pa[i] } else { pb[i - m] };
-                    *g -= self.config.entropy_coef * (-(p.ln() + 1.0)) * p;
-                }
-                policy.backward(&p_cache, &grad);
-            }
-            policy.step(opt, n);
-            critic.step(opt, n);
+        A2cCore {
+            a2c,
+            policy: Mlp::new(&[obs_dim, h, h, h, act_dim], rng),
+            critic: Mlp::new(&[obs_dim, h, h, h, 1], rng),
+            opt: GradOptimizer::RmsProp { lr: a2c.config.learning_rate, decay: 0.99 },
+            normalizer: RewardNormalizer::new(),
+            inflight: None,
         }
+    }
+}
 
-        SearchOutcome::from_history(history)
+impl SessionCore for A2cCore {
+    fn next_wave(
+        &mut self,
+        _want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        // ----- roll out one episode -----
+        let n = problem.num_jobs();
+        let m = problem.num_accels();
+        let mut loads = vec![0.0f64; m];
+        let mut observations = Vec::with_capacity(n);
+        let mut accels = Vec::with_capacity(n);
+        let mut buckets = Vec::with_capacity(n);
+        for step in 0..n {
+            let obs = observation(problem, step, &loads);
+            let logits = self.policy.forward(&obs);
+            let pa = softmax(&logits[..m]);
+            let pb = softmax(&logits[m..]);
+            let a = sample_categorical(&pa, rng);
+            let b = sample_categorical(&pb, rng);
+            loads[a] += problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
+            observations.push(obs);
+            accels.push(a);
+            buckets.push(b);
+        }
+        let mapping =
+            EpisodeActions { accels: accels.clone(), buckets: buckets.clone() }.into_mapping(m);
+        self.inflight = Some(A2cEpisode { observations, accels, buckets });
+        // A2C updates after every episode, so its rollout "batch" is a
+        // single mapping — still routed through the shared batch oracle.
+        vec![mapping]
+    }
+
+    fn absorb(&mut self, _wave: Vec<Mapping>, fits: &[f64], problem: &dyn MappingProblem) {
+        let episode = self.inflight.take().expect("an episode is in flight");
+        let n = problem.num_jobs();
+        let m = problem.num_accels();
+        let norm_reward = self.normalizer.normalize(fits[0]);
+
+        // ----- actor-critic update -----
+        for step in 0..n {
+            let ret = norm_reward * self.a2c.config.gamma.powi((n - 1 - step) as i32);
+            let obs = &episode.observations[step];
+            let (v_out, v_cache) = self.critic.forward_cached(obs);
+            let advantage = ret - v_out[0];
+            self.critic.backward(&v_cache, &[2.0 * (v_out[0] - ret)]);
+
+            let (logits, p_cache) = self.policy.forward_cached(obs);
+            let pa = softmax(&logits[..m]);
+            let pb = softmax(&logits[m..]);
+            let mut grad = Vec::with_capacity(m + PRIORITY_BUCKETS);
+            grad.extend(policy_grad_logits(&pa, episode.accels[step], advantage));
+            grad.extend(policy_grad_logits(&pb, episode.buckets[step], advantage));
+            // Entropy bonus: push probabilities toward uniform.
+            for (i, g) in grad.iter_mut().enumerate() {
+                let p = if i < m { pa[i] } else { pb[i - m] };
+                *g -= self.a2c.config.entropy_coef * (-(p.ln() + 1.0)) * p;
+            }
+            self.policy.backward(&p_cache, &grad);
+        }
+        self.policy.step(self.opt, n);
+        self.critic.step(self.opt, n);
     }
 }
 

@@ -2,13 +2,13 @@
 //! 3 × 128 MLP policy and critic, discount 0.99, clip range 0.2, learning
 //! rate 2.5e-4, Adam.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
-use crate::parallel::BatchEvaluator;
+use crate::optimizer::{Optimizer, SearchSession};
 use crate::rl::env::{
     observation, observation_dim, EpisodeActions, RewardNormalizer, PRIORITY_BUCKETS,
 };
 use crate::rl::nn::{sample_categorical, softmax, GradOptimizer, Mlp};
-use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use crate::session::{CoreSession, SessionCore};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
 /// PPO2 hyper-parameters (Table IV).
@@ -77,109 +77,158 @@ impl Optimizer for Ppo2 {
         "RL PPO2"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let n = problem.num_jobs();
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        let core = Ppo2Core::new(*self, problem, rng);
+        CoreSession::new(problem, rng, core).boxed()
+    }
+}
+
+/// The incremental PPO2 stepper. PPO2's natural granularity is coarser than
+/// a single sample: the policy is frozen while a rollout batch (8 episodes)
+/// is collected and only updated at the batch boundary. A wave therefore
+/// rolls out up to the slice's worth of episodes *within the current frozen
+/// batch*; the clipped update runs once the full batch has been absorbed.
+/// Because rollouts are serially sampled and evaluation never touches the
+/// RNG, slicing the collection changes neither the episode stream nor the
+/// update points — the one-shot search, sliced.
+struct Ppo2Core {
+    ppo: Ppo2,
+    policy: Mlp,
+    critic: Mlp,
+    opt: GradOptimizer,
+    normalizer: RewardNormalizer,
+    /// Transitions of the rollout batch being collected.
+    buffer: Vec<Transition>,
+    /// Episodes rolled out in the current batch (absorbed ones).
+    episodes_in_batch: usize,
+    /// Episodes rolled out by the current wave, awaiting fitnesses.
+    inflight: Vec<Vec<Step>>,
+}
+
+impl Ppo2Core {
+    fn new(ppo: Ppo2, problem: &dyn MappingProblem, rng: &mut StdRng) -> Self {
         let m = problem.num_accels();
         let obs_dim = observation_dim(problem);
-        let h = self.config.hidden;
+        let h = ppo.config.hidden;
         let act_dim = m + PRIORITY_BUCKETS;
-        let mut policy = Mlp::new(&[obs_dim, h, h, h, act_dim], rng);
-        let mut critic = Mlp::new(&[obs_dim, h, h, h, 1], rng);
-        let opt = GradOptimizer::Adam { lr: self.config.learning_rate, beta1: 0.9, beta2: 0.999 };
-
-        let mut history = SearchHistory::new();
-        let mut normalizer = RewardNormalizer::new();
-        let mut episodes_done = 0usize;
-
-        while episodes_done < budget {
-            // ----- collect a batch of rollouts -----
-            // The policy is frozen while a batch is collected, so the
-            // episodes are independent given the (serially sampled) actions:
-            // roll them all out first, then evaluate their mappings as one
-            // parallel batch, then fold rewards in episode order so the
-            // normalizer state is identical to the serial path.
-            let batch_episodes = self.config.episodes_per_batch.min(budget - episodes_done);
-            let mut buffer: Vec<Transition> = Vec::with_capacity(batch_episodes * n);
-            let mut episodes: Vec<Vec<Step>> = Vec::with_capacity(batch_episodes);
-            let mut mappings: Vec<Mapping> = Vec::with_capacity(batch_episodes);
-            for _ in 0..batch_episodes {
-                let mut loads = vec![0.0f64; m];
-                let mut steps: Vec<Step> = Vec::with_capacity(n);
-                for step in 0..n {
-                    let obs = observation(problem, step, &loads);
-                    let logits = policy.forward(&obs);
-                    let pa = softmax(&logits[..m]);
-                    let pb = softmax(&logits[m..]);
-                    let a = sample_categorical(&pa, rng);
-                    let b = sample_categorical(&pb, rng);
-                    let logp = pa[a].max(1e-12).ln() + pb[b].max(1e-12).ln();
-                    loads[a] += problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
-                    steps.push((obs, a, b, logp));
-                }
-                mappings.push(
-                    EpisodeActions {
-                        accels: steps.iter().map(|s| s.1).collect(),
-                        buckets: steps.iter().map(|s| s.2).collect(),
-                    }
-                    .into_mapping(m),
-                );
-                episodes.push(steps);
-            }
-            let fitnesses = problem.evaluate_batch(&mappings);
-            for ((steps, mapping), fitness) in episodes.into_iter().zip(&mappings).zip(fitnesses) {
-                history.record(mapping, fitness);
-                episodes_done += 1;
-                let norm_reward = normalizer.normalize(fitness);
-                for (step, (obs, a, b, logp)) in steps.into_iter().enumerate() {
-                    let ret = norm_reward * self.config.gamma.powi((n - 1 - step) as i32);
-                    buffer.push(Transition { obs, accel: a, bucket: b, old_logp: logp, ret });
-                }
-            }
-
-            // ----- clipped policy / value updates -----
-            for _ in 0..self.config.epochs {
-                for tr in &buffer {
-                    let (v_out, v_cache) = critic.forward_cached(&tr.obs);
-                    let advantage = tr.ret - v_out[0];
-                    critic.backward(&v_cache, &[2.0 * (v_out[0] - tr.ret)]);
-
-                    let (logits, p_cache) = policy.forward_cached(&tr.obs);
-                    let pa = softmax(&logits[..m]);
-                    let pb = softmax(&logits[m..]);
-                    let new_logp = pa[tr.accel].max(1e-12).ln() + pb[tr.bucket].max(1e-12).ln();
-                    let ratio = (new_logp - tr.old_logp).exp();
-                    let eps = self.config.clip_range;
-                    // The clipped-surrogate gradient is zero when the ratio is
-                    // outside the trust region on the side the advantage
-                    // pushes toward.
-                    let active =
-                        if advantage >= 0.0 { ratio <= 1.0 + eps } else { ratio >= 1.0 - eps };
-                    if active {
-                        let factor = ratio * advantage;
-                        let mut grad = Vec::with_capacity(act_dim);
-                        for (i, &p) in pa.iter().enumerate() {
-                            let onehot = if i == tr.accel { 1.0 } else { 0.0 };
-                            grad.push(factor * (p - onehot));
-                        }
-                        for (i, &p) in pb.iter().enumerate() {
-                            let onehot = if i == tr.bucket { 1.0 } else { 0.0 };
-                            grad.push(factor * (p - onehot));
-                        }
-                        policy.backward(&p_cache, &grad);
-                    }
-                }
-                policy.step(opt, buffer.len());
-                critic.step(opt, buffer.len());
-            }
+        Ppo2Core {
+            ppo,
+            policy: Mlp::new(&[obs_dim, h, h, h, act_dim], rng),
+            critic: Mlp::new(&[obs_dim, h, h, h, 1], rng),
+            opt: GradOptimizer::Adam { lr: ppo.config.learning_rate, beta1: 0.9, beta2: 0.999 },
+            normalizer: RewardNormalizer::new(),
+            buffer: Vec::new(),
+            episodes_in_batch: 0,
+            inflight: Vec::new(),
         }
+    }
 
-        SearchOutcome::from_history(history)
+    /// Rolls out one episode under the frozen policy.
+    fn rollout(&mut self, problem: &dyn MappingProblem, rng: &mut StdRng) -> (Vec<Step>, Mapping) {
+        let n = problem.num_jobs();
+        let m = problem.num_accels();
+        let mut loads = vec![0.0f64; m];
+        let mut steps: Vec<Step> = Vec::with_capacity(n);
+        for step in 0..n {
+            let obs = observation(problem, step, &loads);
+            let logits = self.policy.forward(&obs);
+            let pa = softmax(&logits[..m]);
+            let pb = softmax(&logits[m..]);
+            let a = sample_categorical(&pa, rng);
+            let b = sample_categorical(&pb, rng);
+            let logp = pa[a].max(1e-12).ln() + pb[b].max(1e-12).ln();
+            loads[a] += problem.profile(step, a).map(|p| p.no_stall_seconds).unwrap_or(1.0);
+            steps.push((obs, a, b, logp));
+        }
+        let mapping = EpisodeActions {
+            accels: steps.iter().map(|s| s.1).collect(),
+            buckets: steps.iter().map(|s| s.2).collect(),
+        }
+        .into_mapping(m);
+        (steps, mapping)
+    }
+
+    /// The clipped policy / value update over the completed rollout batch
+    /// (the one-shot per-batch block, verbatim).
+    fn update(&mut self, m: usize) {
+        let act_dim = m + PRIORITY_BUCKETS;
+        for _ in 0..self.ppo.config.epochs {
+            for tr in &self.buffer {
+                let (v_out, v_cache) = self.critic.forward_cached(&tr.obs);
+                let advantage = tr.ret - v_out[0];
+                self.critic.backward(&v_cache, &[2.0 * (v_out[0] - tr.ret)]);
+
+                let (logits, p_cache) = self.policy.forward_cached(&tr.obs);
+                let pa = softmax(&logits[..m]);
+                let pb = softmax(&logits[m..]);
+                let new_logp = pa[tr.accel].max(1e-12).ln() + pb[tr.bucket].max(1e-12).ln();
+                let ratio = (new_logp - tr.old_logp).exp();
+                let eps = self.ppo.config.clip_range;
+                // The clipped-surrogate gradient is zero when the ratio is
+                // outside the trust region on the side the advantage
+                // pushes toward.
+                let active = if advantage >= 0.0 { ratio <= 1.0 + eps } else { ratio >= 1.0 - eps };
+                if active {
+                    let factor = ratio * advantage;
+                    let mut grad = Vec::with_capacity(act_dim);
+                    for (i, &p) in pa.iter().enumerate() {
+                        let onehot = if i == tr.accel { 1.0 } else { 0.0 };
+                        grad.push(factor * (p - onehot));
+                    }
+                    for (i, &p) in pb.iter().enumerate() {
+                        let onehot = if i == tr.bucket { 1.0 } else { 0.0 };
+                        grad.push(factor * (p - onehot));
+                    }
+                    self.policy.backward(&p_cache, &grad);
+                }
+            }
+            self.policy.step(self.opt, self.buffer.len());
+            self.critic.step(self.opt, self.buffer.len());
+        }
+        self.buffer.clear();
+        self.episodes_in_batch = 0;
+    }
+}
+
+impl SessionCore for Ppo2Core {
+    fn next_wave(
+        &mut self,
+        want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        // Collect up to the slice's worth of episodes, never crossing the
+        // frozen-policy batch boundary.
+        let room = self.ppo.config.episodes_per_batch.max(1) - self.episodes_in_batch;
+        let count = want.min(room);
+        let mut wave = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (steps, mapping) = self.rollout(problem, rng);
+            self.inflight.push(steps);
+            wave.push(mapping);
+        }
+        wave
+    }
+
+    fn absorb(&mut self, _wave: Vec<Mapping>, fits: &[f64], problem: &dyn MappingProblem) {
+        let n = problem.num_jobs();
+        let m = problem.num_accels();
+        for (steps, &fitness) in std::mem::take(&mut self.inflight).into_iter().zip(fits) {
+            let norm_reward = self.normalizer.normalize(fitness);
+            for (step, (obs, a, b, logp)) in steps.into_iter().enumerate() {
+                let ret = norm_reward * self.ppo.config.gamma.powi((n - 1 - step) as i32);
+                self.buffer.push(Transition { obs, accel: a, bucket: b, old_logp: logp, ret });
+            }
+            self.episodes_in_batch += 1;
+        }
+        // ----- clipped policy / value updates at the batch boundary -----
+        if self.episodes_in_batch == self.ppo.config.episodes_per_batch.max(1) {
+            self.update(m);
+        }
     }
 }
 

@@ -1,0 +1,175 @@
+//! The shared plumbing behind every [`SearchSession`]: a driver that turns a
+//! per-algorithm *candidate core* into a budget-sliced session.
+//!
+//! Every optimizer in this crate is, at heart, a loop of "produce the next
+//! candidates → evaluate them → fold the fitnesses back into algorithm
+//! state". [`SessionCore`] captures exactly that pair of hooks and
+//! [`CoreSession`] drives it: a [`step`](SearchSession::step) call asks the
+//! core for waves of at most the remaining slice, evaluates each wave
+//! through the parallel batch oracle ([`BatchEvaluator::evaluate_batch`]),
+//! records every sample in the session's [`SearchHistory`] and hands the
+//! results back to the core.
+//!
+//! # The slicing invariant
+//!
+//! Cores must produce candidates **lazily, in a budget-agnostic order**: the
+//! k-th candidate a core emits (and every RNG draw behind it) may depend
+//! only on the results of candidates `0..k`, never on the slice size or on
+//! any total budget. Generation-synchronous cores therefore emit one
+//! generation at a time — capped at the slice — and defer the selection /
+//! distribution update until the whole generation has been absorbed, which
+//! is exactly what the pre-session one-shot implementations did when a
+//! budget ran out mid-generation. This is what makes a session stepped at
+//! any slice sizes bit-identical (outcome *and* RNG stream) to the one-shot
+//! search at the same total.
+
+use crate::optimizer::{SearchOutcome, SearchSession, StepReport};
+use crate::parallel::BatchEvaluator;
+use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use rand::rngs::StdRng;
+
+/// The per-algorithm half of a search session: lazy candidate production and
+/// result absorption. See the module docs for the ordering rules cores must
+/// follow.
+pub(crate) trait SessionCore {
+    /// Produces the next wave of at most `want` candidates (`want ≥ 1`). An
+    /// empty wave means the core is exhausted and will never produce again.
+    /// Every wave previously produced has already been absorbed when this is
+    /// called.
+    fn next_wave(
+        &mut self,
+        want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping>;
+
+    /// Folds one evaluated wave back into algorithm state. `fits[i]` is the
+    /// fitness of `wave[i]`, already recorded in the session history.
+    fn absorb(&mut self, wave: Vec<Mapping>, fits: &[f64], problem: &dyn MappingProblem);
+}
+
+/// The generic [`SearchSession`] driving a [`SessionCore`].
+pub(crate) struct CoreSession<'a, C: SessionCore> {
+    problem: &'a dyn MappingProblem,
+    rng: &'a mut StdRng,
+    history: SearchHistory,
+    core: C,
+}
+
+impl<'a, C: SessionCore> CoreSession<'a, C> {
+    /// Wraps a core into a session over `problem`, borrowing `rng` for the
+    /// session's lifetime.
+    pub(crate) fn new(problem: &'a dyn MappingProblem, rng: &'a mut StdRng, core: C) -> Self {
+        CoreSession { problem, rng, history: SearchHistory::new(), core }
+    }
+
+    /// Boxes the session behind the object-safe trait.
+    pub(crate) fn boxed(self) -> Box<dyn SearchSession + 'a>
+    where
+        C: 'a,
+    {
+        Box::new(self)
+    }
+}
+
+impl<C: SessionCore> SearchSession for CoreSession<'_, C> {
+    fn step(&mut self, samples: usize) -> StepReport {
+        let mut spent = 0usize;
+        while spent < samples {
+            let wave = self.core.next_wave(samples - spent, self.problem, self.rng);
+            if wave.is_empty() {
+                break;
+            }
+            debug_assert!(wave.len() <= samples - spent, "a wave must fit the slice");
+            let fits = self.problem.evaluate_batch(&wave);
+            for (mapping, f) in wave.iter().zip(&fits) {
+                self.history.record(mapping, *f);
+            }
+            spent += wave.len();
+            self.core.absorb(wave, &fits, self.problem);
+        }
+        StepReport {
+            spent,
+            total_spent: self.history.num_samples(),
+            best_fitness: self.history.best_fitness(),
+        }
+    }
+
+    fn best(&self) -> Option<(&Mapping, f64)> {
+        Some((self.history.best_mapping()?, self.history.best_fitness()?))
+    }
+
+    fn spent(&self) -> usize {
+        self.history.num_samples()
+    }
+
+    fn finish(self: Box<Self>) -> SearchOutcome {
+        SearchOutcome::from_history(self.history)
+    }
+}
+
+/// A core that proposes exactly one deterministic mapping (the manual
+/// heuristics): the first wave carries the mapping, every later wave is
+/// empty — so driving it to any budget evaluates exactly one sample, as the
+/// pre-session heuristics did.
+pub(crate) struct OneShotCore {
+    pending: Option<Mapping>,
+}
+
+impl OneShotCore {
+    /// Creates a core holding the heuristic's single proposal.
+    pub(crate) fn new(mapping: Mapping) -> Self {
+        OneShotCore { pending: Some(mapping) }
+    }
+}
+
+impl SessionCore for OneShotCore {
+    fn next_wave(
+        &mut self,
+        _want: usize,
+        _problem: &dyn MappingProblem,
+        _rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        self.pending.take().into_iter().collect()
+    }
+
+    fn absorb(&mut self, _wave: Vec<Mapping>, _fits: &[f64], _problem: &dyn MappingProblem) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::test_support::ToyProblem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_shot_core_spends_exactly_one_sample() {
+        let p = ToyProblem { jobs: 6, accels: 2 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mapping = Mapping::random(&mut rng, 6, 2);
+        let mut session = CoreSession::new(&p, &mut rng, OneShotCore::new(mapping));
+        let first = session.step(10);
+        assert_eq!(first.spent, 1);
+        assert_eq!(first.total_spent, 1);
+        assert!(first.best_fitness.is_some());
+        let second = session.step(10);
+        assert_eq!(second.spent, 0, "a one-shot core is exhausted after its sample");
+        assert_eq!(session.spent(), 1);
+        assert!(session.best().is_some());
+        let outcome = Box::new(session).finish();
+        assert_eq!(outcome.history.num_samples(), 1);
+    }
+
+    #[test]
+    fn step_zero_samples_is_a_no_op() {
+        let p = ToyProblem { jobs: 4, accels: 2 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mapping = Mapping::random(&mut rng, 4, 2);
+        let mut session = CoreSession::new(&p, &mut rng, OneShotCore::new(mapping));
+        let report = session.step(0);
+        assert_eq!(report.spent, 0);
+        assert_eq!(report.total_spent, 0);
+        assert_eq!(report.best_fitness, None);
+        assert!(session.best().is_none());
+    }
+}

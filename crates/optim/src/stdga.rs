@@ -5,9 +5,9 @@
 //! (selection ‖ priority) genome, and mutation re-draws genes uniformly. The
 //! paper uses mutation rate 0.1 and crossover rate 0.1.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
-use crate::parallel::BatchEvaluator;
-use magma_m3e::{Mapping, MappingProblem, SearchHistory};
+use crate::optimizer::{Optimizer, SearchSession};
+use crate::session::{CoreSession, SessionCore};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -86,65 +86,108 @@ impl Optimizer for StdGa {
         "stdGA"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let n = problem.num_jobs();
-        let m = problem.num_accels();
-        let pop_size = self.config.population_size.max(4).min(budget.max(2));
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        CoreSession::new(problem, rng, StdGaCore::new(*self, problem)).boxed()
+    }
+}
+
+/// The incremental stdGA stepper: a lazily emitted random initial
+/// population, then lazily bred generations from a parent pool frozen at
+/// each generation boundary (same slicing discipline as MAGMA's core).
+struct StdGaCore {
+    ga: StdGa,
+    num_accels: usize,
+    pop_size: usize,
+    elite_count: usize,
+    init_emitted: usize,
+    in_generations: bool,
+    evaluated: Vec<(Mapping, f64)>,
+    carry: Vec<(Mapping, f64)>,
+    parents: Vec<Mapping>,
+    children_target: usize,
+    children_bred: usize,
+}
+
+impl StdGaCore {
+    fn new(ga: StdGa, problem: &dyn MappingProblem) -> Self {
+        // Nominal (budget-independent) population size; the one-shot budget
+        // clamp only bound runs that ended inside the initial population,
+        // which lazy emission reproduces.
+        let pop_size = ga.config.population_size.max(4);
         let elite_count =
-            ((pop_size as f64 * self.config.elite_ratio).round() as usize).clamp(1, pop_size - 1);
-
-        let mut history = SearchHistory::new();
-        let mut remaining = budget;
-
-        // Initial population: generate fully (serial RNG), evaluate as one
-        // batch, record in generation order.
-        let mut population: Vec<Mapping> =
-            (0..pop_size.min(remaining)).map(|_| Mapping::random(rng, n, m)).collect();
-        let fits = problem.evaluate_batch(&population);
-        remaining -= population.len();
-        let mut scored: Vec<(Mapping, f64)> = Vec::with_capacity(pop_size);
-        for (ind, f) in population.drain(..).zip(fits) {
-            history.record(&ind, f);
-            scored.push((ind, f));
+            ((pop_size as f64 * ga.config.elite_ratio).round() as usize).clamp(1, pop_size - 1);
+        StdGaCore {
+            ga,
+            num_accels: problem.num_accels(),
+            pop_size,
+            elite_count,
+            init_emitted: 0,
+            in_generations: false,
+            evaluated: Vec::new(),
+            carry: Vec::new(),
+            parents: Vec::new(),
+            children_target: 0,
+            children_bred: 0,
         }
+    }
 
-        while remaining > 0 && scored.len() >= 2 {
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let elites: Vec<(Mapping, f64)> = scored[..elite_count.min(scored.len())].to_vec();
-            let pool: Vec<&Mapping> = scored[..(scored.len() / 2).max(2).min(scored.len())]
-                .iter()
-                .map(|(x, _)| x)
-                .collect();
-            let num_children = pop_size.saturating_sub(elites.len()).min(remaining);
-            let children: Vec<Mapping> = (0..num_children)
-                .map(|_| {
-                    let dad = pool.choose(rng).unwrap();
-                    let mom = pool.choose(rng).unwrap();
-                    let mut child = (*dad).clone();
-                    if rng.gen::<f64>() < self.config.crossover_rate {
-                        Self::crossover(&mut child, mom, rng);
-                    }
-                    self.mutate(&mut child, m, rng);
-                    child
-                })
-                .collect();
-            let fits = problem.evaluate_batch(&children);
-            remaining -= children.len();
-            let mut next = elites;
-            for (child, f) in children.into_iter().zip(fits) {
-                history.record(&child, f);
-                next.push((child, f));
+    fn begin_generation(&mut self) {
+        let mut scored = std::mem::take(&mut self.carry);
+        scored.append(&mut self.evaluated);
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let half = (scored.len() / 2).max(2).min(scored.len());
+        self.parents = scored[..half].iter().map(|(mapping, _)| mapping.clone()).collect();
+        scored.truncate(self.elite_count.min(scored.len()));
+        self.carry = scored;
+        self.children_target = self.pop_size.saturating_sub(self.carry.len());
+        self.children_bred = 0;
+    }
+}
+
+impl SessionCore for StdGaCore {
+    fn next_wave(
+        &mut self,
+        want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        let n = problem.num_jobs();
+        if !self.in_generations {
+            if self.init_emitted < self.pop_size {
+                let count = want.min(self.pop_size - self.init_emitted);
+                let wave: Vec<Mapping> =
+                    (0..count).map(|_| Mapping::random(rng, n, self.num_accels)).collect();
+                self.init_emitted += count;
+                return wave;
             }
-            scored = next;
+            self.in_generations = true;
+            self.begin_generation();
+        } else if self.children_bred == self.children_target {
+            self.begin_generation();
         }
+        let count = want.min(self.children_target - self.children_bred);
+        let wave: Vec<Mapping> = (0..count)
+            .map(|_| {
+                let dad = self.parents.choose(rng).unwrap();
+                let mom = self.parents.choose(rng).unwrap();
+                let mut child = dad.clone();
+                if rng.gen::<f64>() < self.ga.config.crossover_rate {
+                    StdGa::crossover(&mut child, mom, rng);
+                }
+                self.ga.mutate(&mut child, self.num_accels, rng);
+                child
+            })
+            .collect();
+        self.children_bred += count;
+        wave
+    }
 
-        SearchOutcome::from_history(history)
+    fn absorb(&mut self, wave: Vec<Mapping>, fits: &[f64], _problem: &dyn MappingProblem) {
+        self.evaluated.extend(wave.into_iter().zip(fits.iter().copied()));
     }
 }
 

@@ -6,9 +6,10 @@
 //! population filters noise and flat regions at the cost of slower iterations.
 //! The paper starts it at a population of 50 and lets it evolve.
 
-use crate::optimizer::{Optimizer, SearchOutcome};
+use crate::optimizer::{Optimizer, SearchSession};
+use crate::session::{CoreSession, SessionCore};
 use crate::vector::{clamp_unit, VectorProblem};
-use magma_m3e::{MappingProblem, SearchHistory};
+use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
@@ -63,60 +64,103 @@ impl Optimizer for Tbpsa {
         "TBPSA"
     }
 
-    fn search(
+    fn start<'a>(
         &self,
-        problem: &dyn MappingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> SearchOutcome {
-        assert!(budget > 0, "sampling budget must be non-zero");
-        let vp = VectorProblem::new(problem);
-        let dims = vp.dims();
-        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        let core = TbpsaCore::new(*self, problem, rng);
+        CoreSession::new(problem, rng, core).boxed()
+    }
+}
 
-        let mut history = SearchHistory::new();
-        let mut remaining = budget;
-        let mut lambda = self.config.initial_population.max(4);
-        let mut sigma = self.config.initial_sigma;
-        let mut mean: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.3..0.7)).collect();
-        let mut best_so_far = f64::NEG_INFINITY;
+/// The incremental TBPSA stepper: individuals are sampled lazily from the
+/// frozen `(mean, sigma)` distribution; the mean update and the test-based
+/// population growth run only when the whole (current-λ) generation has
+/// been evaluated, so slicing never changes which generation a sample
+/// belongs to.
+struct TbpsaCore {
+    tbpsa: Tbpsa,
+    lambda: usize,
+    sigma: f64,
+    normal: Normal,
+    mean: Vec<f64>,
+    best_so_far: f64,
+    gen_xs: Vec<Vec<f64>>,
+    gen_fits: Vec<f64>,
+}
 
-        while remaining > 0 {
-            let this_gen = lambda.min(remaining);
-            // Sample the generation serially (deterministic RNG stream),
-            // evaluate it as one parallel batch.
-            let xs: Vec<Vec<f64>> = (0..this_gen)
-                .map(|_| {
-                    let mut x: Vec<f64> =
-                        (0..dims).map(|d| mean[d] + sigma * normal.sample(rng)).collect();
-                    clamp_unit(&mut x);
-                    x
-                })
-                .collect();
-            let fits = vp.evaluate_generation(&xs, &mut history);
-            let mut samples: Vec<(Vec<f64>, f64)> = xs.into_iter().zip(fits).collect();
-            remaining -= this_gen;
+impl TbpsaCore {
+    fn new(tbpsa: Tbpsa, problem: &dyn MappingProblem, rng: &mut StdRng) -> Self {
+        let dims = VectorProblem::new(problem).dims();
+        let lambda = tbpsa.config.initial_population.max(4);
+        let sigma = tbpsa.config.initial_sigma;
+        let mean: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.3..0.7)).collect();
+        TbpsaCore {
+            tbpsa,
+            lambda,
+            sigma,
+            normal: Normal::new(0.0, 1.0).expect("unit normal"),
+            mean,
+            best_so_far: f64::NEG_INFINITY,
+            gen_xs: Vec::new(),
+            gen_fits: Vec::new(),
+        }
+    }
 
-            samples.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let mu = (samples.len() / 2).max(1);
-            let elites = &samples[..mu];
-            for d in 0..dims {
-                mean[d] = elites.iter().map(|(x, _)| x[d]).sum::<f64>() / mu as f64;
-            }
-
-            let gen_best = samples[0].1;
-            if gen_best > best_so_far {
-                best_so_far = gen_best;
-            } else {
-                // Test failed: widen the population to average out noise and
-                // shrink the step size.
-                lambda = ((lambda as f64 * self.config.growth_factor) as usize)
-                    .min(self.config.max_population);
-                sigma *= self.config.sigma_decay;
-            }
+    /// The per-generation mean update and test-based adaptation (the
+    /// one-shot per-generation block, verbatim).
+    fn update_distribution(&mut self) {
+        let dims = self.mean.len();
+        let xs = std::mem::take(&mut self.gen_xs);
+        let fits = std::mem::take(&mut self.gen_fits);
+        let mut samples: Vec<(Vec<f64>, f64)> = xs.into_iter().zip(fits).collect();
+        samples.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mu = (samples.len() / 2).max(1);
+        let elites = &samples[..mu];
+        for d in 0..dims {
+            self.mean[d] = elites.iter().map(|(x, _)| x[d]).sum::<f64>() / mu as f64;
         }
 
-        SearchOutcome::from_history(history)
+        let gen_best = samples[0].1;
+        if gen_best > self.best_so_far {
+            self.best_so_far = gen_best;
+        } else {
+            // Test failed: widen the population to average out noise and
+            // shrink the step size.
+            self.lambda = ((self.lambda as f64 * self.tbpsa.config.growth_factor) as usize)
+                .min(self.tbpsa.config.max_population);
+            self.sigma *= self.tbpsa.config.sigma_decay;
+        }
+    }
+}
+
+impl SessionCore for TbpsaCore {
+    fn next_wave(
+        &mut self,
+        want: usize,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<Mapping> {
+        let vp = VectorProblem::new(problem);
+        let dims = self.mean.len();
+        if self.gen_xs.len() == self.lambda {
+            self.update_distribution();
+        }
+        let count = want.min(self.lambda - self.gen_xs.len());
+        let mut wave = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut x: Vec<f64> =
+                (0..dims).map(|d| self.mean[d] + self.sigma * self.normal.sample(rng)).collect();
+            clamp_unit(&mut x);
+            wave.push(vp.decode(&x));
+            self.gen_xs.push(x);
+        }
+        wave
+    }
+
+    fn absorb(&mut self, _wave: Vec<Mapping>, fits: &[f64], _problem: &dyn MappingProblem) {
+        self.gen_fits.extend_from_slice(fits);
     }
 }
 

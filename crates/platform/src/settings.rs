@@ -52,6 +52,9 @@ fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
 /// | `MAGMA_SERVE_LOAD` | `offered_load` | offered load relative to the calibrated (unoptimized) service rate |
 /// | `MAGMA_SERVE_SLA_X` | `sla_x` | per-job SLA bound, in multiples of one batch window + calibrated service time |
 /// | `MAGMA_SERVE_OVERHEAD_US` | `overhead_us_per_sample` | virtual mapper cost charged per search sample, in µs |
+/// | `MAGMA_SERVE_OVERLAP` | `overlap` | `0` disables overlap mode (search slices interleaved with execution); default on |
+/// | `MAGMA_SERVE_SLICE` | `search_slice` | samples per search slice in overlap mode |
+/// | `MAGMA_SERVE_CACHE_EPSILON` | `cache_epsilon` | nearest-key cache probe threshold (mean signature distance); `0` = exact-key only |
 /// | `MAGMA_SERVE_SEED` | `seed` | trace/search seed |
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeKnobs {
@@ -75,6 +78,20 @@ pub struct ServeKnobs {
     pub sla_x: f64,
     /// Virtual mapper cost charged per search sample, in microseconds.
     pub overhead_us_per_sample: f64,
+    /// Whether the simulator overlaps search with accelerator execution
+    /// (default on): a group's search advances in budget slices while the
+    /// previous group executes, instead of serializing search and execution
+    /// on one timeline.
+    pub overlap: bool,
+    /// Samples per search slice in overlap mode. Slicing never changes any
+    /// search result (the session-stepping invariant); it is purely the
+    /// granularity at which the virtual mapper clock advances.
+    pub search_slice: usize,
+    /// Nearest-key cache probe threshold: on an exact-key miss, a stored
+    /// solution whose signatures are within this mean `JobSignature`
+    /// distance of the group's is still served as a (near) hit. `0.0`
+    /// disables the probe (exact-key only, the default).
+    pub cache_epsilon: f64,
     /// Trace/search seed.
     pub seed: u64,
 }
@@ -94,6 +111,9 @@ impl ServeKnobs {
             offered_load: 0.7,
             sla_x: 3.0,
             overhead_us_per_sample: 1.0,
+            overlap: true,
+            search_slice: 32,
+            cache_epsilon: 0.0,
             seed: 0,
         }
     }
@@ -127,6 +147,9 @@ impl ServeKnobs {
             sla_x: env_parse("MAGMA_SERVE_SLA_X", d.sla_x).max(0.0),
             overhead_us_per_sample: env_parse("MAGMA_SERVE_OVERHEAD_US", d.overhead_us_per_sample)
                 .max(0.0),
+            overlap: env_parse::<usize>("MAGMA_SERVE_OVERLAP", d.overlap as usize) != 0,
+            search_slice: env_parse("MAGMA_SERVE_SLICE", d.search_slice).max(1),
+            cache_epsilon: env_parse("MAGMA_SERVE_CACHE_EPSILON", d.cache_epsilon).max(0.0),
             seed: env_parse("MAGMA_SERVE_SEED", d.seed),
         }
     }
@@ -367,6 +390,10 @@ mod tests {
         // The refinement budget is the "≤ 10% of cold" acceptance lever.
         assert!(full.refine_budget * 10 <= full.cold_budget);
         assert!(smoke.refine_budget * 10 <= smoke.cold_budget);
+        // Overlap mode defaults on; the nearest-key probe defaults off.
+        assert!(full.overlap && smoke.overlap);
+        assert!(full.search_slice >= 1);
+        assert_eq!(full.cache_epsilon, 0.0);
         // from_env falls back to the defaults when the knobs are unset (the
         // ambient test environment never sets MAGMA_SERVE_*).
         assert_eq!(ServeKnobs::from_env(true), smoke);

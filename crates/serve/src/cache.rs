@@ -79,10 +79,13 @@ pub fn quantize_signatures(sigs: &[JobSignature], step: f64) -> SignatureKey {
 /// Hit/miss/eviction counters of a [`MappingCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found an entry (exact-key and nearest-key combined).
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+    /// The subset of `hits` served by the nearest-key probe
+    /// ([`MappingCache::lookup_near`]) rather than an exact key match.
+    pub near_hits: u64,
     /// Insertions (fresh keys and replacements).
     pub insertions: u64,
     /// Entries evicted by the capacity bound.
@@ -159,6 +162,60 @@ impl MappingCache {
         } else {
             self.stats.misses += 1;
             None
+        }
+    }
+
+    /// Looks `key` up with a nearest-key fallback: on an exact-key miss, the
+    /// stored entry with the minimum **mean per-job [`JobSignature`]
+    /// distance** to `sigs` is served as a *near hit* if that mean is at
+    /// most `epsilon` (each of the group's signatures is matched to its
+    /// nearest stored signature — a cheap non-bijective proxy for the full
+    /// assignment the adaptation itself performs). `epsilon <= 0` disables
+    /// the probe, making this exactly [`MappingCache::lookup`].
+    ///
+    /// Only entries that stored signatures for the *same group size* are
+    /// candidates, so the adapted mapping always covers the group one-job-
+    /// to-one-job. Candidates are scanned in recency order (deterministic);
+    /// ties prefer the most recently used entry. This is what lets
+    /// mixed-tenant traffic — whose quantized signature multisets essentially
+    /// never repeat exactly — still reuse solved mappings of *similar*
+    /// groups.
+    pub fn lookup_near(
+        &mut self,
+        key: &SignatureKey,
+        sigs: &[JobSignature],
+        epsilon: f64,
+    ) -> Option<&StoredSolution> {
+        if epsilon <= 0.0 || self.entries.contains_key(key) {
+            return self.lookup(key);
+        }
+        let mut best: Option<(f64, SignatureKey)> = None;
+        for stored_key in self.recency.as_slice().iter().rev() {
+            let stored = &self.entries[stored_key];
+            let Some(stored_sigs) = stored.signatures() else { continue };
+            if stored_sigs.len() != sigs.len() {
+                continue;
+            }
+            let total: f64 = sigs
+                .iter()
+                .map(|s| stored_sigs.iter().map(|t| s.distance(t)).fold(f64::INFINITY, f64::min))
+                .sum();
+            let mean = total / sigs.len().max(1) as f64;
+            if mean <= epsilon && best.as_ref().is_none_or(|(b, _)| mean < *b) {
+                best = Some((mean, stored_key.clone()));
+            }
+        }
+        match best {
+            Some((_, near_key)) => {
+                self.stats.hits += 1;
+                self.stats.near_hits += 1;
+                self.recency.bump(&near_key);
+                self.entries.get(&near_key)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
     }
 
@@ -267,5 +324,85 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = MappingCache::new(0);
+    }
+
+    fn profiled_solution(task: TaskType, n: usize, seed: u64) -> (SignatureKey, StoredSolution) {
+        let sigs = WorkloadSpec::single_group(task, n, seed).signatures();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = quantize_signatures(&sigs, 1.0);
+        (key, StoredSolution::new(Mapping::random(&mut rng, n, 4), Some(sigs)))
+    }
+
+    #[test]
+    fn lookup_near_exact_hit_does_not_count_as_near() {
+        let mut cache = MappingCache::new(4);
+        let (key, solution) = profiled_solution(TaskType::Vision, 8, 0);
+        cache.insert(key.clone(), solution);
+        let sigs = WorkloadSpec::single_group(TaskType::Vision, 8, 0).signatures();
+        assert!(cache.lookup_near(&key, &sigs, 100.0).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.near_hits, stats.misses), (1, 0, 0));
+    }
+
+    #[test]
+    fn lookup_near_serves_a_similar_group_within_epsilon() {
+        let mut cache = MappingCache::new(4);
+        let (key_a, solution_a) = profiled_solution(TaskType::Vision, 8, 0);
+        cache.insert(key_a, solution_a);
+        // A different window of the same tenant: near-identical per-job
+        // profiles, but (almost surely) a different quantized key.
+        let sigs_b = WorkloadSpec::single_group(TaskType::Vision, 8, 5).signatures();
+        let key_b = quantize_signatures(&sigs_b, 1.0);
+        let hit = cache.lookup_near(&key_b, &sigs_b, 1e6);
+        assert!(hit.is_some(), "a huge epsilon must accept any same-size entry");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.near_hits), (1, 1));
+    }
+
+    #[test]
+    fn lookup_near_epsilon_zero_is_exact_only() {
+        let mut cache = MappingCache::new(4);
+        let (key_a, solution_a) = profiled_solution(TaskType::Vision, 8, 0);
+        cache.insert(key_a, solution_a);
+        let sigs_b = WorkloadSpec::single_group(TaskType::Vision, 8, 5).signatures();
+        let key_b = quantize_signatures(&sigs_b, 1.0);
+        if key_b
+            == quantize_signatures(
+                &WorkloadSpec::single_group(TaskType::Vision, 8, 0).signatures(),
+                1.0,
+            )
+        {
+            return; // seeds collided on one key; nothing to probe
+        }
+        assert!(cache.lookup_near(&key_b, &sigs_b, 0.0).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().near_hits, 0);
+    }
+
+    #[test]
+    fn lookup_near_never_crosses_group_sizes() {
+        let mut cache = MappingCache::new(4);
+        let (key_a, solution_a) = profiled_solution(TaskType::Vision, 8, 0);
+        cache.insert(key_a, solution_a);
+        let sigs_b = WorkloadSpec::single_group(TaskType::Vision, 12, 0).signatures();
+        let key_b = quantize_signatures(&sigs_b, 1.0);
+        assert!(cache.lookup_near(&key_b, &sigs_b, 1e9).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lookup_near_prefers_the_closest_entry() {
+        let mut cache = MappingCache::new(4);
+        // Same-size entries of two different task categories; a vision query
+        // must pick the vision entry (class/task penalties dominate).
+        let (key_v, sol_v) = profiled_solution(TaskType::Vision, 8, 0);
+        let (key_l, sol_l) = profiled_solution(TaskType::Language, 8, 0);
+        let vision_mapping = sol_v.mapping().clone();
+        cache.insert(key_v, sol_v);
+        cache.insert(key_l, sol_l);
+        let sigs = WorkloadSpec::single_group(TaskType::Vision, 8, 9).signatures();
+        let key = quantize_signatures(&sigs, 1.0);
+        let hit = cache.lookup_near(&key, &sigs, 1e6).expect("huge epsilon always hits");
+        assert_eq!(hit.mapping(), &vision_mapping);
     }
 }

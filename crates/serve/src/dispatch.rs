@@ -16,10 +16,19 @@
 //! worker count. Either way the best mapping found is (re-)inserted under
 //! the group's key, so the cache tracks the freshest solution per traffic
 //! pattern.
+//!
+//! Since the session redesign the service is **steppable**: a dispatch is
+//! [`plan`](MappingService::plan_group)ned (cache probe + seed adaptation),
+//! its search opened as a resumable [`SearchSession`]
+//! ([`MappingService::start_search`]) that the caller advances in budget
+//! slices, and [`complete`](MappingService::complete_group)d into the cache.
+//! [`MappingService::map_group`] remains the one-call composition of the
+//! three — and, by the session-stepping invariant, any slicing of the same
+//! budget produces the same outcome.
 
-use crate::cache::{quantize_signatures, CacheStats, MappingCache};
+use crate::cache::{quantize_signatures, CacheStats, MappingCache, SignatureKey};
 use magma_m3e::{M3e, Mapping, MappingProblem, Schedule, StoredSolution};
-use magma_optim::{Magma, Optimizer};
+use magma_optim::{Magma, Optimizer, SearchOutcome, SearchSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -54,10 +63,16 @@ pub struct DispatchConfig {
     pub quant_step: f64,
     /// LRU capacity of the mapping cache.
     pub cache_capacity: usize,
+    /// Nearest-key probe threshold (mean per-job signature distance) for the
+    /// cache; `0.0` keeps lookups exact-key only. See
+    /// [`MappingCache::lookup_near`].
+    pub cache_epsilon: f64,
 }
 
 impl DispatchConfig {
-    /// Creates a config.
+    /// Creates a config with the nearest-key probe disabled (exact-key
+    /// lookups only); chain [`DispatchConfig::with_cache_epsilon`] to enable
+    /// it.
     ///
     /// # Panics
     ///
@@ -72,7 +87,25 @@ impl DispatchConfig {
         assert!(cold_budget > 0 && refine_budget > 0, "budgets must be non-zero");
         assert!(cache_capacity > 0, "the cache must hold at least one entry");
         assert!(quant_step.is_finite() && quant_step > 0.0, "quant step must be positive");
-        DispatchConfig { cold_budget, refine_budget, quant_step, cache_capacity }
+        DispatchConfig {
+            cold_budget,
+            refine_budget,
+            quant_step,
+            cache_capacity,
+            cache_epsilon: 0.0,
+        }
+    }
+
+    /// Enables the nearest-key cache probe at threshold `epsilon` (mean
+    /// per-job signature distance; `0.0` disables it again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn with_cache_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and non-negative");
+        self.cache_epsilon = epsilon;
+        self
     }
 }
 
@@ -121,39 +154,124 @@ impl MappingService {
         self.cache.len()
     }
 
-    /// Maps one dispatch group. `seed` drives the (deterministic) search
-    /// RNG; the simulator derives it from the trace seed and dispatch index.
-    pub fn map_group(&mut self, problem: &M3e, seed: u64) -> DispatchOutcome {
+    /// Plans how a dispatch group will be searched: probes the cache (exact
+    /// key, then the nearest-key fallback when `cache_epsilon > 0`) and, on
+    /// a hit, adapts the stored solution into a seed population. The plan
+    /// carries everything [`MappingService::start_search`] needs; nothing is
+    /// evaluated yet.
+    ///
+    /// `rng` must be the same RNG later handed to `start_search` — the seed
+    /// population draws from it, exactly as the pre-session one-call path
+    /// did.
+    pub fn plan_group(&mut self, problem: &M3e, rng: &mut StdRng) -> SearchPlan {
         let sigs = problem.signatures();
         let key = quantize_signatures(sigs, self.config.quant_step);
-        let mut rng = StdRng::seed_from_u64(seed);
         let num_accels = MappingProblem::num_accels(problem);
         let magma = Magma::default();
-
-        let (kind, outcome) = match self.cache.lookup(&key) {
+        match self.cache.lookup_near(&key, sigs, self.config.cache_epsilon) {
             Some(stored) => {
                 let budget = self.config.refine_budget;
                 // Sized by Magma itself so the seeds fill exactly one
                 // initial population.
                 let pop = magma.population_size_for(problem, budget);
-                let seeds = stored.seed_population(&mut rng, sigs, num_accels, pop);
-                (DispatchKind::CacheHit, magma.refine(problem, seeds, budget, &mut rng))
+                let seeds = stored.seed_population(rng, sigs, num_accels, pop);
+                SearchPlan { kind: DispatchKind::CacheHit, budget, key, seeds: Some(seeds) }
             }
-            None => {
-                (DispatchKind::ColdSearch, magma.search(problem, self.config.cold_budget, &mut rng))
-            }
-        };
+            None => SearchPlan {
+                kind: DispatchKind::ColdSearch,
+                budget: self.config.cold_budget,
+                key,
+                seeds: None,
+            },
+        }
+    }
 
-        self.cache
-            .insert(key, StoredSolution::new(outcome.best_mapping.clone(), Some(sigs.to_vec())));
+    /// Opens the (resumable) search session a plan describes: a seeded
+    /// refinement session on a cache hit, a cold MAGMA session on a miss.
+    /// The caller owns the stepping — spend [`SearchPlan::budget`] samples
+    /// in whatever slices fit its schedule (the serving simulator's overlap
+    /// mode interleaves them with accelerator execution), then pass the
+    /// finished outcome to [`MappingService::complete_group`].
+    pub fn start_search<'a>(
+        &self,
+        plan: &SearchPlan,
+        problem: &'a M3e,
+        rng: &'a mut StdRng,
+    ) -> Box<dyn SearchSession + 'a> {
+        let magma = Magma::default();
+        match &plan.seeds {
+            Some(seeds) => magma.refine_session(problem, seeds.clone(), rng),
+            None => magma.start(problem, rng),
+        }
+    }
+
+    /// Completes a planned dispatch: stores the best mapping under the
+    /// group's key (so the cache tracks the freshest solution per traffic
+    /// pattern) and assembles the [`DispatchOutcome`].
+    pub fn complete_group(
+        &mut self,
+        problem: &M3e,
+        plan: SearchPlan,
+        outcome: SearchOutcome,
+    ) -> DispatchOutcome {
+        self.cache.insert(
+            plan.key,
+            StoredSolution::new(outcome.best_mapping.clone(), Some(problem.signatures().to_vec())),
+        );
         let schedule = problem.schedule(&outcome.best_mapping);
         DispatchOutcome {
-            kind,
+            kind: plan.kind,
             samples: outcome.history.num_samples(),
             best_fitness: outcome.best_fitness,
             mapping: outcome.best_mapping,
             schedule,
         }
+    }
+
+    /// Maps one dispatch group in one call: plan, open the session, step it
+    /// to the plan's budget, complete. `seed` drives the (deterministic)
+    /// search RNG; the simulator derives it from the trace seed and dispatch
+    /// index. This is the legacy-mode path — overlap mode drives the same
+    /// plan/start/complete primitives itself, slice by slice.
+    pub fn map_group(&mut self, problem: &M3e, seed: u64) -> DispatchOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = self.plan_group(problem, &mut rng);
+        let budget = plan.budget;
+        let mut session = self.start_search(&plan, problem, &mut rng);
+        loop {
+            let remaining = budget - session.spent();
+            if remaining == 0 {
+                break;
+            }
+            if session.step(remaining).spent == 0 {
+                break;
+            }
+        }
+        let outcome = session.finish();
+        self.complete_group(problem, plan, outcome)
+    }
+}
+
+/// The decision [`MappingService::plan_group`] makes for one dispatch group:
+/// how it will be served (cold vs hit), at what budget, under which cache
+/// key, and — on a hit — the adapted seed population.
+#[derive(Debug, Clone)]
+pub struct SearchPlan {
+    kind: DispatchKind,
+    budget: usize,
+    key: SignatureKey,
+    seeds: Option<Vec<Mapping>>,
+}
+
+impl SearchPlan {
+    /// How the dispatch will be served.
+    pub fn kind(&self) -> DispatchKind {
+        self.kind
+    }
+
+    /// The sampling budget the search should spend.
+    pub fn budget(&self) -> usize {
+        self.budget
     }
 }
 
@@ -233,5 +351,59 @@ mod tests {
         let out = service.map_group(&p, 3);
         assert_eq!(out.schedule.segments().len(), 8);
         assert!(out.schedule.makespan_sec() > 0.0);
+    }
+
+    #[test]
+    fn sliced_plan_start_complete_equals_one_call_map_group() {
+        let p = problem(7);
+        // One-call path (cold, then a hit) ...
+        let mut one_call = MappingService::new(config());
+        let cold_a = one_call.map_group(&p, 1);
+        let hit_a = one_call.map_group(&p, 2);
+        // ... versus the steppable path driven in slices of 3 samples.
+        let mut sliced = MappingService::new(config());
+        let mut drive = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plan = sliced.plan_group(&p, &mut rng);
+            let budget = plan.budget();
+            let mut session = sliced.start_search(&plan, &p, &mut rng);
+            loop {
+                let remaining = budget - session.spent();
+                if remaining == 0 {
+                    break;
+                }
+                if session.step(remaining.min(3)).spent == 0 {
+                    break;
+                }
+            }
+            let outcome = session.finish();
+            sliced.complete_group(&p, plan, outcome)
+        };
+        let cold_b = drive(1);
+        let hit_b = drive(2);
+        assert_eq!(cold_a.kind, cold_b.kind);
+        assert_eq!(cold_a.samples, cold_b.samples);
+        assert_eq!(cold_a.best_fitness.to_bits(), cold_b.best_fitness.to_bits());
+        assert_eq!(cold_a.mapping, cold_b.mapping);
+        assert_eq!(hit_a.kind, hit_b.kind);
+        assert_eq!(hit_a.best_fitness.to_bits(), hit_b.best_fitness.to_bits());
+        assert_eq!(hit_a.mapping, hit_b.mapping);
+    }
+
+    #[test]
+    fn nearest_key_probe_turns_a_similar_group_into_a_hit() {
+        // Same task, same size, different window: exact keys (almost
+        // surely) differ, so exact-only misses but a generous epsilon hits.
+        let a = problem(0);
+        let b = problem(9);
+        let mut exact = MappingService::new(config());
+        exact.map_group(&a, 1);
+        let exact_b = exact.map_group(&b, 2);
+        let mut near = MappingService::new(config().with_cache_epsilon(1e6));
+        near.map_group(&a, 1);
+        let near_b = near.map_group(&b, 2);
+        assert_eq!(exact_b.kind, DispatchKind::ColdSearch);
+        assert_eq!(near_b.kind, DispatchKind::CacheHit);
+        assert_eq!(near.cache_stats().near_hits, 1);
     }
 }

@@ -25,13 +25,21 @@
 //! * [`trace`] — seeded arrival scenarios over the model zoo's tenants.
 //! * [`batcher`] — admission batching under a group-size/deadline policy.
 //! * [`cache`] — the bounded LRU over quantized [`magma_model::JobSignature`]
-//!   sets.
-//! * [`dispatch`] — cold search vs adapt-then-refine, both through the
-//!   parallel batch evaluator (`magma_optim::parallel`).
-//! * [`sim`] — the deterministic event-driven virtual-clock loop.
-//! * [`metrics`] — the latency/throughput/SLA pipeline.
+//!   sets, with an optional nearest-key probe for near-matching groups.
+//! * [`dispatch`] — cold search vs adapt-then-refine as *steppable plans*
+//!   (plan → session → complete), both through the parallel batch evaluator
+//!   (`magma_optim::parallel`).
+//! * [`sim`] — the deterministic event-driven virtual-clock loop, in two
+//!   modes: **overlap** (default; a group's search advances in budget
+//!   slices through `magma_optim`'s [`SearchSession`](magma_optim::SearchSession)
+//!   API while the previous group executes, with mapper cost charged from
+//!   measured per-step samples) and **legacy** (the serial baseline).
+//! * [`metrics`] — the latency/throughput/SLA pipeline, with per-tenant SLA
+//!   contracts.
 //! * [`report`] — the schema-stable `BENCH_serve.json` contract
-//!   (`magma-serve/v1`).
+//!   (`magma-serve/v2`: both serving modes plus their end-to-end
+//!   comparison, self-checked by
+//!   [`ServeReport::validate`](report::ServeReport::validate)).
 //!
 //! # Paper cross-references
 //!

@@ -68,8 +68,12 @@ pub struct TenantReport {
     pub jobs: usize,
     /// End-to-end (arrival → completion) latency profile.
     pub latency: LatencyStats,
-    /// The SLA bound applied, in seconds.
+    /// The SLA bound applied **to this tenant**, in seconds: the uniform
+    /// baseline scaled by the tenant's contracted multiplier.
     pub sla_sec: f64,
+    /// The tenant's SLA contract multiplier (1.0 when uncontracted, i.e.
+    /// the uniform `MAGMA_SERVE_SLA_X` bound applies unscaled).
+    pub sla_multiplier: f64,
     /// Jobs whose end-to-end latency exceeded the bound.
     pub sla_violations: usize,
     /// `sla_violations / jobs` (0 when no jobs).
@@ -79,10 +83,13 @@ pub struct TenantReport {
 /// Cache summary in the emitted report.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CacheReport {
-    /// Lookup hits.
+    /// Lookup hits (exact-key and nearest-key combined).
     pub hits: u64,
     /// Lookup misses.
     pub misses: u64,
+    /// The subset of `hits` served by the nearest-key probe
+    /// (`MAGMA_SERVE_CACHE_EPSILON`).
+    pub near_hits: u64,
     /// Capacity evictions.
     pub evictions: u64,
     /// `hits / (hits + misses)`.

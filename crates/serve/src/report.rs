@@ -17,15 +17,23 @@ use std::path::PathBuf;
 
 /// Version tag of the report layout. Bump when (and only when) fields are
 /// added; existing fields are never renamed or removed.
-pub const SCHEMA: &str = "magma-serve/v1";
+///
+/// `v2` (the steppable-session release) adds, on top of `v1`: the
+/// `primary_overlap` flag, the `baseline_scenarios` ladder (the *other*
+/// serving mode, so every report carries both overlap and legacy results),
+/// the per-scenario `comparison` block, `overlap` on every scenario entry,
+/// `near_hits` in the cache block and `sla_multiplier` per tenant.
+pub const SCHEMA: &str = "magma-serve/v2";
 
 /// One simulated scenario's block in the report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioResult {
-    /// Short stable identifier (e.g. `repeat_recommendation`).
+    /// Short stable identifier (e.g. `repeated_tenant`).
     pub name: String,
     /// The traffic scenario simulated.
     pub scenario: Scenario,
+    /// Whether this entry was simulated in overlap mode.
+    pub overlap: bool,
     /// Arrivals simulated.
     pub requests: usize,
     /// Dispatch-group size target.
@@ -38,6 +46,24 @@ pub struct ScenarioResult {
     pub metrics: crate::metrics::ServeMetrics,
 }
 
+/// The overlap-vs-legacy end-to-end latency comparison of one scenario —
+/// the headline the overlap redesign is measured by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioComparison {
+    /// Scenario identifier (matches the ladders).
+    pub name: String,
+    /// Mean end-to-end latency in overlap mode, µs of virtual time.
+    pub overlap_mean_e2e_us: f64,
+    /// Mean end-to-end latency in legacy (serial) mode, µs.
+    pub legacy_mean_e2e_us: f64,
+    /// p95 end-to-end latency in overlap mode, µs.
+    pub overlap_p95_e2e_us: f64,
+    /// p95 end-to-end latency in legacy mode, µs.
+    pub legacy_p95_e2e_us: f64,
+    /// `legacy_mean / overlap_mean` — > 1 means overlap wins.
+    pub mean_speedup: f64,
+}
+
 /// The full report written to `BENCH_serve.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -45,6 +71,9 @@ pub struct ServeReport {
     pub schema: String,
     /// `smoke` or `full`.
     pub mode: String,
+    /// Whether `scenarios` (the primary ladder) ran in overlap mode; the
+    /// `baseline_scenarios` ladder always holds the other mode.
+    pub primary_overlap: bool,
     /// Trace/search seed.
     pub seed: u64,
     /// Cold-search sampling budget.
@@ -53,8 +82,79 @@ pub struct ServeReport {
     pub refine_budget: usize,
     /// Mapping-cache capacity.
     pub cache_capacity: usize,
-    /// One entry per simulated scenario.
+    /// One entry per simulated scenario, in the primary serving mode
+    /// (overlap by default, `MAGMA_SERVE_OVERLAP=0` flips it).
     pub scenarios: Vec<ScenarioResult>,
+    /// The same scenario ladder in the other serving mode, so every report
+    /// carries both the overlap and the legacy baselines.
+    pub baseline_scenarios: Vec<ScenarioResult>,
+    /// Per-scenario overlap-vs-legacy end-to-end comparison.
+    pub comparison: Vec<ScenarioComparison>,
+}
+
+impl ServeReport {
+    /// The ladder simulated in overlap mode (primary or baseline).
+    pub fn overlap_scenarios(&self) -> &[ScenarioResult] {
+        if self.primary_overlap {
+            &self.scenarios
+        } else {
+            &self.baseline_scenarios
+        }
+    }
+
+    /// The ladder simulated in legacy (serial) mode.
+    pub fn legacy_scenarios(&self) -> &[ScenarioResult] {
+        if self.primary_overlap {
+            &self.baseline_scenarios
+        } else {
+            &self.scenarios
+        }
+    }
+
+    /// The `magma-serve/v2` schema self-check: the versioned invariants CI
+    /// asserts before uploading a profile. Returns the first violation as an
+    /// error string.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!("schema tag {} != {}", self.schema, SCHEMA));
+        }
+        if self.scenarios.is_empty() {
+            return Err("empty primary ladder".into());
+        }
+        if self.scenarios.len() != self.baseline_scenarios.len() {
+            return Err("primary and baseline ladders differ in length".into());
+        }
+        if self.comparison.len() != self.scenarios.len() {
+            return Err("one comparison entry per scenario required".into());
+        }
+        for (s, b) in self.scenarios.iter().zip(&self.baseline_scenarios) {
+            if s.name != b.name {
+                return Err(format!("ladder misalignment: {} vs {}", s.name, b.name));
+            }
+            if s.overlap != self.primary_overlap || b.overlap == self.primary_overlap {
+                return Err(format!("mode flags inconsistent on {}", s.name));
+            }
+        }
+        for c in &self.comparison {
+            let overlap = self
+                .overlap_scenarios()
+                .iter()
+                .find(|s| s.name == c.name)
+                .ok_or_else(|| format!("comparison for unknown scenario {}", c.name))?;
+            let legacy = self
+                .legacy_scenarios()
+                .iter()
+                .find(|s| s.name == c.name)
+                .expect("ladders are aligned");
+            let mean = |s: &ScenarioResult| s.metrics.end_to_end.mean_sec * 1e6;
+            if (c.overlap_mean_e2e_us - mean(overlap)).abs() > 1e-9 * mean(overlap).max(1.0)
+                || (c.legacy_mean_e2e_us - mean(legacy)).abs() > 1e-9 * mean(legacy).max(1.0)
+            {
+                return Err(format!("comparison of {} disagrees with its ladders", c.name));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The standard scenario ladder: what `serve_sim` runs and the determinism
@@ -62,15 +162,16 @@ pub struct ServeReport {
 ///
 /// * `poisson_mix` — stationary multi-tenant traffic (the paper's Mix task,
 ///   served online).
-/// * `repeat_recommendation` — a single small-model tenant whose job windows
-///   recur; the repeated-tenant trace of the acceptance criterion.
+/// * `repeated_tenant` — a single small-model tenant whose job windows
+///   recur; the repeated-tenant trace of the acceptance criteria (cache
+///   economics and the overlap end-to-end win).
 /// * (full mode only) `bursty_mix` and `drift_mix` — deadline-path stress
 ///   and cache-invalidation-under-drift.
 pub fn standard_scenarios(smoke: bool) -> Vec<(&'static str, Scenario, TenantMix)> {
     let mut scenarios = vec![
         ("poisson_mix", Scenario::Poisson, TenantMix::standard()),
         (
-            "repeat_recommendation",
+            "repeated_tenant",
             Scenario::Poisson,
             TenantMix::single(
                 "recommendation",
@@ -86,16 +187,17 @@ pub fn standard_scenarios(smoke: bool) -> Vec<(&'static str, Scenario, TenantMix
     scenarios
 }
 
-/// Runs the standard scenario ladder under `knobs` and assembles the report.
-pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
-    let scenarios = standard_scenarios(smoke)
+/// Runs one ladder pass in the given mode.
+fn run_ladder(knobs: &ServeKnobs, smoke: bool, overlap: bool) -> Vec<ScenarioResult> {
+    standard_scenarios(smoke)
         .into_iter()
         .map(|(name, scenario, mix)| {
-            let config = SimConfig::from_knobs(knobs, scenario);
+            let config = SimConfig::from_knobs(knobs, scenario).with_overlap(overlap);
             let result = simulate(&config, &mix);
             ScenarioResult {
                 name: name.to_string(),
                 scenario,
+                overlap,
                 requests: config.requests,
                 group_target: config.group_target,
                 mean_interarrival_us: result.mean_interarrival_sec * 1e6,
@@ -103,15 +205,48 @@ pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
                 metrics: result.metrics,
             }
         })
+        .collect()
+}
+
+/// Runs the standard scenario ladder under `knobs` in **both** serving modes
+/// and assembles the report: the primary ladder follows `knobs.overlap`
+/// (`MAGMA_SERVE_OVERLAP`, default on), the baseline ladder is the other
+/// mode, and the comparison block pairs them per scenario.
+pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
+    let scenarios = run_ladder(knobs, smoke, knobs.overlap);
+    let baseline_scenarios = run_ladder(knobs, smoke, !knobs.overlap);
+    let (overlap_ladder, legacy_ladder) = if knobs.overlap {
+        (&scenarios, &baseline_scenarios)
+    } else {
+        (&baseline_scenarios, &scenarios)
+    };
+    let comparison = overlap_ladder
+        .iter()
+        .zip(legacy_ladder)
+        .map(|(o, l)| {
+            let overlap_mean = o.metrics.end_to_end.mean_sec * 1e6;
+            let legacy_mean = l.metrics.end_to_end.mean_sec * 1e6;
+            ScenarioComparison {
+                name: o.name.clone(),
+                overlap_mean_e2e_us: overlap_mean,
+                legacy_mean_e2e_us: legacy_mean,
+                overlap_p95_e2e_us: o.metrics.end_to_end.p95_sec * 1e6,
+                legacy_p95_e2e_us: l.metrics.end_to_end.p95_sec * 1e6,
+                mean_speedup: if overlap_mean > 0.0 { legacy_mean / overlap_mean } else { 0.0 },
+            }
+        })
         .collect();
     ServeReport {
         schema: SCHEMA.to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
+        primary_overlap: knobs.overlap,
         seed: knobs.seed,
         cold_budget: knobs.cold_budget,
         refine_budget: knobs.refine_budget,
         cache_capacity: knobs.cache_capacity,
         scenarios,
+        baseline_scenarios,
+        comparison,
     }
 }
 
@@ -146,10 +281,10 @@ mod tests {
     #[test]
     fn smoke_ladder_has_the_acceptance_scenario() {
         let names: Vec<&str> = standard_scenarios(true).iter().map(|(n, _, _)| *n).collect();
-        assert_eq!(names, ["poisson_mix", "repeat_recommendation"]);
+        assert_eq!(names, ["poisson_mix", "repeated_tenant"]);
         let full: Vec<&str> = standard_scenarios(false).iter().map(|(n, _, _)| *n).collect();
         assert_eq!(full.len(), 4);
-        assert!(full.contains(&"repeat_recommendation"));
+        assert!(full.contains(&"repeated_tenant"));
     }
 
     #[test]
@@ -159,7 +294,7 @@ mod tests {
         assert_eq!(report.scenarios.len(), 2);
         let json = serde_json::to_string_pretty(&report).unwrap();
         // The schema contract: these keys must never be renamed (only added
-        // to, with a SCHEMA bump).
+        // to, with a SCHEMA bump). v1 keys first, then the v2 additions.
         for key in [
             "\"schema\"",
             "\"mode\"",
@@ -192,10 +327,51 @@ mod tests {
             "\"dispatch\"",
             "\"hit_cold_throughput_ratio\"",
             "\"hit_sample_fraction\"",
+            // v2 additions.
+            "\"primary_overlap\"",
+            "\"baseline_scenarios\"",
+            "\"comparison\"",
+            "\"overlap\"",
+            "\"overlap_mean_e2e_us\"",
+            "\"legacy_mean_e2e_us\"",
+            "\"overlap_p95_e2e_us\"",
+            "\"legacy_p95_e2e_us\"",
+            "\"mean_speedup\"",
+            "\"near_hits\"",
+            "\"sla_multiplier\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
         let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_carries_both_modes_and_validates() {
+        let report = run_standard_scenarios(&tiny_knobs(), true);
+        assert!(report.primary_overlap, "overlap is the default primary mode");
+        assert!(report.scenarios.iter().all(|s| s.overlap));
+        assert!(report.baseline_scenarios.iter().all(|s| !s.overlap));
+        assert_eq!(report.comparison.len(), report.scenarios.len());
+        report.validate().expect("a freshly assembled report must self-check");
+        // The accessors pick the right ladders.
+        assert!(report.overlap_scenarios().iter().all(|s| s.overlap));
+        assert!(report.legacy_scenarios().iter().all(|s| !s.overlap));
+        // A knob-flipped report keeps the same two ladders, swapped.
+        let flipped = run_standard_scenarios(&ServeKnobs { overlap: false, ..tiny_knobs() }, true);
+        flipped.validate().expect("legacy-primary report must self-check too");
+        assert!(!flipped.primary_overlap);
+        assert_eq!(flipped.overlap_scenarios(), report.overlap_scenarios());
+        assert_eq!(flipped.legacy_scenarios(), report.legacy_scenarios());
+    }
+
+    #[test]
+    fn validate_rejects_a_corrupted_report() {
+        let mut report = run_standard_scenarios(&tiny_knobs(), true);
+        report.comparison[0].overlap_mean_e2e_us *= 2.0;
+        assert!(report.validate().is_err(), "a tampered comparison must fail the self-check");
+        let mut wrong_tag = run_standard_scenarios(&tiny_knobs(), true);
+        wrong_tag.schema = "magma-serve/v1".into();
+        assert!(wrong_tag.validate().is_err());
     }
 }

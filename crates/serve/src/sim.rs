@@ -14,6 +14,26 @@
 //! ambient RNG — and every search evaluates candidates through the parallel
 //! batch oracle, so results are bit-identical at every `MAGMA_THREADS`.
 //!
+//! # Overlap vs legacy mode
+//!
+//! The simulator runs in one of two modes ([`SimConfig::overlap`], knob
+//! `MAGMA_SERVE_OVERLAP`, default on):
+//!
+//! * **Legacy (serial)** — one timeline: a group is cut when the batcher is
+//!   ready *and the accelerator is free*; its whole search runs as one lump
+//!   of mapper time, then execution follows. This is the pre-session
+//!   behaviour, kept as the baseline.
+//! * **Overlap** — the mapper and the accelerator are separate resources: a
+//!   group is cut when the batcher is ready and the *mapper* is free, its
+//!   search advances in [`SimConfig::search_slice`]-sample slices through
+//!   the steppable session API (each slice charging its **measured** spent
+//!   samples to the mapper clock), and execution starts at `max(search end,
+//!   accelerator free)` — so group *g+1*'s search hides behind group *g*'s
+//!   execution. By the session-stepping invariant the slice size (and the
+//!   mode itself) never changes which mapping a given dispatch group gets;
+//!   overlap changes *when* things happen, which is exactly the end-to-end
+//!   latency win `serve_sim` reports.
+//!
 //! # Calibration
 //!
 //! Arrival rates are specified as an *offered load* relative to the
@@ -26,7 +46,7 @@
 //! overhead)` — the latency a job would see in a healthy, uncongested
 //! system, times a tolerance factor.
 
-use crate::batcher::{AdmissionBatcher, BatchPolicy};
+use crate::batcher::{AdmissionBatcher, BatchPolicy, DispatchGroup};
 use crate::dispatch::{DispatchConfig, DispatchOutcome, MappingService};
 use crate::metrics::{CacheReport, DispatchSummary, LatencyStats, ServeMetrics, TenantReport};
 use crate::trace::{generate_trace, Scenario, TraceParams};
@@ -58,6 +78,11 @@ pub struct SimConfig {
     pub sla_x: f64,
     /// Virtual mapper cost per evaluated sample, in seconds.
     pub overhead_sec_per_sample: f64,
+    /// Whether search overlaps accelerator execution (see module docs).
+    pub overlap: bool,
+    /// Samples per search slice in overlap mode (result-invariant; sets the
+    /// granularity at which the mapper clock advances).
+    pub search_slice: usize,
     /// Search budgets and cache geometry.
     pub dispatch: DispatchConfig,
     /// Trace/search seed.
@@ -78,14 +103,24 @@ impl SimConfig {
             offered_load: knobs.offered_load,
             sla_x: knobs.sla_x,
             overhead_sec_per_sample: knobs.overhead_us_per_sample * 1e-6,
+            overlap: knobs.overlap,
+            search_slice: knobs.search_slice,
             dispatch: DispatchConfig::new(
                 knobs.cold_budget,
                 knobs.refine_budget,
                 knobs.quant_step,
                 knobs.cache_capacity,
-            ),
+            )
+            .with_cache_epsilon(knobs.cache_epsilon),
             seed: knobs.seed,
         }
+    }
+
+    /// This config with overlap mode forced on or off (used by the report
+    /// layer to run the same scenario in both modes).
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
     }
 }
 
@@ -145,13 +180,69 @@ pub fn simulate(config: &SimConfig, mix: &TenantMix) -> SimResult {
         },
         mix,
     );
-    let mut batcher = AdmissionBatcher::new(BatchPolicy::new(
+    let batcher = AdmissionBatcher::new(BatchPolicy::new(
         config.group_target,
         config.max_wait_x * batch_window_sec,
     ));
     let mut service = MappingService::new(config.dispatch);
 
-    // --- event loop: arrivals and dispatches in virtual-time order.
+    let (records, outcomes) = if config.overlap {
+        run_overlap(config, &platform, trace, batcher, &mut service)
+    } else {
+        run_legacy(config, &platform, trace, batcher, &mut service)
+    };
+
+    let metrics = assemble_metrics(&records, &outcomes, &service, mix, sla_sec);
+    SimResult { metrics, mean_interarrival_sec, sla_sec }
+}
+
+/// Builds the M3E problem of one dispatch group.
+fn group_problem(platform: &magma_platform::AcceleratorPlatform, group: &DispatchGroup) -> M3e {
+    let jobs: Vec<_> =
+        group.arrivals.iter().enumerate().map(|(k, a)| a.job.clone().with_id(JobId(k))).collect();
+    M3e::new(platform.clone(), Group::new(jobs), Objective::Throughput)
+}
+
+/// Per-dispatch search seed, decorrelated by the golden-ratio stride.
+fn dispatch_seed(config: &SimConfig, index: usize) -> u64 {
+    config.seed.wrapping_add((index as u64).wrapping_mul(K_SEED_STRIDE))
+}
+
+/// Appends the completed group's job records, given when execution started.
+fn record_group(
+    records: &mut Vec<JobRecord>,
+    group: &DispatchGroup,
+    outcome: &DispatchOutcome,
+    dispatched_sec: f64,
+    exec_start_sec: f64,
+) {
+    let mut end_by_job = vec![0.0f64; group.arrivals.len()];
+    for seg in outcome.schedule.segments() {
+        end_by_job[seg.job.0] = seg.end_sec;
+    }
+    for (k, a) in group.arrivals.iter().enumerate() {
+        records.push(JobRecord {
+            tenant: a.tenant,
+            arrival_sec: a.time_sec,
+            dispatched_sec,
+            completed_sec: exec_start_sec + end_by_job[k],
+            flops: a.job.flops(),
+        });
+    }
+}
+
+/// The legacy (serial) event loop: one timeline, the accelerator is busy
+/// through search *and* execution, the next group waits for both. Kept
+/// byte-compatible with the pre-overlap simulator — the mapper cost is still
+/// the search's full sample count times the per-sample overhead, charged as
+/// one lump before execution.
+fn run_legacy(
+    config: &SimConfig,
+    platform: &magma_platform::AcceleratorPlatform,
+    trace: Vec<crate::trace::Arrival>,
+    mut batcher: AdmissionBatcher,
+    service: &mut MappingService,
+) -> (Vec<JobRecord>, Vec<DispatchOutcome>) {
     let mut records: Vec<JobRecord> = Vec::with_capacity(trace.len());
     let mut outcomes: Vec<DispatchOutcome> = Vec::new();
     let mut free_at = 0.0f64;
@@ -172,39 +263,92 @@ pub fn simulate(config: &SimConfig, mix: &TenantMix) -> SimResult {
             }
             (_, Some(td)) => {
                 let group = batcher.take_group(td).expect("ready time reached");
-                let jobs: Vec<_> = group
-                    .arrivals
-                    .iter()
-                    .enumerate()
-                    .map(|(k, a)| a.job.clone().with_id(JobId(k)))
-                    .collect();
-                let problem = M3e::new(platform.clone(), Group::new(jobs), Objective::Throughput);
-                let seed =
-                    config.seed.wrapping_add((outcomes.len() as u64).wrapping_mul(K_SEED_STRIDE));
-                let outcome = service.map_group(&problem, seed);
+                let problem = group_problem(platform, &group);
+                let outcome = service.map_group(&problem, dispatch_seed(config, outcomes.len()));
                 let overhead = outcome.samples as f64 * config.overhead_sec_per_sample;
-                let mut end_by_job = vec![0.0f64; group.arrivals.len()];
-                for seg in outcome.schedule.segments() {
-                    end_by_job[seg.job.0] = seg.end_sec;
-                }
-                for (k, a) in group.arrivals.iter().enumerate() {
-                    records.push(JobRecord {
-                        tenant: a.tenant,
-                        arrival_sec: a.time_sec,
-                        dispatched_sec: td,
-                        completed_sec: td + overhead + end_by_job[k],
-                        flops: a.job.flops(),
-                    });
-                }
+                record_group(&mut records, &group, &outcome, td, td + overhead);
                 free_at = td + overhead + outcome.schedule.makespan_sec();
                 outcomes.push(outcome);
             }
             (None, None) => break,
         }
     }
+    (records, outcomes)
+}
 
-    let metrics = assemble_metrics(&records, &outcomes, &service, mix, sla_sec);
-    SimResult { metrics, mean_interarrival_sec, sla_sec }
+/// The overlap event loop: the mapper (search) and the accelerator
+/// (execution) are separate resources. A group is cut as soon as the batcher
+/// is ready *and the mapper is free* — not when the accelerator is — and its
+/// search advances in slices of `search_slice` samples through the steppable
+/// session API, each slice charging its **measured** spent samples to the
+/// mapper clock. Execution then starts at `max(search end, accelerator
+/// free)`: while group *g* executes, group *g+1*'s search is already
+/// running, hiding mapper latency behind execution. By the session-stepping
+/// invariant the slice size never changes any mapping result — only the
+/// virtual clock's granularity.
+fn run_overlap(
+    config: &SimConfig,
+    platform: &magma_platform::AcceleratorPlatform,
+    trace: Vec<crate::trace::Arrival>,
+    mut batcher: AdmissionBatcher,
+    service: &mut MappingService,
+) -> (Vec<JobRecord>, Vec<DispatchOutcome>) {
+    let mut records: Vec<JobRecord> = Vec::with_capacity(trace.len());
+    let mut outcomes: Vec<DispatchOutcome> = Vec::new();
+    let mut mapper_free = 0.0f64;
+    let mut accel_free = 0.0f64;
+    let mut next = 0usize;
+    let slice = config.search_slice.max(1);
+    loop {
+        let next_arrival = trace.get(next).map(|a| a.time_sec);
+        let cut_at = batcher.earliest_ready().map(|r| r.max(mapper_free));
+        match (next_arrival, cut_at) {
+            (Some(ta), Some(td)) if ta <= td => {
+                batcher.push(trace[next].clone());
+                next += 1;
+            }
+            (Some(_), None) => {
+                batcher.push(trace[next].clone());
+                next += 1;
+            }
+            (_, Some(td)) => {
+                let group = batcher.take_group(td).expect("ready time reached");
+                let problem = group_problem(platform, &group);
+                let mut rng = StdRng::seed_from_u64(dispatch_seed(config, outcomes.len()));
+                let plan = service.plan_group(&problem, &mut rng);
+                let budget = plan.budget();
+                // Advance the search in slices on the mapper clock; the
+                // accelerator may still be executing the previous group.
+                // The clock is recomputed from the session's *cumulative*
+                // measured samples (not accumulated per slice) so the sum's
+                // floating-point rounding — and therefore every metric — is
+                // bit-identical at any slice size.
+                let mut clock = td;
+                let mut session = service.start_search(&plan, &problem, &mut rng);
+                loop {
+                    let remaining = budget - session.spent();
+                    if remaining == 0 {
+                        break;
+                    }
+                    let report = session.step(remaining.min(slice));
+                    if report.spent == 0 {
+                        break;
+                    }
+                    // Measured per-step mapper cost, not a flat lump.
+                    clock = td + report.total_spent as f64 * config.overhead_sec_per_sample;
+                }
+                let outcome = service.complete_group(&problem, plan, session.finish());
+                let search_end = clock;
+                let exec_start = search_end.max(accel_free);
+                record_group(&mut records, &group, &outcome, td, exec_start);
+                accel_free = exec_start + outcome.schedule.makespan_sec();
+                mapper_free = search_end;
+                outcomes.push(outcome);
+            }
+            (None, None) => break,
+        }
+    }
+    (records, outcomes)
 }
 
 /// Seed stride decorrelating per-dispatch search RNG streams (the 64-bit
@@ -257,13 +401,17 @@ fn assemble_metrics(
                 .map(|r| r.completed_sec - r.arrival_sec)
                 .collect();
             let jobs = latencies.len();
-            let sla_violations = latencies.iter().filter(|&&l| l > sla_sec).count();
+            // Per-tenant SLA contract: the baseline bound scaled by the
+            // tenant's multiplier (uniform bound without a contract).
+            let tenant_sla_sec = tenant.effective_sla_sec(sla_sec);
+            let sla_violations = latencies.iter().filter(|&&l| l > tenant_sla_sec).count();
             TenantReport {
                 tenant: tenant.name().to_string(),
                 task: tenant.task(),
                 jobs,
                 latency: LatencyStats::from_samples(latencies),
-                sla_sec,
+                sla_sec: tenant_sla_sec,
+                sla_multiplier: tenant.sla_multiplier().unwrap_or(1.0),
                 sla_violations,
                 sla_violation_rate: if jobs == 0 {
                     0.0
@@ -287,6 +435,7 @@ fn assemble_metrics(
         cache: CacheReport {
             hits: stats.hits,
             misses: stats.misses,
+            near_hits: stats.near_hits,
             evictions: stats.evictions,
             hit_rate: stats.hit_rate(),
             entries: service.cache_len(),
@@ -311,6 +460,8 @@ mod tests {
             offered_load: 0.7,
             sla_x: 3.0,
             overhead_sec_per_sample: 1e-6,
+            overlap: false,
+            search_slice: 8,
             dispatch: DispatchConfig::new(40, 4, 1.0, 16),
             seed,
         }
@@ -413,5 +564,81 @@ mod tests {
         assert_eq!(config.dispatch.cold_budget, knobs.cold_budget);
         assert_eq!(config.dispatch.refine_budget, knobs.refine_budget);
         assert_eq!(config.scenario, Scenario::Bursty);
+        assert!(config.overlap, "overlap mode defaults on");
+        assert_eq!(config.search_slice, knobs.search_slice);
+        assert_eq!(config.dispatch.cache_epsilon, knobs.cache_epsilon);
+    }
+
+    #[test]
+    fn overlap_mode_is_deterministic_and_slice_size_invariant() {
+        // The slice size only sets the mapper clock's granularity; by the
+        // session-stepping invariant every mapping (and therefore every
+        // metric) is identical at any slice size.
+        let mix = TenantMix::standard();
+        let base = tiny_config(Scenario::Poisson, 6).with_overlap(true);
+        let a = simulate(&base, &mix);
+        let mut one = base.clone();
+        one.search_slice = 1;
+        let mut big = base.clone();
+        big.search_slice = 4096;
+        assert_eq!(a, simulate(&one, &mix));
+        assert_eq!(a, simulate(&big, &mix));
+        assert_eq!(a, simulate(&base, &mix));
+    }
+
+    #[test]
+    fn overlap_mode_cuts_mean_end_to_end_latency_under_load() {
+        // Same trace, same budgets: overlap hides search behind execution
+        // and never waits for the accelerator to cut a group, so the mean
+        // end-to-end latency must drop.
+        let mix =
+            TenantMix::single("recom", TaskType::Recommendation, vec![magma_model::zoo::ncf()]);
+        let mut config = tiny_config(Scenario::Poisson, 3);
+        config.requests = 64;
+        config.offered_load = 1.5;
+        let legacy = simulate(&config.clone().with_overlap(false), &mix);
+        let overlap = simulate(&config.with_overlap(true), &mix);
+        assert!(
+            overlap.metrics.end_to_end.mean_sec < legacy.metrics.end_to_end.mean_sec,
+            "overlap {} must beat legacy {}",
+            overlap.metrics.end_to_end.mean_sec,
+            legacy.metrics.end_to_end.mean_sec
+        );
+    }
+
+    #[test]
+    fn per_tenant_sla_contracts_scale_the_bound() {
+        let mix = TenantMix::standard().with_sla_multipliers(&[0.001, 1.0, 1000.0]);
+        let result = simulate(&tiny_config(Scenario::Poisson, 5), &mix);
+        let tenants = &result.metrics.tenants;
+        assert_eq!(tenants[0].sla_multiplier, 0.001);
+        assert_eq!(tenants[2].sla_multiplier, 1000.0);
+        assert!(tenants[0].sla_sec < tenants[1].sla_sec);
+        assert!(tenants[1].sla_sec < tenants[2].sla_sec);
+        // A near-zero contract must violate on every job; a huge one never.
+        assert_eq!(tenants[0].sla_violations, tenants[0].jobs);
+        assert!(tenants[0].jobs > 0);
+        assert_eq!(tenants[2].sla_violations, 0);
+        // The uncontracted baseline equals the uniform bound.
+        assert_eq!(tenants[1].sla_sec, result.sla_sec);
+    }
+
+    #[test]
+    fn nearest_key_probe_unlocks_mix_traffic_hits() {
+        // Mixed-tenant windows essentially never repeat a quantized
+        // signature multiset; with the probe enabled, similar windows hit.
+        let mix = TenantMix::standard();
+        let mut config = tiny_config(Scenario::Poisson, 2);
+        config.requests = 64;
+        let exact = simulate(&config, &mix);
+        config.dispatch = config.dispatch.with_cache_epsilon(3.0);
+        let near = simulate(&config, &mix);
+        assert_eq!(exact.metrics.cache.near_hits, 0);
+        assert!(
+            near.metrics.cache.near_hits > 0,
+            "a generous epsilon must convert some mix misses into near hits: {:?}",
+            near.metrics.cache
+        );
+        assert!(near.metrics.cache.hit_rate > exact.metrics.cache.hit_rate);
     }
 }

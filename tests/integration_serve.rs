@@ -7,14 +7,16 @@
 //! parallel batch oracle, and every RNG is seeded — so the *entire
 //! serialized report* must be byte-equal across `MAGMA_THREADS` ∈ {1, 4}
 //! (pinned per-thread via `magma_optim::parallel::with_threads`, exactly as
-//! the optimizer determinism suite does) and across repeated runs. The suite
-//! also locks the acceptance criterion: on the repeated-tenant scenario,
-//! cache-hit dispatches reach ≥ 90% of cold-search throughput at ≤ 10% of
-//! the cold sample budget.
+//! the optimizer determinism suite does) and across repeated runs. Since the
+//! `magma-serve/v2` schema the report carries **both** serving modes —
+//! overlap (search slices interleaved with execution, the default) and the
+//! legacy serial baseline — and the suite locks the acceptance criteria of
+//! both: the repeated-tenant cache economics (hits ≥ 90% of cold throughput
+//! at ≤ 10% of the cold budget) and the overlap end-to-end latency win.
 
 use magma_optim::parallel::with_threads;
 use magma_platform::settings::ServeKnobs;
-use magma_serve::report::{run_standard_scenarios, ServeReport};
+use magma_serve::report::{run_standard_scenarios, ScenarioResult, ServeReport};
 
 /// Miniature but non-trivial knobs: several dispatch groups per scenario,
 /// cold/refine budgets in the acceptance ratio, a real (bounded) cache.
@@ -37,6 +39,13 @@ fn report_json(threads: usize) -> String {
     })
 }
 
+fn repeated_tenant(ladder: &[ScenarioResult]) -> &ScenarioResult {
+    ladder
+        .iter()
+        .find(|s| s.name == "repeated_tenant")
+        .expect("the standard ladder always contains the repeated-tenant scenario")
+}
+
 #[test]
 fn report_is_bit_identical_across_thread_counts() {
     let serial = report_json(1);
@@ -57,6 +66,8 @@ fn report_survives_a_serde_round_trip_under_parallel_evaluation() {
     let report: ServeReport = serde_json::from_str(&json).expect("report deserializes");
     assert_eq!(report.schema, magma_serve::SCHEMA);
     assert_eq!(report.scenarios.len(), 2);
+    assert_eq!(report.baseline_scenarios.len(), 2);
+    report.validate().expect("the v2 schema self-check holds after a round trip");
     assert_eq!(serde_json::to_string_pretty(&report).unwrap(), json);
 }
 
@@ -73,31 +84,51 @@ fn different_seeds_produce_different_reports() {
 #[test]
 fn acceptance_criterion_holds_on_the_repeated_tenant_trace() {
     let report = with_threads(4, || run_standard_scenarios(&test_knobs(), true));
-    let repeat = report
-        .scenarios
+    // The cache economics hold in both serving modes.
+    for ladder in [report.overlap_scenarios(), report.legacy_scenarios()] {
+        let repeat = repeated_tenant(ladder);
+        let d = &repeat.metrics.dispatch;
+        assert!(d.hits > 0, "repeated-tenant windows must recur in the cache: {d:?}");
+        assert!(
+            d.hit_cold_throughput_ratio >= 0.9,
+            "hit dispatches reached only {:.3} of cold throughput",
+            d.hit_cold_throughput_ratio
+        );
+        assert!(
+            d.hit_sample_fraction <= 0.101,
+            "hits spent {:.3} of the cold budget",
+            d.hit_sample_fraction
+        );
+        // The cache never exceeds its bound.
+        assert!(repeat.metrics.cache.entries <= test_knobs().cache_capacity);
+    }
+}
+
+#[test]
+fn overlap_mode_beats_legacy_end_to_end_on_the_repeated_tenant_trace() {
+    let report = with_threads(2, || run_standard_scenarios(&test_knobs(), true));
+    let overlap = repeated_tenant(report.overlap_scenarios());
+    let legacy = repeated_tenant(report.legacy_scenarios());
+    assert!(
+        overlap.metrics.end_to_end.mean_sec < legacy.metrics.end_to_end.mean_sec,
+        "overlap mean e2e {} must be strictly below legacy {}",
+        overlap.metrics.end_to_end.mean_sec,
+        legacy.metrics.end_to_end.mean_sec
+    );
+    // The comparison block mirrors the ladders.
+    let cmp = report
+        .comparison
         .iter()
-        .find(|s| s.name == "repeat_recommendation")
-        .expect("standard ladder contains the repeated-tenant scenario");
-    let d = &repeat.metrics.dispatch;
-    assert!(d.hits > 0, "repeated-tenant windows must recur in the cache: {d:?}");
-    assert!(
-        d.hit_cold_throughput_ratio >= 0.9,
-        "hit dispatches reached only {:.3} of cold throughput",
-        d.hit_cold_throughput_ratio
-    );
-    assert!(
-        d.hit_sample_fraction <= 0.101,
-        "hits spent {:.3} of the cold budget",
-        d.hit_sample_fraction
-    );
-    // The cache never exceeds its bound.
-    assert!(repeat.metrics.cache.entries <= test_knobs().cache_capacity);
+        .find(|c| c.name == "repeated_tenant")
+        .expect("one comparison entry per scenario");
+    assert!(cmp.mean_speedup > 1.0, "speedup {} must exceed 1", cmp.mean_speedup);
+    report.validate().expect("self-check");
 }
 
 #[test]
 fn every_scenario_completes_all_requests_with_sane_profiles() {
     let report = with_threads(2, || run_standard_scenarios(&test_knobs(), true));
-    for s in &report.scenarios {
+    for s in report.scenarios.iter().chain(&report.baseline_scenarios) {
         let m = &s.metrics;
         assert_eq!(m.jobs, 64, "{}", s.name);
         assert_eq!(m.tenants.iter().map(|t| t.jobs).sum::<usize>(), m.jobs, "{}", s.name);
