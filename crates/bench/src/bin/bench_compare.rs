@@ -1,0 +1,85 @@
+//! Diffs two `BENCH_parallel_eval.json` perf reports, or gates one against a
+//! minimum parallel speedup. The CI `perf` job runs the gate mode so a
+//! parallel-evaluation regression fails the build; the diff mode is for
+//! humans comparing a fresh run against the committed baseline.
+//!
+//! ```text
+//! bench_compare OLD.json NEW.json
+//!     Per-workload, per-thread-count table of throughput and speedup
+//!     deltas. Accepts magma-perf/v1 files on either side (pre-v2 fields
+//!     default), so diffs can straddle the schema bump.
+//!
+//! bench_compare --gate REPORT.json --threads 2 --min-speedup 1.05
+//!     Exits non-zero unless every workload's speedup_vs_serial at the
+//!     given thread count is at least the minimum (missing rungs fail too).
+//!     Defaults: --threads 2, --min-speedup 1.05.
+//! ```
+
+use magma_bench::compare::{check_gate, diff, format_diff, format_gate, load_report, GateSpec};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:\n  bench_compare OLD.json NEW.json\n  bench_compare --gate REPORT.json [--threads N] [--min-speedup X]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_gate(mut args: std::env::Args) -> ExitCode {
+    let Some(path) = args.next() else {
+        return fail("--gate needs a report path");
+    };
+    let mut spec = GateSpec { threads: 2, min_speedup: 1.05 };
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return fail(&format!("{flag} needs a value"));
+        };
+        match (flag.as_str(), value.parse::<f64>()) {
+            ("--threads", Ok(v)) if v >= 1.0 && v.fract() == 0.0 => spec.threads = v as usize,
+            ("--min-speedup", Ok(v)) if v > 0.0 => spec.min_speedup = v,
+            _ => return fail(&format!("bad argument: {flag} {value}")),
+        }
+    }
+    let report = match load_report(Path::new(&path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = check_gate(&report, &spec);
+    print!("{}", format_gate(&report, &spec, &violations));
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_diff(old_path: &str, new_path: &str) -> ExitCode {
+    let (old, new) = match (load_report(Path::new(old_path)), load_report(Path::new(new_path))) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let deltas = diff(&old, &new);
+    print!("{}", format_diff(&old, &new, &deltas));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    match args.next().as_deref() {
+        Some("--gate") => run_gate(args),
+        Some(old_path) => match args.next() {
+            Some(ref new_path) if args.next().is_none() => run_diff(old_path, new_path),
+            _ => fail("expected exactly two report paths"),
+        },
+        None => fail("missing arguments"),
+    }
+}

@@ -12,7 +12,10 @@
 //! Knobs: `MAGMA_PERF_MODE` (`full` (default) = figure-scale batches on the
 //! Fig. 8/9 instances; `smoke` = tiny batches, homogeneous instance only —
 //! what CI runs), `MAGMA_THREADS` (top of the measured thread ladder,
-//! default: available parallelism; the ladder always includes 1 and 4),
+//! default: available parallelism; the ladder always includes 1, 2 and 4
+//! plus an oversubscription rung), `MAGMA_PERF_LADDER` (comma-separated
+//! explicit thread counts, e.g. `1,2,4` — replaces the computed ladder; CI
+//! pins this so the gate measures exactly the rungs it judges),
 //! `MAGMA_GROUP_SIZE` (jobs per group, default 30), `MAGMA_SEED`, and
 //! `MAGMA_BENCH_DIR` (where `BENCH_parallel_eval.json` lands, default: the
 //! current directory).
@@ -20,10 +23,37 @@
 use magma_bench::perf::{print_report, run_suite, write_bench_json, PerfParams};
 use magma_bench::Scale;
 
+/// Parses `MAGMA_PERF_LADDER` (`"1,2,4"`) into an explicit thread ladder:
+/// positive comma-separated counts, sorted and deduplicated. Unset, empty or
+/// malformed values leave the computed ladder in place (malformed with a
+/// warning — a typo'd CI variable must not silently change what the perf
+/// gate measures).
+fn ladder_override() -> Option<Vec<usize>> {
+    let raw = std::env::var("MAGMA_PERF_LADDER").ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    let parsed: Option<Vec<usize>> =
+        raw.split(',').map(|t| t.trim().parse::<usize>().ok().filter(|&n| n > 0)).collect();
+    match parsed {
+        Some(mut counts) if !counts.is_empty() => {
+            counts.sort_unstable();
+            counts.dedup();
+            Some(counts)
+        }
+        _ => {
+            eprintln!(
+                "warning: ignoring malformed MAGMA_PERF_LADDER '{raw}' (expected e.g. '1,2,4')"
+            );
+            None
+        }
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mode = std::env::var("MAGMA_PERF_MODE").unwrap_or_else(|_| "full".into());
-    let params = match mode.as_str() {
+    let mut params = match mode.as_str() {
         "smoke" => PerfParams::smoke(scale.threads, scale.group_size.min(8), scale.seed),
         "full" => PerfParams::full(scale.threads, scale.group_size, scale.seed),
         other => {
@@ -31,6 +61,9 @@ fn main() {
             PerfParams::full(scale.threads, scale.group_size, scale.seed)
         }
     };
+    if let Some(ladder) = ladder_override() {
+        params.thread_counts = ladder;
+    }
 
     println!("==============================================================");
     println!("Perf suite — parallel batch evaluation ({} mode)", params.mode);

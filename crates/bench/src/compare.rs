@@ -1,0 +1,404 @@
+//! Comparing and gating `BENCH_parallel_eval.json` perf reports.
+//!
+//! Two consumers, both surfaced through the `bench_compare` binary:
+//!
+//! * **Diff** ([`diff`]) — lines up two [`PerfReport`]s workload-by-workload
+//!   and rung-by-rung and reports the throughput / speedup deltas, so a PR
+//!   can answer "what did this change do to evaluation speed?" with one
+//!   command instead of eyeballing two JSON files.
+//! * **Gate** ([`check_gate`]) — checks a single report against a
+//!   [`GateSpec`] (minimum `speedup_vs_serial` at a given thread count,
+//!   on every workload). CI runs this against the freshly measured report;
+//!   a parallel-evaluation regression fails the build instead of rotting
+//!   silently in an artifact nobody opens.
+//!
+//! Both operate on reports parsed by [`load_report`], which accepts v1 files
+//! too (pre-v2 fields default) so diffs can straddle the schema bump.
+
+use crate::perf::{PerfReport, ThreadPerf};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A CI perf-gate specification: every workload's measured
+/// `speedup_vs_serial` at [`GateSpec::threads`] workers must be at least
+/// [`GateSpec::min_speedup`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateSpec {
+    /// The rung to judge (must be present in every workload's ladder).
+    pub threads: usize,
+    /// Minimum acceptable speedup over the serial row at that rung.
+    pub min_speedup: f64,
+}
+
+/// One gate violation: which workload failed and what it measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateViolation {
+    /// Workload name.
+    pub workload: String,
+    /// The measured speedup at the gated rung, or `None` if the rung was
+    /// never measured (which is itself a violation — a gate that silently
+    /// skips is no gate).
+    pub measured: Option<f64>,
+}
+
+/// Checks `report` against `spec`, returning every violation (empty ⇒ the
+/// gate passes). A workload missing the gated rung entirely counts as a
+/// violation with `measured: None`.
+pub fn check_gate(report: &PerfReport, spec: &GateSpec) -> Vec<GateViolation> {
+    report
+        .workloads
+        .iter()
+        .filter_map(|w| match w.at_threads(spec.threads) {
+            Some(m) if m.speedup_vs_serial >= spec.min_speedup => None,
+            Some(m) => Some(GateViolation {
+                workload: w.name.clone(),
+                measured: Some(m.speedup_vs_serial),
+            }),
+            None => Some(GateViolation { workload: w.name.clone(), measured: None }),
+        })
+        .collect()
+}
+
+/// Renders a gate outcome as the text `bench_compare --gate` prints.
+pub fn format_gate(report: &PerfReport, spec: &GateSpec, violations: &[GateViolation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "perf gate: speedup_vs_serial at {} thread(s) must be >= {:.2} ({} workload(s), host parallelism {})",
+        spec.threads,
+        spec.min_speedup,
+        report.workloads.len(),
+        report.host_parallelism,
+    );
+    for w in &report.workloads {
+        match w.at_threads(spec.threads) {
+            Some(m) => {
+                let verdict = if m.speedup_vs_serial >= spec.min_speedup { "ok" } else { "FAIL" };
+                let _ = writeln!(
+                    out,
+                    "  {verdict:>4}  {:<28} {:.3}x (efficiency {:.0}%)",
+                    w.name,
+                    m.speedup_vs_serial,
+                    m.scaling_efficiency * 100.0,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  FAIL  {:<28} rung not measured (ladder {:?})",
+                    w.name,
+                    w.measurements.iter().map(|m| m.threads).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "gate {}", if violations.is_empty() { "PASSED" } else { "FAILED" });
+    out
+}
+
+/// The delta between two measurements of the same (workload, threads) rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungDelta {
+    /// Thread count of the rung.
+    pub threads: usize,
+    /// Old measurement (absent if the rung is new).
+    pub old: Option<ThreadPerf>,
+    /// New measurement (absent if the rung was dropped).
+    pub new: Option<ThreadPerf>,
+}
+
+impl RungDelta {
+    /// `new.evals_per_sec / old.evals_per_sec`, when both sides exist.
+    pub fn throughput_ratio(&self) -> Option<f64> {
+        match (&self.old, &self.new) {
+            (Some(o), Some(n)) if o.evals_per_sec > 0.0 => Some(n.evals_per_sec / o.evals_per_sec),
+            _ => None,
+        }
+    }
+}
+
+/// Per-workload comparison of two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadDelta {
+    /// Workload name (matched by name across the two reports).
+    pub name: String,
+    /// One entry per thread count present in either report, ascending.
+    pub rungs: Vec<RungDelta>,
+}
+
+/// Lines up `old` and `new` by workload name and thread count. Workloads
+/// present on only one side still appear (with one-sided rungs), so a
+/// renamed or dropped workload is visible rather than silently skipped.
+pub fn diff(old: &PerfReport, new: &PerfReport) -> Vec<WorkloadDelta> {
+    let mut names: Vec<&str> =
+        old.workloads.iter().chain(&new.workloads).map(|w| w.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+
+    names
+        .into_iter()
+        .map(|name| {
+            let o = old.workloads.iter().find(|w| w.name == name);
+            let n = new.workloads.iter().find(|w| w.name == name);
+            let mut threads: Vec<usize> = o
+                .into_iter()
+                .chain(n)
+                .flat_map(|w| w.measurements.iter().map(|m| m.threads))
+                .collect();
+            threads.sort_unstable();
+            threads.dedup();
+            let rungs = threads
+                .into_iter()
+                .map(|t| RungDelta {
+                    threads: t,
+                    old: o.and_then(|w| w.at_threads(t)).cloned(),
+                    new: n.and_then(|w| w.at_threads(t)).cloned(),
+                })
+                .collect();
+            WorkloadDelta { name: name.to_string(), rungs }
+        })
+        .collect()
+}
+
+/// Renders a diff as the table `bench_compare OLD NEW` prints.
+pub fn format_diff(old: &PerfReport, new: &PerfReport, deltas: &[WorkloadDelta]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "old: schema {}, mode {}, pool '{}', host parallelism {}",
+        old.schema, old.mode, old.pool_mode, old.host_parallelism
+    );
+    let _ = writeln!(
+        out,
+        "new: schema {}, mode {}, pool '{}', host parallelism {}",
+        new.schema, new.mode, new.pool_mode, new.host_parallelism
+    );
+    if old.host_parallelism != new.host_parallelism {
+        let _ = writeln!(
+            out,
+            "note: host parallelism differs — absolute throughput deltas are not apples-to-apples"
+        );
+    }
+    for d in deltas {
+        let _ = writeln!(out, "\n[{}]", d.name);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>16} {:>16} {:>9} {:>10} {:>10}",
+            "threads", "old evals/s", "new evals/s", "ratio", "old spdup", "new spdup"
+        );
+        for r in &d.rungs {
+            let fmt_rate = |m: &Option<ThreadPerf>| {
+                m.as_ref().map_or_else(|| "-".to_string(), |m| format!("{:.0}", m.evals_per_sec))
+            };
+            let fmt_spdup = |m: &Option<ThreadPerf>| {
+                m.as_ref()
+                    .map_or_else(|| "-".to_string(), |m| format!("{:.2}x", m.speedup_vs_serial))
+            };
+            let ratio = r.throughput_ratio().map_or_else(|| "-".to_string(), |x| format!("{x:.3}"));
+            let _ = writeln!(
+                out,
+                "{:>8} {:>16} {:>16} {:>9} {:>10} {:>10}",
+                r.threads,
+                fmt_rate(&r.old),
+                fmt_rate(&r.new),
+                ratio,
+                fmt_spdup(&r.old),
+                fmt_spdup(&r.new),
+            );
+        }
+    }
+    out
+}
+
+/// Fills in the fields the `magma-perf/v2` schema added, so a v1 file
+/// deserializes into today's [`PerfReport`] with zero/empty defaults (the
+/// schema contract only ever *adds* fields, so this upgrade is purely
+/// key-insertion — never a rename or a reinterpretation).
+fn upgrade_to_v2(value: &mut serde::Value) {
+    fn ensure(entries: &mut Vec<(String, serde::Value)>, key: &str, default: serde::Value) {
+        if !entries.iter().any(|(k, _)| k == key) {
+            entries.push((key.to_string(), default));
+        }
+    }
+    let serde::Value::Map(entries) = value else { return };
+    ensure(entries, "pool_mode", serde::Value::Str(String::new()));
+    ensure(entries, "warmup_batches", serde::Value::U64(0));
+    ensure(
+        entries,
+        "host",
+        serde::Value::Map(vec![
+            ("parallelism".into(), serde::Value::U64(0)),
+            ("os".into(), serde::Value::Str(String::new())),
+            ("arch".into(), serde::Value::Str(String::new())),
+        ]),
+    );
+    for (key, v) in entries.iter_mut() {
+        if key != "workloads" {
+            continue;
+        }
+        let serde::Value::Seq(workloads) = v else { continue };
+        for w in workloads {
+            let serde::Value::Map(w) = w else { continue };
+            for (wk, wv) in w.iter_mut() {
+                if wk != "measurements" {
+                    continue;
+                }
+                let serde::Value::Seq(rungs) = wv else { continue };
+                for rung in rungs {
+                    if let serde::Value::Map(rung) = rung {
+                        ensure(rung, "scaling_efficiency", serde::Value::F64(0.0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads and parses a perf report: v2 natively, or v1 with the post-v1
+/// fields filled in as zero/empty (pure key-insertion — the schema contract
+/// only ever adds fields) so diffs can straddle the schema bump.
+pub fn load_report(path: &Path) -> Result<PerfReport, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    let mut value: serde::Value = serde_json::from_str(&raw)
+        .map_err(|e| format!("could not parse {}: {e}", path.display()))?;
+    upgrade_to_v2(&mut value);
+    serde::Deserialize::from_value(&value)
+        .map_err(|e| format!("{} is not a perf report: {e:?}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{HostMeta, WorkloadPerf, SCHEMA};
+    use magma::platform::Setting;
+    use magma_model::TaskType;
+
+    fn rung(threads: usize, evals_per_sec: f64, speedup: f64) -> ThreadPerf {
+        ThreadPerf {
+            threads,
+            wall_ms: 10.0,
+            evals_per_sec,
+            speedup_vs_serial: speedup,
+            scaling_efficiency: speedup / threads as f64,
+        }
+    }
+
+    fn report(workloads: Vec<(&str, Vec<ThreadPerf>)>) -> PerfReport {
+        PerfReport {
+            schema: SCHEMA.to_string(),
+            mode: "smoke".into(),
+            host_parallelism: 4,
+            pool_mode: magma::optim::parallel::pool_mode().to_string(),
+            warmup_batches: 1,
+            host: HostMeta::capture(),
+            thread_counts: vec![1, 2, 4],
+            seed: 0,
+            workloads: workloads
+                .into_iter()
+                .map(|(name, measurements)| WorkloadPerf {
+                    name: name.into(),
+                    setting: Setting::S1,
+                    task: TaskType::Mix,
+                    group_size: 8,
+                    batch_size: 8,
+                    batches: 1,
+                    measurements,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn gate_passes_when_every_workload_clears_the_bar() {
+        let r = report(vec![
+            ("a", vec![rung(1, 100.0, 1.0), rung(2, 130.0, 1.3)]),
+            ("b", vec![rung(1, 50.0, 1.0), rung(2, 55.0, 1.1)]),
+        ]);
+        let spec = GateSpec { threads: 2, min_speedup: 1.05 };
+        assert!(check_gate(&r, &spec).is_empty());
+        assert!(format_gate(&r, &spec, &[]).contains("gate PASSED"));
+    }
+
+    #[test]
+    fn gate_flags_slow_and_missing_rungs() {
+        let r = report(vec![
+            ("fast", vec![rung(1, 100.0, 1.0), rung(2, 150.0, 1.5)]),
+            ("slow", vec![rung(1, 100.0, 1.0), rung(2, 101.0, 1.01)]),
+            ("unmeasured", vec![rung(1, 100.0, 1.0)]),
+        ]);
+        let spec = GateSpec { threads: 2, min_speedup: 1.05 };
+        let violations = check_gate(&r, &spec);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].workload, "slow");
+        assert_eq!(violations[0].measured, Some(1.01));
+        assert_eq!(violations[1].workload, "unmeasured");
+        assert_eq!(violations[1].measured, None);
+        let text = format_gate(&r, &spec, &violations);
+        assert!(text.contains("gate FAILED"));
+        assert!(text.contains("rung not measured"));
+    }
+
+    #[test]
+    fn gate_boundary_is_inclusive() {
+        let r = report(vec![("edge", vec![rung(1, 100.0, 1.0), rung(2, 105.0, 1.05)])]);
+        assert!(check_gate(&r, &GateSpec { threads: 2, min_speedup: 1.05 }).is_empty());
+    }
+
+    #[test]
+    fn diff_lines_up_workloads_and_rungs() {
+        let old = report(vec![
+            ("a", vec![rung(1, 100.0, 1.0), rung(2, 120.0, 1.2)]),
+            ("dropped", vec![rung(1, 10.0, 1.0)]),
+        ]);
+        let new = report(vec![
+            ("a", vec![rung(1, 110.0, 1.0), rung(2, 160.0, 1.45), rung(4, 200.0, 1.8)]),
+            ("added", vec![rung(1, 20.0, 1.0)]),
+        ]);
+        let deltas = diff(&old, &new);
+        assert_eq!(
+            deltas.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "added", "dropped"],
+        );
+        let a = &deltas[0];
+        assert_eq!(a.rungs.iter().map(|r| r.threads).collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert_eq!(a.rungs[1].throughput_ratio(), Some(160.0 / 120.0));
+        // The rung new in `new` has no old side, hence no ratio.
+        assert_eq!(a.rungs[2].throughput_ratio(), None);
+        let text = format_diff(&old, &new, &deltas);
+        assert!(text.contains("[a]") && text.contains("[added]") && text.contains("[dropped]"));
+    }
+
+    #[test]
+    fn load_report_accepts_a_v1_file() {
+        // A minimal magma-perf/v1 report: none of the v2 fields present.
+        let v1 = r#"{
+            "schema": "magma-perf/v1",
+            "mode": "smoke",
+            "host_parallelism": 1,
+            "thread_counts": [1, 2],
+            "seed": 0,
+            "workloads": [{
+                "name": "w",
+                "setting": "S1",
+                "task": "Mix",
+                "group_size": 8,
+                "batch_size": 8,
+                "batches": 1,
+                "measurements": [
+                    {"threads": 1, "wall_ms": 1.0, "evals_per_sec": 10.0, "speedup_vs_serial": 1.0}
+                ]
+            }]
+        }"#;
+        let dir = std::env::temp_dir().join("magma_compare_v1_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.json");
+        std::fs::write(&path, v1).unwrap();
+        let report = load_report(&path).unwrap();
+        assert_eq!(report.schema, "magma-perf/v1");
+        assert_eq!(report.pool_mode, "");
+        assert_eq!(report.warmup_batches, 0);
+        assert_eq!(report.host.parallelism, 0);
+        assert_eq!(report.workloads[0].measurements[0].scaling_efficiency, 0.0);
+    }
+}

@@ -25,7 +25,13 @@ use std::time::Instant;
 
 /// Version tag of the report layout. Bump when (and only when) fields are
 /// added; existing fields are never renamed or removed.
-pub const SCHEMA: &str = "magma-perf/v1";
+///
+/// v2 (the persistent-pool PR) added per-rung `scaling_efficiency`, the
+/// report-level `pool_mode`, `warmup_batches` and `host` block — so a
+/// committed `BENCH_parallel_eval.json` is self-describing: it names the
+/// batch-execution machinery, the warm-up discipline and the measuring
+/// host, not just the numbers.
+pub const SCHEMA: &str = "magma-perf/v2";
 
 /// One thread-count measurement on one workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +45,11 @@ pub struct ThreadPerf {
     /// Speedup over the 1-thread measurement of the same workload
     /// (`evals_per_sec / serial evals_per_sec`; 1.0 for the serial row).
     pub speedup_vs_serial: f64,
+    /// Scaling efficiency of the rung: `speedup_vs_serial / threads`
+    /// (1.0 = perfect linear scaling; the SG2042 HPC-characterization idiom
+    /// of publishing a scaling curve, not one number). Zero when a pre-v2
+    /// file is read back through [`crate::compare::load_report`].
+    pub scaling_efficiency: f64,
 }
 
 /// All measurements for one problem instance.
@@ -67,6 +78,31 @@ impl WorkloadPerf {
     }
 }
 
+/// Metadata of the measuring host, stamped into every report so a committed
+/// baseline can never be mistaken for numbers from a different machine (the
+/// v1 file said only `host_parallelism`, which a CI re-measure silently
+/// re-recorded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostMeta {
+    /// Available parallelism at measurement time.
+    pub parallelism: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+}
+
+impl HostMeta {
+    /// Captures the current host.
+    pub fn capture() -> Self {
+        HostMeta {
+            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+}
+
 /// The full report written to `BENCH_parallel_eval.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -74,9 +110,21 @@ pub struct PerfReport {
     pub schema: String,
     /// `smoke` or `full`.
     pub mode: String,
-    /// Available parallelism of the measuring host (for interpreting
-    /// speedups: a 1-core host cannot show any).
+    /// Available parallelism of the measuring host. Kept from v1 (fields are
+    /// never removed); duplicated inside [`PerfReport::host`].
     pub host_parallelism: usize,
+    /// How parallel batches were executed
+    /// ([`magma::optim::parallel::pool_mode`]) — `persistent-work-stealing`
+    /// since the pool PR. Empty when a pre-v2 file is read back through
+    /// [`crate::compare::load_report`].
+    pub pool_mode: String,
+    /// Untimed batches run per thread count before the timed ones (the first
+    /// doubles as the bit-identical determinism cross-check). Zero when a
+    /// pre-v2 file is read back (v1 always warmed exactly once).
+    pub warmup_batches: usize,
+    /// The measuring host ([`HostMeta`]); zero/empty when a pre-v2 file is
+    /// read back.
+    pub host: HostMeta,
     /// Thread counts measured, ascending.
     pub thread_counts: Vec<usize>,
     /// Workload seed used to generate groups and candidate batches.
@@ -99,6 +147,9 @@ pub struct PerfParams {
     pub batches: usize,
     /// Thread counts to measure, ascending, starting at 1.
     pub thread_counts: Vec<usize>,
+    /// Untimed warm-up batches per thread count (≥ 1; the first is also the
+    /// determinism cross-check).
+    pub warmup_batches: usize,
     /// Workload / candidate seed.
     pub seed: u64,
 }
@@ -112,6 +163,7 @@ impl PerfParams {
             batch_size: 64,
             batches: 2,
             thread_counts: thread_ladder(max_threads),
+            warmup_batches: 1,
             seed,
         }
     }
@@ -124,15 +176,20 @@ impl PerfParams {
             batch_size: 256,
             batches: 4,
             thread_counts: thread_ladder(max_threads),
+            warmup_batches: 2,
             seed,
         }
     }
 }
 
 /// The thread counts a run measures: 1, the powers of two up to
-/// `max(max_threads, 4)`, and `max_threads` itself — so the 1-thread
-/// baseline and the 4-thread acceptance point are always present, and big
-/// hosts get their full width measured too.
+/// `max(max_threads, 4)`, `max_threads` itself, and one **oversubscription
+/// rung** at twice the top — so the 1-thread baseline, the 2-thread gate
+/// point and the 4-thread acceptance point are always present, big hosts
+/// get their full width measured, and the curve shows what happens past the
+/// hardware (a persistent pool should degrade gracefully there, not fall
+/// off a cliff). Override with an explicit list via the `perf_suite`
+/// binary's `MAGMA_PERF_LADDER` knob.
 pub fn thread_ladder(max_threads: usize) -> Vec<usize> {
     let top = max_threads.max(4);
     let mut ladder = vec![1usize];
@@ -142,6 +199,7 @@ pub fn thread_ladder(max_threads: usize) -> Vec<usize> {
         t *= 2;
     }
     ladder.push(max_threads.max(1));
+    ladder.push(top * 2);
     ladder.sort_unstable();
     ladder.dedup();
     ladder
@@ -187,18 +245,25 @@ pub fn measure_workload(
         .map(|_| Mapping::random(&mut rng, params.group_size, num_accels))
         .collect();
 
-    // Serial reference: warms the caches and anchors the determinism check.
+    // Serial reference: warms the caches (including the launch-cost memo,
+    // so every rung measures the same warm-evaluator regime) and anchors
+    // the determinism check.
     let reference = evaluate_batch_with(&problem, &batch, 1);
 
     let mut measurements = Vec::with_capacity(params.thread_counts.len());
     let mut serial_rate = None;
     for &threads in &params.thread_counts {
-        // Untimed warm-up doubling as the determinism cross-check.
+        // Untimed warm-ups; the first doubles as the determinism
+        // cross-check, the rest settle the (persistent) pool and the
+        // branch predictors before the timer starts.
         let check = evaluate_batch_with(&problem, &batch, threads);
         assert!(
             check.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
             "{name}: fitness vector at {threads} threads differs from serial"
         );
+        for _ in 1..params.warmup_batches.max(1) {
+            std::hint::black_box(evaluate_batch_with(&problem, &batch, threads));
+        }
 
         let start = Instant::now();
         for _ in 0..params.batches {
@@ -208,11 +273,13 @@ pub fn measure_workload(
         let evals = (params.batches * params.batch_size) as f64;
         let evals_per_sec = evals / wall.as_secs_f64().max(1e-12);
         let serial = *serial_rate.get_or_insert(evals_per_sec);
+        let speedup_vs_serial = evals_per_sec / serial;
         measurements.push(ThreadPerf {
             threads,
             wall_ms: wall.as_secs_f64() * 1e3,
             evals_per_sec,
-            speedup_vs_serial: evals_per_sec / serial,
+            speedup_vs_serial,
+            scaling_efficiency: speedup_vs_serial / threads as f64,
         });
     }
 
@@ -234,10 +301,14 @@ pub fn run_suite(params: &PerfParams) -> PerfReport {
         .into_iter()
         .map(|(name, setting, task, bw)| measure_workload(name, setting, task, bw, params))
         .collect();
+    let host = HostMeta::capture();
     PerfReport {
         schema: SCHEMA.to_string(),
         mode: params.mode.clone(),
-        host_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        host_parallelism: host.parallelism,
+        pool_mode: magma::optim::parallel::pool_mode().to_string(),
+        warmup_batches: params.warmup_batches.max(1),
+        host,
         thread_counts: params.thread_counts.clone(),
         seed: params.seed,
         workloads,
@@ -251,11 +322,18 @@ pub fn print_report(report: &PerfReport) {
             "\n[{}] {} / {} — {} jobs, batches of {} × {}",
             w.name, w.setting, w.task, w.group_size, w.batch_size, w.batches
         );
-        println!("{:>8} {:>12} {:>14} {:>10}", "threads", "wall (ms)", "evals/sec", "speedup");
+        println!(
+            "{:>8} {:>12} {:>14} {:>10} {:>12}",
+            "threads", "wall (ms)", "evals/sec", "speedup", "efficiency"
+        );
         for m in &w.measurements {
             println!(
-                "{:>8} {:>12.2} {:>14.0} {:>9.2}x",
-                m.threads, m.wall_ms, m.evals_per_sec, m.speedup_vs_serial
+                "{:>8} {:>12.2} {:>14.0} {:>9.2}x {:>11.0}%",
+                m.threads,
+                m.wall_ms,
+                m.evals_per_sec,
+                m.speedup_vs_serial,
+                m.scaling_efficiency * 100.0
             );
         }
     }
@@ -268,6 +346,7 @@ pub fn print_report(report: &PerfReport) {
 /// uploads a stale trajectory).
 pub fn write_bench_json(report: &PerfReport) -> std::io::Result<PathBuf> {
     let dir = std::env::var("MAGMA_BENCH_DIR").map(PathBuf::from).unwrap_or_else(|_| ".".into());
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join("BENCH_parallel_eval.json");
     let json = serde_json::to_string_pretty(report)
         .map_err(|e| std::io::Error::other(format!("serializing the perf report: {e}")))?;
@@ -286,17 +365,21 @@ mod tests {
             batch_size: 8,
             batches: 1,
             thread_counts: vec![1, 2],
+            warmup_batches: 1,
             seed: 0,
         }
     }
 
     #[test]
-    fn thread_ladder_always_has_serial_and_four() {
+    fn thread_ladder_always_has_serial_four_and_oversubscription() {
         for max in [1, 2, 3, 4, 6, 8, 11, 64] {
             let ladder = thread_ladder(max);
             assert_eq!(ladder[0], 1, "max {max}");
+            assert!(ladder.contains(&2), "max {max}: {ladder:?}");
             assert!(ladder.contains(&4), "max {max}: {ladder:?}");
             assert!(ladder.contains(&max.max(1)), "max {max}: {ladder:?}");
+            // The oversubscription rung: twice the top of the ladder proper.
+            assert!(ladder.contains(&(max.max(4) * 2)), "max {max}: {ladder:?}");
             assert!(ladder.windows(2).all(|w| w[0] < w[1]), "max {max}: {ladder:?}");
         }
     }
@@ -307,7 +390,11 @@ mod tests {
         assert_eq!(w.measurements.len(), 2);
         assert_eq!(w.measurements[0].threads, 1);
         assert_eq!(w.measurements[0].speedup_vs_serial, 1.0);
+        assert_eq!(w.measurements[0].scaling_efficiency, 1.0);
         assert!(w.measurements.iter().all(|m| m.evals_per_sec > 0.0 && m.wall_ms > 0.0));
+        for m in &w.measurements {
+            assert_eq!(m.scaling_efficiency, m.speedup_vs_serial / m.threads as f64);
+        }
         assert!(w.at_threads(2).is_some() && w.at_threads(3).is_none());
     }
 
@@ -319,6 +406,10 @@ mod tests {
         assert_eq!(report.workloads[0].name, "fig08_homogeneous_s1");
         assert_eq!(report.workloads[0].setting, Setting::S1);
         assert!(report.host_parallelism >= 1);
+        assert_eq!(report.host.parallelism, report.host_parallelism);
+        assert_eq!(report.pool_mode, magma::optim::parallel::pool_mode());
+        assert_eq!(report.warmup_batches, 1);
+        assert!(!report.host.os.is_empty() && !report.host.arch.is_empty());
     }
 
     #[test]
@@ -331,6 +422,13 @@ mod tests {
             "\"schema\"",
             "\"mode\"",
             "\"host_parallelism\"",
+            "\"pool_mode\"",
+            "\"warmup_batches\"",
+            "\"host\"",
+            "\"parallelism\"",
+            "\"os\"",
+            "\"arch\"",
+            "\"scaling_efficiency\"",
             "\"thread_counts\"",
             "\"seed\"",
             "\"workloads\"",

@@ -10,6 +10,7 @@
 
 use crate::analyzer::JobAnalysisTable;
 use crate::encoding::DecodedMapping;
+use crate::evaluator::{CostMemo, LaunchCost};
 use crate::schedule::{BwSlice, Schedule, ScheduleSegment};
 use magma_model::JobId;
 
@@ -40,6 +41,9 @@ struct RunningJob {
     remaining_bytes: f64,
     /// The job's no-stall bandwidth requirement in GB/s.
     required_bw_gbps: f64,
+    /// Energy the job will charge at completion, in nJ (carried from launch
+    /// so completion does not consult the table again).
+    energy_nj: f64,
     /// When the job started executing.
     start_sec: f64,
 }
@@ -63,6 +67,27 @@ impl BwAllocator {
         table: &JobAnalysisTable,
         system_bw_gbps: f64,
     ) -> Schedule {
+        self.allocate_with_memo(mapping, table, system_bw_gbps, None)
+    }
+
+    /// As [`BwAllocator::allocate`], consulting a per-(job, core) launch-cost
+    /// memo when one is supplied (see [`CostMemo`]). The memo only short-cuts
+    /// how launch quantities are *obtained* — its cached values are produced
+    /// by the identical expressions the fresh path uses, so the returned
+    /// schedule is bit-identical either way (locked by the A/B proptests in
+    /// `evaluator` and `tests/integration_pool.rs`).
+    ///
+    /// # Panics
+    ///
+    /// As [`BwAllocator::allocate`]; additionally in debug builds if the
+    /// memo's dimensions do not cover the mapping.
+    pub fn allocate_with_memo(
+        &self,
+        mapping: &DecodedMapping,
+        table: &JobAnalysisTable,
+        system_bw_gbps: f64,
+        memo: Option<&CostMemo>,
+    ) -> Schedule {
         assert!(system_bw_gbps > 0.0, "system bandwidth must be positive");
         assert_eq!(
             mapping.num_accels(),
@@ -80,7 +105,7 @@ impl BwAllocator {
 
         // Launch the first job on every non-empty queue.
         for (accel, core) in cores.iter_mut().enumerate() {
-            Self::launch_next(core, accel, mapping, table, now);
+            Self::launch_next(core, accel, mapping, table, memo, now);
         }
 
         loop {
@@ -122,14 +147,14 @@ impl BwAllocator {
                 };
                 if finished {
                     let rj = cores[a].current.take().unwrap();
-                    total_energy_nj += table.estimate(rj.job, a).energy_nj;
+                    total_energy_nj += rj.energy_nj;
                     segments.push(ScheduleSegment {
                         job: rj.job,
                         accel: a,
                         start_sec: rj.start_sec,
                         end_sec: now,
                     });
-                    Self::launch_next(&mut cores[a], a, mapping, table, now);
+                    Self::launch_next(&mut cores[a], a, mapping, table, memo, now);
                 }
             }
         }
@@ -142,18 +167,22 @@ impl BwAllocator {
         accel: usize,
         mapping: &DecodedMapping,
         table: &JobAnalysisTable,
+        memo: Option<&CostMemo>,
         now: f64,
     ) {
         let queue = mapping.queue(accel);
         if core.next < queue.len() {
             let job = queue[core.next];
             core.next += 1;
-            let lat = table.no_stall_seconds(job, accel);
-            let bw = table.required_bw_gbps(job, accel);
+            let LaunchCost { remaining_bytes, required_bw_gbps, energy_nj } = match memo {
+                Some(memo) => memo.launch(table, job, accel),
+                None => LaunchCost::derive(table, job, accel),
+            };
             core.current = Some(RunningJob {
                 job,
-                remaining_bytes: lat * bw * 1e9,
-                required_bw_gbps: bw,
+                remaining_bytes,
+                required_bw_gbps,
+                energy_nj,
                 start_sec: now,
             });
         }

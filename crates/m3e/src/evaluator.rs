@@ -4,8 +4,10 @@ use crate::analyzer::JobAnalysisTable;
 use crate::bw_alloc::BwAllocator;
 use crate::encoding::Mapping;
 use crate::schedule::Schedule;
+use magma_model::JobId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The optimization objective. The paper uses throughput; the alternatives
 /// are provided because M3E accepts the objective as an input (Fig. 3).
@@ -42,6 +44,89 @@ impl fmt::Display for Objective {
     }
 }
 
+/// The per-(job, core) quantities the bandwidth-allocator replay needs at
+/// job launch: the bytes of DRAM traffic the job streams, its no-stall
+/// bandwidth requirement, and the energy it charges at completion. Derived
+/// from the [`JobAnalysisTable`] — [`CostMemo`] caches exactly these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchCost {
+    /// Total DRAM traffic of the job on the core, in bytes
+    /// (`no-stall latency × required BW` — the `CurJobs` quantity of the
+    /// paper's Algorithm 1).
+    pub remaining_bytes: f64,
+    /// No-stall bandwidth requirement, in GB/s.
+    pub required_bw_gbps: f64,
+    /// Energy charged when the job completes, in nJ.
+    pub energy_nj: f64,
+}
+
+impl LaunchCost {
+    /// Derives the launch quantities for `job` on `accel` from the table —
+    /// the single copy of these expressions, used by both the fresh path and
+    /// the memo fill, so the two are bit-identical by construction.
+    pub fn derive(table: &JobAnalysisTable, job: JobId, accel: usize) -> Self {
+        let lat = table.no_stall_seconds(job, accel);
+        let bw = table.required_bw_gbps(job, accel);
+        LaunchCost {
+            remaining_bytes: lat * bw * 1e9,
+            required_bw_gbps: bw,
+            energy_nj: table.estimate(job, accel).energy_nj,
+        }
+    }
+}
+
+/// Per-(job, core) launch-cost memo, filled lazily and shared by every
+/// evaluation of the problem's lifetime.
+///
+/// The bandwidth-allocator replay launches every job of every candidate, and
+/// each launch re-derived the same three quantities from the analysis table
+/// (a division by the core clock, two nested-`Vec` walks, a multiply).
+/// Within one generation — and across generations, since mutation touches
+/// few genes — the same (job, core) pairs recur constantly, so the memo
+/// converges to fully warm after a handful of candidates and every later
+/// launch is one flat-array load.
+///
+/// Each cell is a [`OnceLock`]: concurrent batch evaluation may race to fill
+/// a cell, but both racers compute the identical value from the same table,
+/// and every evaluation is bit-identical to the unmemoized path (the A/B
+/// proptests lock this). Cloning an evaluator clones the memo *with* its
+/// filled cells, so warm state survives `M3e` clones.
+///
+/// Built by [`FitnessEvaluator::new`] unless the `MAGMA_MEMO` knob opts out
+/// (see `magma_platform::settings::magma_memo`);
+/// [`FitnessEvaluator::with_memoization`] overrides explicitly for A/B runs.
+#[derive(Debug, Clone, Default)]
+pub struct CostMemo {
+    /// `cells[job * num_accels + accel]`.
+    cells: Vec<OnceLock<LaunchCost>>,
+    num_accels: usize,
+}
+
+impl CostMemo {
+    /// Creates an empty memo covering `num_jobs × num_accels` cells.
+    pub fn new(num_jobs: usize, num_accels: usize) -> Self {
+        CostMemo { cells: vec![OnceLock::new(); num_jobs * num_accels], num_accels }
+    }
+
+    /// The launch cost of `job` on `accel`, derived from `table` on first
+    /// use and cached thereafter.
+    pub fn launch(&self, table: &JobAnalysisTable, job: JobId, accel: usize) -> LaunchCost {
+        *self.cells[job.0 * self.num_accels + accel]
+            .get_or_init(|| LaunchCost::derive(table, job, accel))
+    }
+
+    /// How many cells have been filled so far — the "entries survive across
+    /// a generation" observable the memoization tests assert on.
+    pub fn filled(&self) -> usize {
+        self.cells.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Total cell count (`num_jobs × num_accels`).
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+}
+
 /// The fitness function of M3E: decodes an encoded mapping, replays it through
 /// the bandwidth allocator under the system-BW constraint, and extracts the
 /// objective.
@@ -51,18 +136,48 @@ pub struct FitnessEvaluator {
     system_bw_gbps: f64,
     objective: Objective,
     allocator: BwAllocator,
+    memo: Option<CostMemo>,
 }
 
 impl FitnessEvaluator {
     /// Creates an evaluator from an analysis table, the system-bandwidth
-    /// constraint and the objective.
+    /// constraint and the objective. Launch-cost memoization follows the
+    /// `MAGMA_MEMO` knob (default on); use
+    /// [`FitnessEvaluator::with_memoization`] to pin it explicitly.
     ///
     /// # Panics
     ///
     /// Panics if `system_bw_gbps` is not positive.
     pub fn new(table: JobAnalysisTable, system_bw_gbps: f64, objective: Objective) -> Self {
         assert!(system_bw_gbps > 0.0, "system bandwidth must be positive");
-        FitnessEvaluator { table, system_bw_gbps, objective, allocator: BwAllocator::new() }
+        let evaluator = FitnessEvaluator {
+            table,
+            system_bw_gbps,
+            objective,
+            allocator: BwAllocator::new(),
+            memo: None,
+        };
+        evaluator.with_memoization(magma_platform::settings::magma_memo())
+    }
+
+    /// Returns the evaluator with per-(job, core) launch-cost memoization
+    /// switched on (a fresh, empty memo) or off, overriding the `MAGMA_MEMO`
+    /// knob. Results are bit-identical either way; this is the A/B lever.
+    pub fn with_memoization(mut self, memoize: bool) -> Self {
+        self.memo = memoize.then(|| CostMemo::new(self.table.num_jobs(), self.table.num_accels()));
+        self
+    }
+
+    /// Whether this evaluator memoizes launch costs.
+    pub fn memoized(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// The launch-cost memo, when memoization is on (test observability:
+    /// `memo().unwrap().filled()` shows warm entries surviving across a
+    /// generation).
+    pub fn memo(&self) -> Option<&CostMemo> {
+        self.memo.as_ref()
     }
 
     /// The job-analysis table this evaluator consults.
@@ -103,7 +218,12 @@ impl FitnessEvaluator {
             self.table.num_accels(),
             "mapping targets a different number of sub-accelerators than the table"
         );
-        self.allocator.allocate(&mapping.decode(), &self.table, self.system_bw_gbps)
+        self.allocator.allocate_with_memo(
+            &mapping.decode(),
+            &self.table,
+            self.system_bw_gbps,
+            self.memo.as_ref(),
+        )
     }
 }
 
@@ -167,5 +287,75 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = Mapping::random(&mut rng, 10, 4);
         let _ = ev.fitness(&m);
+    }
+
+    #[test]
+    fn memoization_defaults_on_and_is_overridable() {
+        // Ambient environment never sets MAGMA_MEMO → default on.
+        let ev = evaluator(Objective::Throughput);
+        assert!(ev.memoized());
+        let off = ev.with_memoization(false);
+        assert!(!off.memoized() && off.memo().is_none());
+        let on = off.with_memoization(true);
+        assert!(on.memoized());
+        assert_eq!(on.memo().unwrap().filled(), 0, "fresh memo starts cold");
+    }
+
+    #[test]
+    fn memo_entries_survive_across_evaluations() {
+        let ev = evaluator(Objective::Throughput).with_memoization(true);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Mapping::random(&mut rng, 24, 4);
+        let _ = ev.fitness(&m);
+        let warm = ev.memo().unwrap().filled();
+        // One candidate touches exactly its (job, chosen-core) pairs.
+        assert_eq!(warm, 24);
+        // A second candidate reuses every shared pair; the memo only grows.
+        let m2 = Mapping::random(&mut rng, 24, 4);
+        let _ = ev.fitness(&m2);
+        let warmer = ev.memo().unwrap().filled();
+        assert!(warmer >= warm);
+        assert!(warmer <= ev.memo().unwrap().capacity());
+        // Cloning carries the warm cells along.
+        assert_eq!(ev.clone().memo().unwrap().filled(), warmer);
+    }
+
+    #[test]
+    fn memoized_fitness_is_bit_identical_to_fresh() {
+        for obj in [
+            Objective::Throughput,
+            Objective::Latency,
+            Objective::Energy,
+            Objective::EnergyDelayProduct,
+        ] {
+            let memoized = evaluator(obj).with_memoization(true);
+            let fresh = evaluator(obj).with_memoization(false);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..16 {
+                let m = Mapping::random(&mut rng, 24, 4);
+                assert_eq!(
+                    memoized.fitness(&m).to_bits(),
+                    fresh.fitness(&m).to_bits(),
+                    "{obj}: memoized and fresh paths diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn launch_cost_derivation_matches_table() {
+        let ev = evaluator(Objective::Throughput);
+        let t = ev.table();
+        for job in 0..4 {
+            for accel in 0..t.num_accels() {
+                let c = LaunchCost::derive(t, JobId(job), accel);
+                assert_eq!(c.required_bw_gbps, t.required_bw_gbps(JobId(job), accel));
+                assert_eq!(
+                    c.remaining_bytes,
+                    t.no_stall_seconds(JobId(job), accel) * c.required_bw_gbps * 1e9
+                );
+                assert_eq!(c.energy_nj, t.estimate(JobId(job), accel).energy_nj);
+            }
+        }
     }
 }

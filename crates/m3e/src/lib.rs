@@ -73,7 +73,7 @@ pub mod warmstart;
 pub use analyzer::{JobAnalysisTable, JobAnalyzer};
 pub use bw_alloc::BwAllocator;
 pub use encoding::{DecodedMapping, Mapping};
-pub use evaluator::{FitnessEvaluator, Objective};
+pub use evaluator::{CostMemo, FitnessEvaluator, LaunchCost, Objective};
 pub use framework::{attach_core_classes, JobProfile, M3e, MappingProblem};
 pub use history::SearchHistory;
 pub use lru::LruOrder;
@@ -87,7 +87,7 @@ pub mod prelude {
     pub use crate::analyzer::{JobAnalysisTable, JobAnalyzer};
     pub use crate::bw_alloc::BwAllocator;
     pub use crate::encoding::{DecodedMapping, Mapping};
-    pub use crate::evaluator::{FitnessEvaluator, Objective};
+    pub use crate::evaluator::{CostMemo, FitnessEvaluator, Objective};
     pub use crate::framework::{JobProfile, M3e, MappingProblem};
     pub use crate::history::SearchHistory;
     pub use crate::schedule::{Schedule, ScheduleSegment};

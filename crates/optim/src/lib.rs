@@ -20,9 +20,11 @@
 //!
 //! Every optimizer evaluates its candidates through the shared batch oracle
 //! in [`parallel`] ([`BatchEvaluator::evaluate_batch`]), which fans each
-//! generation out over a scoped worker pool sized by the `MAGMA_THREADS`
-//! knob. Parallelism only changes wall-clock time, never results — the
-//! returned fitnesses are bit-identical at every worker count.
+//! generation out over the **persistent work-stealing worker pool** in
+//! [`pool`], sized by the `MAGMA_THREADS` knob (workers are spawned lazily
+//! once and parked between batches, not re-spawned per generation).
+//! Parallelism only changes wall-clock time, never results — the returned
+//! fitnesses are bit-identical at every worker count.
 //!
 //! # Search sessions
 //!
@@ -64,7 +66,10 @@
 //! assert!(outcome.best_fitness > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool (`pool`) is the
+// one module allowed to use `unsafe` (type-erased borrowed batches handed to
+// `'static` worker threads); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cmaes;
@@ -74,6 +79,8 @@ pub mod hyper;
 pub mod magma_ga;
 pub mod optimizer;
 pub mod parallel;
+#[allow(unsafe_code)]
+pub mod pool;
 pub mod pso;
 pub mod random;
 pub mod rl;

@@ -13,13 +13,18 @@
 //!   code simply calls `problem.evaluate_batch(&children)`.
 //! * [`evaluate_batch_with`] — the same, with an explicit worker count.
 //!
-//! The pool is a minimal scoped fork-join: the batch is split into
-//! contiguous chunks, one `std::thread::scope` worker per chunk, each worker
-//! writing into its disjoint slice of the output buffer. No locks, no
-//! channels, no shared mutable state — and therefore **no reduction-order
+//! Parallel batches run on the **persistent work-stealing pool** in
+//! [`crate::pool`]: worker threads are spawned lazily once and parked
+//! between batches, the batch is split into contiguous chunks that the
+//! caller and the workers steal from a shared cursor, and each chunk writes
+//! into its position-indexed slice of the output buffer. Which thread
+//! evaluates a chunk is scheduling noise; where each fitness lands is a pure
+//! function of its index — so there is **no reduction-order
 //! nondeterminism**: the returned vector is bit-identical for every worker
-//! count, which the determinism suite (`tests/integration_parallel.rs`)
-//! locks down for every optimizer.
+//! count, which the determinism suites (`tests/integration_parallel.rs`,
+//! `tests/integration_pool.rs`) lock down for every optimizer. A thread
+//! already inside a pool chunk evaluates nested batches serially ("pool
+//! inside pool" degrades instead of deadlocking).
 //!
 //! # Thread-count resolution
 //!
@@ -95,38 +100,31 @@ impl<P: MappingProblem + ?Sized> BatchEvaluator for P {
 /// Evaluates `mappings` with an explicit worker count, returning fitnesses
 /// in input order (the perf harness measures this function at 1..N threads;
 /// everything else should go through [`BatchEvaluator::evaluate_batch`]).
+///
+/// Counts of one, batches of fewer than two mappings, and calls from inside
+/// a pool chunk (nested batches) evaluate serially on the calling thread;
+/// everything else runs on the persistent pool (see [`crate::pool`]),
+/// which is rebuilt first if the resolved count changed.
 pub fn evaluate_batch_with<P: MappingProblem + ?Sized>(
     problem: &P,
     mappings: &[Mapping],
     threads: usize,
 ) -> Vec<f64> {
-    let workers = threads.max(1).min(mappings.len());
-    if workers <= 1 {
+    if threads <= 1 || mappings.len() < 2 || crate::pool::on_pool_thread() {
         return mappings.iter().map(|m| problem.evaluate(m)).collect();
     }
     let mut out = vec![0.0f64; mappings.len()];
-    // Contiguous chunking keeps each worker's writes in one disjoint slice
-    // (index i of the output always holds mapping i's fitness, whatever the
-    // worker count). ceil-div so the last chunk is never empty.
-    let chunk = mappings.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut in_chunks = mappings.chunks(chunk);
-        let mut out_chunks = out.chunks_mut(chunk);
-        // First chunk runs on the calling thread; only workers-1 spawns.
-        let first_in = in_chunks.next().expect("batch is non-empty");
-        let first_out = out_chunks.next().expect("batch is non-empty");
-        for (ins, outs) in in_chunks.zip(out_chunks) {
-            scope.spawn(move || {
-                for (m, slot) in ins.iter().zip(outs.iter_mut()) {
-                    *slot = problem.evaluate(m);
-                }
-            });
-        }
-        for (m, slot) in first_in.iter().zip(first_out.iter_mut()) {
-            *slot = problem.evaluate(m);
-        }
-    });
+    crate::pool::submit(problem, mappings, &mut out, threads);
     out
+}
+
+/// A short stable tag describing how parallel batches are executed, stamped
+/// into the `magma-perf/v2` report (`pool_mode`) so every committed
+/// `BENCH_parallel_eval.json` names the machinery that produced it. Changes
+/// when (and only when) the execution strategy changes: PR 3's per-batch
+/// `thread::scope` would have reported `scoped-spawn`.
+pub fn pool_mode() -> &'static str {
+    "persistent-work-stealing"
 }
 
 #[cfg(test)]
