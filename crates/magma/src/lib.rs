@@ -78,7 +78,7 @@ pub mod prelude {
     };
     pub use magma_optim::{
         all_mappers, AiMtLike, BatchEvaluator, HeraldLike, Magma, MagmaConfig, OperatorSet,
-        Optimizer, RandomSearch, SearchOutcome, SearchSession, StepReport,
+        Optimizer, RandomSearch, SearchOutcome, SearchSession, SessionState, StepReport,
     };
     pub use magma_platform::{settings, AcceleratorPlatform, Setting};
     pub use magma_serve::{

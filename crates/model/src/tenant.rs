@@ -145,6 +145,46 @@ impl TenantMix {
         TenantMix::new(vec![Tenant::new(name, task, models, 1.0)])
     }
 
+    /// A synthetic fleet-scale mix of `n` tenants, deterministic in `seed`
+    /// and free of any ambient RNG (a splitmix64 hash assigns models).
+    ///
+    /// Tenant `k` owns a single model drawn from the full zoo (hashed by
+    /// `seed`, so different seeds shuffle ownership), its traffic weight
+    /// follows a Zipf-like `1/(1+k)^0.7` tail — a few head tenants dominate,
+    /// the long tail trickles, which is what makes signature-keyed caching
+    /// and affinity routing meaningful at fleet scale — and a deterministic
+    /// fraction carry SLA contracts: every 5th tenant is latency-critical
+    /// (multiplier 0.5), every 7th-plus-3 is batch-tolerant (2.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn synthetic(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a synthetic mix needs at least one tenant");
+        let zoo_models: Vec<Model> = zoo::vision_models()
+            .into_iter()
+            .chain(zoo::language_models())
+            .chain(zoo::recommendation_models())
+            .collect();
+        let tenants = (0..n)
+            .map(|k| {
+                let model =
+                    zoo_models[(splitmix64(seed ^ k as u64) as usize) % zoo_models.len()].clone();
+                let task = model.task();
+                let weight = 1.0 / (1.0 + k as f64).powf(0.7);
+                let tenant = Tenant::new(format!("t{k:05}"), task, vec![model], weight);
+                if k % 5 == 0 {
+                    tenant.with_sla_multiplier(0.5)
+                } else if k % 7 == 3 {
+                    tenant.with_sla_multiplier(2.0)
+                } else {
+                    tenant
+                }
+            })
+            .collect();
+        TenantMix::new(tenants)
+    }
+
     /// Attaches per-tenant SLA contracts to an existing mix, in tenant
     /// order: `multipliers[i]` becomes tenant `i`'s SLA multiplier (see
     /// [`Tenant::with_sla_multiplier`]). The idiomatic way to build, e.g., a
@@ -285,6 +325,16 @@ impl TenantJobStream {
     }
 }
 
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit hash used for
+/// deterministic synthetic-mix assignment without pulling an RNG into the
+/// model crate.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 fn gcd(a: usize, b: usize) -> usize {
     if b == 0 {
         a
@@ -338,6 +388,25 @@ mod tests {
     fn pick_rejects_all_zero_weights() {
         let mix = TenantMix::single("v", TaskType::Vision, vec![zoo::shufflenet()]);
         let _ = mix.pick(&[0.0], 0.5);
+    }
+
+    #[test]
+    fn synthetic_mix_is_deterministic_and_fleet_shaped() {
+        let a = TenantMix::synthetic(100, 42);
+        assert_eq!(a, TenantMix::synthetic(100, 42));
+        assert_ne!(a, TenantMix::synthetic(100, 43), "the seed must shuffle model ownership");
+        assert_eq!(a.len(), 100);
+        // Zipf head dominates the tail.
+        assert!(a.tenants()[0].weight() > a.tenants()[99].weight() * 10.0);
+        // The deterministic contract pattern: every 5th tight, 7th+3 loose.
+        assert_eq!(a.tenants()[0].sla_multiplier(), Some(0.5));
+        assert_eq!(a.tenants()[3].sla_multiplier(), Some(2.0));
+        assert_eq!(a.tenants()[1].sla_multiplier(), None);
+        // Every tenant emits jobs.
+        for t in a.tenants() {
+            assert_eq!(t.models().len(), 1);
+            assert!(t.weight() > 0.0);
+        }
     }
 
     #[test]

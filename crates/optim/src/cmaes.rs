@@ -8,8 +8,8 @@
 //! generation (the paper's configuration: the best 1/2 of individuals form
 //! the elite group).
 
-use crate::optimizer::{Optimizer, SearchSession};
-use crate::session::{CoreSession, SessionCore};
+use crate::optimizer::{Optimizer, SessionState};
+use crate::session::{CoreDrive, SessionCore};
 use crate::vector::{clamp_unit, VectorProblem};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
@@ -63,13 +63,8 @@ impl Optimizer for CmaEs {
         "CMA"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        let core = CmaCore::new(*self, problem, rng);
-        CoreSession::new(problem, rng, core).boxed()
+    fn open(&self, problem: &dyn MappingProblem, rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(CmaCore::new(*self, problem, rng)).boxed()
     }
 }
 

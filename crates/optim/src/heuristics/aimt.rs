@@ -1,7 +1,7 @@
 //! The AI-MT-like manual mapper.
 
-use crate::optimizer::{Optimizer, SearchSession};
-use crate::session::{CoreSession, OneShotCore};
+use crate::optimizer::{Optimizer, SessionState};
+use crate::session::{CoreDrive, OneShotCore};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
@@ -58,14 +58,10 @@ impl Optimizer for AiMtLike {
         "AI-MT-like"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
+    fn open(&self, problem: &dyn MappingProblem, _rng: &mut StdRng) -> Box<dyn SessionState> {
         // The heuristic proposes a single deterministic mapping: its session
         // spends one sample on the first step and reports exhaustion after.
-        CoreSession::new(problem, rng, OneShotCore::new(self.build_mapping(problem))).boxed()
+        CoreDrive::new(OneShotCore::new(self.build_mapping(problem))).boxed()
     }
 }
 

@@ -91,7 +91,7 @@ pub mod vector;
 
 pub use heuristics::{AiMtLike, HeraldLike};
 pub use magma_ga::{Magma, MagmaConfig, OperatorSet};
-pub use optimizer::{Optimizer, SearchOutcome, SearchSession, StepReport};
+pub use optimizer::{Optimizer, SearchOutcome, SearchSession, SessionState, StepReport};
 pub use parallel::BatchEvaluator;
 pub use random::RandomSearch;
 

@@ -20,8 +20,8 @@
 //! The population size defaults to the group size (as in the paper), elites
 //! survive unchanged, and the whole search respects a fixed sampling budget.
 
-use crate::optimizer::{Optimizer, SearchOutcome, SearchSession};
-use crate::session::{CoreSession, SessionCore};
+use crate::optimizer::{Optimizer, SearchOutcome, SearchSession, SessionState};
+use crate::session::{CoreDrive, SessionCore};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -217,6 +217,25 @@ impl Magma {
         self.refining(seeds).start(problem, rng)
     }
 
+    /// The owned counterpart of [`Magma::refine_session`]: returns a
+    /// detached [`SessionState`] seeded with `seeds`, for schedulers that
+    /// hold many live refinements and lend the problem/RNG per step.
+    /// Bit-identical to `refine_session` (both delegate to the same seeded
+    /// configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn refine_open(
+        &self,
+        problem: &dyn MappingProblem,
+        seeds: Vec<Mapping>,
+        rng: &mut StdRng,
+    ) -> Box<dyn SessionState> {
+        assert!(!seeds.is_empty(), "refinement needs at least one seed");
+        self.refining(seeds).open(problem, rng)
+    }
+
     /// A clone of this configuration with `seeds` as the initial population.
     fn refining(&self, seeds: Vec<Mapping>) -> Magma {
         Magma { config: MagmaConfig { initial_population: Some(seeds), ..self.config.clone() } }
@@ -329,12 +348,8 @@ impl Optimizer for Magma {
         "MAGMA"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        CoreSession::new(problem, rng, MagmaCore::new(self.clone(), problem)).boxed()
+    fn open(&self, problem: &dyn MappingProblem, _rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(MagmaCore::new(self.clone(), problem)).boxed()
     }
 }
 

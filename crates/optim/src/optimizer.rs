@@ -1,7 +1,14 @@
 //! The common interface all mapping optimizers implement: resumable
 //! [`SearchSession`]s started by [`Optimizer::start`], with the classic
 //! one-shot [`Optimizer::search`] kept as a provided method on top.
+//!
+//! Since the fleet-scheduler redesign the *required* entry point is
+//! [`Optimizer::open`], which returns an **owned** [`SessionState`]: all
+//! algorithm state, no borrows. `start` wraps it back into the borrowing
+//! [`SearchSession`] for callers that drive one search at a time, so both
+//! entry points are bit-identical by construction.
 
+use crate::session::AttachedSession;
 use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
 
@@ -45,6 +52,53 @@ pub struct StepReport {
     pub total_spent: usize,
     /// Best fitness seen so far, `None` only while nothing was evaluated.
     pub best_fitness: Option<f64>,
+}
+
+/// The owned half of a resumable search: every piece of algorithm state
+/// (population, distribution, policy, history) and **no borrows**.
+///
+/// Where [`SearchSession`] borrows the problem and the RNG for its whole
+/// lifetime — fine for one search at a time, impossible for a scheduler
+/// that must hold *many* live searches — a `SessionState` is `'static`
+/// and is lent the problem and RNG afresh on every call. The
+/// fleet-serving scheduler (`magma-serve`) owns one `Box<dyn
+/// SessionState>` per in-flight dispatch group and interleaves their
+/// slices under a deadline policy.
+///
+/// The slicing invariant of [`SearchSession`] carries over verbatim:
+/// stepping in any slice sizes is bit-identical (outcome *and* RNG
+/// stream) to a one-shot [`Optimizer::search`] at the same total budget,
+/// **provided each call passes the same problem and RNG** the session was
+/// opened with. Lending a different problem or RNG mid-session is a logic
+/// error (not UB, but the result is meaningless).
+pub trait SessionState {
+    /// Evaluates **up to** `samples` further candidates against `problem`,
+    /// drawing randomness from `rng`. Semantics match
+    /// [`SearchSession::step`]: `spent == 0` means exhausted.
+    fn step(
+        &mut self,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+        samples: usize,
+    ) -> StepReport;
+
+    /// The best mapping and fitness found so far, `None` until the first
+    /// sample was evaluated.
+    fn best(&self) -> Option<(&Mapping, f64)>;
+
+    /// Samples evaluated so far across all steps.
+    fn spent(&self) -> usize;
+
+    /// Consumes the state and returns the outcome of everything evaluated
+    /// so far — including an **early finish** before the nominal budget is
+    /// exhausted (the preemption path of the fleet scheduler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sample was evaluated yet (an outcome needs at least one
+    /// mapping); preempting callers must step a session at least once
+    /// before finishing it.
+    fn finish(self: Box<Self>) -> SearchOutcome;
 }
 
 /// A resumable, budget-sliced search in progress.
@@ -91,22 +145,35 @@ pub trait SearchSession {
 ///
 /// Implementations must be deterministic given the same `rng` seed so the
 /// paper's experiments are reproducible. The required method is
-/// [`start`](Optimizer::start), which opens a resumable [`SearchSession`];
-/// the classic one-shot [`search`](Optimizer::search) is a provided method
-/// that steps a session to the budget, so both entry points produce
-/// bit-identical outcomes by construction.
+/// [`open`](Optimizer::open), which returns an owned [`SessionState`];
+/// the borrowing [`start`](Optimizer::start) and the classic one-shot
+/// [`search`](Optimizer::search) are provided methods layered on top, so
+/// all three entry points produce bit-identical outcomes by construction.
 pub trait Optimizer {
     /// Human-readable name used in result tables (matches Table IV labels).
     fn name(&self) -> &str;
 
+    /// Opens an owned, resumable search state on `problem`. `rng` is
+    /// borrowed only for the duration of this call (some algorithms draw
+    /// their initial distribution here); no candidate is evaluated until
+    /// the first [`SessionState::step`] call, which must be lent the same
+    /// problem and RNG.
+    fn open(&self, problem: &dyn MappingProblem, rng: &mut StdRng) -> Box<dyn SessionState>;
+
     /// Opens a resumable search session on `problem`, borrowing `rng` for
     /// the session's lifetime. No candidate is evaluated until the first
     /// [`SearchSession::step`] call.
+    ///
+    /// Provided method: wraps [`open`](Optimizer::open)'s owned state
+    /// together with the borrows, so `start` and `open` are bit-identical.
     fn start<'a>(
         &self,
         problem: &'a dyn MappingProblem,
         rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a>;
+    ) -> Box<dyn SearchSession + 'a> {
+        let state = self.open(problem, rng);
+        Box::new(AttachedSession::new(problem, rng, state))
+    }
 
     /// Runs the search, evaluating at most `budget` candidate mappings.
     ///

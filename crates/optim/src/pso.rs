@@ -8,8 +8,8 @@
 //! previous iteration's global best), so each iteration evaluates as one
 //! parallel batch.
 
-use crate::optimizer::{Optimizer, SearchSession};
-use crate::session::{CoreSession, SessionCore};
+use crate::optimizer::{Optimizer, SessionState};
+use crate::session::{CoreDrive, SessionCore};
 use crate::vector::{clamp_unit, VectorProblem};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
@@ -59,12 +59,8 @@ impl Optimizer for Pso {
         "PSO"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        CoreSession::new(problem, rng, PsoCore::new(*self, problem)).boxed()
+    fn open(&self, problem: &dyn MappingProblem, _rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(PsoCore::new(*self, problem)).boxed()
     }
 }
 

@@ -4,8 +4,8 @@
 //! best-effort reference of Fig. 10 (the paper runs ~1 M random samples to
 //! approximate the achievable optimum of a problem instance).
 
-use crate::optimizer::{Optimizer, SearchSession};
-use crate::session::{CoreSession, SessionCore};
+use crate::optimizer::{Optimizer, SessionState};
+use crate::session::{CoreDrive, SessionCore};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
@@ -30,12 +30,8 @@ impl Optimizer for RandomSearch {
         "Random"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        CoreSession::new(problem, rng, RandomCore).boxed()
+    fn open(&self, _problem: &dyn MappingProblem, _rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(RandomCore).boxed()
     }
 }
 

@@ -1,12 +1,12 @@
 //! Advantage Actor-Critic (A2C), following the paper's configuration:
 //! 3 × 128 MLP policy and critic, discount 0.99, learning rate 7e-4, RMSProp.
 
-use crate::optimizer::{Optimizer, SearchSession};
+use crate::optimizer::{Optimizer, SessionState};
 use crate::rl::env::{
     observation, observation_dim, EpisodeActions, RewardNormalizer, PRIORITY_BUCKETS,
 };
 use crate::rl::nn::{policy_grad_logits, sample_categorical, softmax, GradOptimizer, Mlp};
-use crate::session::{CoreSession, SessionCore};
+use crate::session::{CoreDrive, SessionCore};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
@@ -52,13 +52,8 @@ impl Optimizer for A2c {
         "RL A2C"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        let core = A2cCore::new(*self, problem, rng);
-        CoreSession::new(problem, rng, core).boxed()
+    fn open(&self, problem: &dyn MappingProblem, rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(A2cCore::new(*self, problem, rng)).boxed()
     }
 }
 

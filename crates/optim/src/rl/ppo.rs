@@ -2,12 +2,12 @@
 //! 3 × 128 MLP policy and critic, discount 0.99, clip range 0.2, learning
 //! rate 2.5e-4, Adam.
 
-use crate::optimizer::{Optimizer, SearchSession};
+use crate::optimizer::{Optimizer, SessionState};
 use crate::rl::env::{
     observation, observation_dim, EpisodeActions, RewardNormalizer, PRIORITY_BUCKETS,
 };
 use crate::rl::nn::{sample_categorical, softmax, GradOptimizer, Mlp};
-use crate::session::{CoreSession, SessionCore};
+use crate::session::{CoreDrive, SessionCore};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 
@@ -77,13 +77,8 @@ impl Optimizer for Ppo2 {
         "RL PPO2"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        let core = Ppo2Core::new(*self, problem, rng);
-        CoreSession::new(problem, rng, core).boxed()
+    fn open(&self, problem: &dyn MappingProblem, rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(Ppo2Core::new(*self, problem, rng)).boxed()
     }
 }
 

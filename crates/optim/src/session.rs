@@ -4,11 +4,14 @@
 //! Every optimizer in this crate is, at heart, a loop of "produce the next
 //! candidates → evaluate them → fold the fitnesses back into algorithm
 //! state". [`SessionCore`] captures exactly that pair of hooks and
-//! [`CoreSession`] drives it: a [`step`](SearchSession::step) call asks the
+//! [`CoreDrive`] drives it: a [`step`](SessionState::step) call asks the
 //! core for waves of at most the remaining slice, evaluates each wave
 //! through the parallel batch oracle ([`BatchEvaluator::evaluate_batch`]),
 //! records every sample in the session's [`SearchHistory`] and hands the
-//! results back to the core.
+//! results back to the core. `CoreDrive` owns nothing but algorithm state
+//! (it implements the detached [`SessionState`]); [`AttachedSession`]
+//! zips such a state with the problem/RNG borrows to recover the classic
+//! [`SearchSession`] shape.
 //!
 //! # The slicing invariant
 //!
@@ -23,7 +26,7 @@
 //! any slice sizes bit-identical (outcome *and* RNG stream) to the one-shot
 //! search at the same total.
 
-use crate::optimizer::{SearchOutcome, SearchSession, StepReport};
+use crate::optimizer::{SearchOutcome, SearchSession, SessionState, StepReport};
 use crate::parallel::BatchEvaluator;
 use magma_m3e::{Mapping, MappingProblem, SearchHistory};
 use rand::rngs::StdRng;
@@ -48,45 +51,49 @@ pub(crate) trait SessionCore {
     fn absorb(&mut self, wave: Vec<Mapping>, fits: &[f64], problem: &dyn MappingProblem);
 }
 
-/// The generic [`SearchSession`] driving a [`SessionCore`].
-pub(crate) struct CoreSession<'a, C: SessionCore> {
-    problem: &'a dyn MappingProblem,
-    rng: &'a mut StdRng,
+/// The generic owned [`SessionState`] driving a [`SessionCore`]: just the
+/// algorithm state and the sample history, with the problem and RNG lent
+/// per call.
+pub(crate) struct CoreDrive<C: SessionCore> {
     history: SearchHistory,
     core: C,
 }
 
-impl<'a, C: SessionCore> CoreSession<'a, C> {
-    /// Wraps a core into a session over `problem`, borrowing `rng` for the
-    /// session's lifetime.
-    pub(crate) fn new(problem: &'a dyn MappingProblem, rng: &'a mut StdRng, core: C) -> Self {
-        CoreSession { problem, rng, history: SearchHistory::new(), core }
+impl<C: SessionCore> CoreDrive<C> {
+    /// Wraps a core into an owned session state.
+    pub(crate) fn new(core: C) -> Self {
+        CoreDrive { history: SearchHistory::new(), core }
     }
 
-    /// Boxes the session behind the object-safe trait.
-    pub(crate) fn boxed(self) -> Box<dyn SearchSession + 'a>
+    /// Boxes the state behind the object-safe trait.
+    pub(crate) fn boxed(self) -> Box<dyn SessionState>
     where
-        C: 'a,
+        C: 'static,
     {
         Box::new(self)
     }
 }
 
-impl<C: SessionCore> SearchSession for CoreSession<'_, C> {
-    fn step(&mut self, samples: usize) -> StepReport {
+impl<C: SessionCore> SessionState for CoreDrive<C> {
+    fn step(
+        &mut self,
+        problem: &dyn MappingProblem,
+        rng: &mut StdRng,
+        samples: usize,
+    ) -> StepReport {
         let mut spent = 0usize;
         while spent < samples {
-            let wave = self.core.next_wave(samples - spent, self.problem, self.rng);
+            let wave = self.core.next_wave(samples - spent, problem, rng);
             if wave.is_empty() {
                 break;
             }
             debug_assert!(wave.len() <= samples - spent, "a wave must fit the slice");
-            let fits = self.problem.evaluate_batch(&wave);
+            let fits = problem.evaluate_batch(&wave);
             for (mapping, f) in wave.iter().zip(&fits) {
                 self.history.record(mapping, *f);
             }
             spent += wave.len();
-            self.core.absorb(wave, &fits, self.problem);
+            self.core.absorb(wave, &fits, problem);
         }
         StepReport {
             spent,
@@ -105,6 +112,44 @@ impl<C: SessionCore> SearchSession for CoreSession<'_, C> {
 
     fn finish(self: Box<Self>) -> SearchOutcome {
         SearchOutcome::from_history(self.history)
+    }
+}
+
+/// The borrowing [`SearchSession`] adapter over an owned [`SessionState`]:
+/// captures the problem and RNG once so per-step calls need no arguments.
+/// This is what [`Optimizer::start`](crate::Optimizer::start) hands out.
+pub(crate) struct AttachedSession<'a> {
+    problem: &'a dyn MappingProblem,
+    rng: &'a mut StdRng,
+    state: Box<dyn SessionState>,
+}
+
+impl<'a> AttachedSession<'a> {
+    /// Zips an owned state with the borrows it must be lent on every step.
+    pub(crate) fn new(
+        problem: &'a dyn MappingProblem,
+        rng: &'a mut StdRng,
+        state: Box<dyn SessionState>,
+    ) -> Self {
+        AttachedSession { problem, rng, state }
+    }
+}
+
+impl SearchSession for AttachedSession<'_> {
+    fn step(&mut self, samples: usize) -> StepReport {
+        self.state.step(self.problem, self.rng, samples)
+    }
+
+    fn best(&self) -> Option<(&Mapping, f64)> {
+        self.state.best()
+    }
+
+    fn spent(&self) -> usize {
+        self.state.spent()
+    }
+
+    fn finish(self: Box<Self>) -> SearchOutcome {
+        self.state.finish()
     }
 }
 
@@ -147,7 +192,8 @@ mod tests {
         let p = ToyProblem { jobs: 6, accels: 2 };
         let mut rng = StdRng::seed_from_u64(0);
         let mapping = Mapping::random(&mut rng, 6, 2);
-        let mut session = CoreSession::new(&p, &mut rng, OneShotCore::new(mapping));
+        let mut session =
+            AttachedSession::new(&p, &mut rng, CoreDrive::new(OneShotCore::new(mapping)).boxed());
         let first = session.step(10);
         assert_eq!(first.spent, 1);
         assert_eq!(first.total_spent, 1);
@@ -165,11 +211,11 @@ mod tests {
         let p = ToyProblem { jobs: 4, accels: 2 };
         let mut rng = StdRng::seed_from_u64(1);
         let mapping = Mapping::random(&mut rng, 4, 2);
-        let mut session = CoreSession::new(&p, &mut rng, OneShotCore::new(mapping));
-        let report = session.step(0);
+        let mut state = CoreDrive::new(OneShotCore::new(mapping));
+        let report = state.step(&p, &mut rng, 0);
         assert_eq!(report.spent, 0);
         assert_eq!(report.total_spent, 0);
         assert_eq!(report.best_fitness, None);
-        assert!(session.best().is_none());
+        assert!(state.best().is_none());
     }
 }

@@ -5,8 +5,8 @@
 //! (selection ‖ priority) genome, and mutation re-draws genes uniformly. The
 //! paper uses mutation rate 0.1 and crossover rate 0.1.
 
-use crate::optimizer::{Optimizer, SearchSession};
-use crate::session::{CoreSession, SessionCore};
+use crate::optimizer::{Optimizer, SessionState};
+use crate::session::{CoreDrive, SessionCore};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -86,12 +86,8 @@ impl Optimizer for StdGa {
         "stdGA"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        CoreSession::new(problem, rng, StdGaCore::new(*self, problem)).boxed()
+    fn open(&self, problem: &dyn MappingProblem, _rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(StdGaCore::new(*self, problem)).boxed()
     }
 }
 

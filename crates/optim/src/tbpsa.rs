@@ -6,8 +6,8 @@
 //! population filters noise and flat regions at the cost of slower iterations.
 //! The paper starts it at a population of 50 and lets it evolve.
 
-use crate::optimizer::{Optimizer, SearchSession};
-use crate::session::{CoreSession, SessionCore};
+use crate::optimizer::{Optimizer, SessionState};
+use crate::session::{CoreDrive, SessionCore};
 use crate::vector::{clamp_unit, VectorProblem};
 use magma_m3e::{Mapping, MappingProblem};
 use rand::rngs::StdRng;
@@ -64,13 +64,8 @@ impl Optimizer for Tbpsa {
         "TBPSA"
     }
 
-    fn start<'a>(
-        &self,
-        problem: &'a dyn MappingProblem,
-        rng: &'a mut StdRng,
-    ) -> Box<dyn SearchSession + 'a> {
-        let core = TbpsaCore::new(*self, problem, rng);
-        CoreSession::new(problem, rng, core).boxed()
+    fn open(&self, problem: &dyn MappingProblem, rng: &mut StdRng) -> Box<dyn SessionState> {
+        CoreDrive::new(TbpsaCore::new(*self, problem, rng)).boxed()
     }
 }
 

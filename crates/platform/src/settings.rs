@@ -176,6 +176,156 @@ impl ServeKnobs {
     }
 }
 
+/// The scheduling policy of the fleet's concurrent session scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FleetPolicy {
+    /// Round-robin over live sessions with a fixed slice
+    /// (`MAGMA_SERVE_SLICE`) — the single-queue simulator's quantum,
+    /// generalized to many sessions. No preemption.
+    Uniform,
+    /// Earliest-deadline-first session selection with deadline-aware slice
+    /// sizing (urgent sessions get big slices, relaxed ones small), plus
+    /// deadline preemption: a live session whose group deadline has passed
+    /// is `finish()`-ed early and executes its best-so-far mapping.
+    #[default]
+    Deadline,
+}
+
+impl fmt::Display for FleetPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetPolicy::Uniform => f.write_str("uniform"),
+            FleetPolicy::Deadline => f.write_str("deadline"),
+        }
+    }
+}
+
+impl std::str::FromStr for FleetPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "uniform" => Ok(FleetPolicy::Uniform),
+            "deadline" => Ok(FleetPolicy::Deadline),
+            other => Err(format!("unknown fleet policy {other:?} (expected uniform|deadline)")),
+        }
+    }
+}
+
+/// The `MAGMA_FLEET_*` knob family configuring the multi-shard fleet
+/// simulator (`magma-serve`'s fleet layer / the `fleet_sim` binary), layered
+/// on top of the [`ServeKnobs`] budgets.
+///
+/// | Variable | Field | Meaning |
+/// |---|---|---|
+/// | `MAGMA_FLEET_SHARDS` | `shards` | platform shards in the fleet (the bench ladder overrides per rung) |
+/// | `MAGMA_FLEET_SETTINGS` | `shard_settings` | comma list of Table III settings cycled across shards (e.g. `S2,S4`) |
+/// | `MAGMA_FLEET_REQUESTS` | `requests` | arrivals per fleet scenario |
+/// | `MAGMA_FLEET_TENANTS` | `tenants` | synthetic-mix tenant count |
+/// | `MAGMA_FLEET_LOAD` | `offered_load` | offered load relative to **one** calibrated reference shard |
+/// | `MAGMA_FLEET_MAX_LIVE` | `max_live` | concurrent live search sessions per shard mapper |
+/// | `MAGMA_FLEET_POLICY` | `policy` | `uniform` or `deadline` (see [`FleetPolicy`]) |
+/// | `MAGMA_FLEET_MIN_SLICE` | `min_slice` | slice floor for deadline-aware sizing (graceful past-deadline degradation) |
+/// | `MAGMA_FLEET_PREEMPT` | `preempt_margin` | value-preemption threshold: a full shard preempts its least-valuable session for a group ≥ this × its value; `0` disables |
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetKnobs {
+    /// The underlying serving knobs (budgets, cache geometry, group target,
+    /// SLA tolerance, per-sample overhead, slice, seed). The fleet reads
+    /// everything except `requests`/`offered_load`, which it carries itself
+    /// at fleet-appropriate defaults.
+    pub serve: ServeKnobs,
+    /// Platform shards in the fleet.
+    pub shards: usize,
+    /// Table III settings cycled across shards (shard `i` gets
+    /// `shard_settings[i % len]`); a single entry means a homogeneous fleet.
+    pub shard_settings: Vec<Setting>,
+    /// Arrivals per fleet scenario.
+    pub requests: usize,
+    /// Synthetic-mix tenant count (`TenantMix::synthetic` — thousands of
+    /// tenants at full scale).
+    pub tenants: usize,
+    /// Offered load relative to one calibrated reference shard. Calibration
+    /// uses an *unoptimized* random mapping, so the optimized serving
+    /// pipeline absorbs several × of this before saturating — the default
+    /// is high enough to actually drown a 1-shard fleet, which is what
+    /// makes the shard ladder show throughput scaling.
+    pub offered_load: f64,
+    /// Concurrent live search sessions per shard mapper.
+    pub max_live: usize,
+    /// The session scheduler policy.
+    pub policy: FleetPolicy,
+    /// Slice floor of deadline-aware sizing: a group already past its
+    /// deadline at admission still advances by at least this many samples
+    /// (so its early finish has a best mapping) instead of panicking or
+    /// spinning.
+    pub min_slice: usize,
+    /// Value-preemption threshold (0 disables): when a shard is full, an
+    /// incoming group whose value is at least `preempt_margin ×` the least
+    /// valuable live session's value finishes that session early to take
+    /// its slot.
+    pub preempt_margin: f64,
+}
+
+impl FleetKnobs {
+    /// Full-scale defaults: the fleet sizes `fleet_sim` runs without
+    /// `--smoke`.
+    pub fn full() -> Self {
+        FleetKnobs {
+            serve: ServeKnobs::full(),
+            shards: 4,
+            shard_settings: vec![Setting::S2],
+            requests: 20_000,
+            tenants: 1_000,
+            offered_load: 32.0,
+            max_live: 4,
+            policy: FleetPolicy::Deadline,
+            min_slice: 4,
+            preempt_margin: 2.0,
+        }
+    }
+
+    /// CI-friendly smoke defaults: tiny trace and tenant count, same shape.
+    pub fn smoke() -> Self {
+        FleetKnobs { serve: ServeKnobs::smoke(), requests: 400, tenants: 32, ..Self::full() }
+    }
+
+    /// Reads the knob family from the environment on top of the smoke or
+    /// full defaults (including the underlying `MAGMA_SERVE_*` family).
+    /// Counts are clamped to 1 and the settings list to valid Table III
+    /// names, so a misconfigured environment can never produce a degenerate
+    /// fleet.
+    pub fn from_env(smoke: bool) -> Self {
+        let d = if smoke { Self::smoke() } else { Self::full() };
+        let shard_settings = match std::env::var("MAGMA_FLEET_SETTINGS") {
+            Ok(list) => {
+                let parsed: Vec<Setting> =
+                    list.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                if parsed.is_empty() {
+                    d.shard_settings.clone()
+                } else {
+                    parsed
+                }
+            }
+            Err(_) => d.shard_settings.clone(),
+        };
+        FleetKnobs {
+            serve: ServeKnobs::from_env(smoke),
+            shards: env_parse("MAGMA_FLEET_SHARDS", d.shards).max(1),
+            shard_settings,
+            requests: env_parse("MAGMA_FLEET_REQUESTS", d.requests).max(1),
+            tenants: env_parse("MAGMA_FLEET_TENANTS", d.tenants).max(1),
+            offered_load: env_parse("MAGMA_FLEET_LOAD", d.offered_load).max(1e-3),
+            max_live: env_parse("MAGMA_FLEET_MAX_LIVE", d.max_live).max(1),
+            policy: std::env::var("MAGMA_FLEET_POLICY")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d.policy),
+            min_slice: env_parse("MAGMA_FLEET_MIN_SLICE", d.min_slice).max(1),
+            preempt_margin: env_parse("MAGMA_FLEET_PREEMPT", d.preempt_margin).max(0.0),
+        }
+    }
+}
+
 /// The accelerator settings evaluated in the paper (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Setting {
@@ -240,6 +390,22 @@ impl Setting {
 impl fmt::Display for Setting {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self:?}")
+    }
+}
+
+impl std::str::FromStr for Setting {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "S1" => Ok(Setting::S1),
+            "S2" => Ok(Setting::S2),
+            "S3" => Ok(Setting::S3),
+            "S4" => Ok(Setting::S4),
+            "S5" => Ok(Setting::S5),
+            "S6" => Ok(Setting::S6),
+            other => Err(format!("unknown setting {other:?} (expected S1..S6)")),
+        }
     }
 }
 
@@ -419,6 +585,43 @@ mod tests {
         // ambient test environment never sets MAGMA_SERVE_*).
         assert_eq!(ServeKnobs::from_env(true), smoke);
         assert_eq!(ServeKnobs::from_env(false), full);
+    }
+
+    #[test]
+    fn setting_parses_from_table_iii_names() {
+        assert_eq!("s4".parse::<Setting>().unwrap(), Setting::S4);
+        assert_eq!(" S1 ".parse::<Setting>().unwrap(), Setting::S1);
+        assert!("S7".parse::<Setting>().is_err());
+        for s in Setting::ALL {
+            assert_eq!(s.to_string().parse::<Setting>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn fleet_knobs_defaults_are_sane() {
+        let full = FleetKnobs::full();
+        let smoke = FleetKnobs::smoke();
+        // Smoke shrinks the cost-bearing fleet knobs, same shape otherwise.
+        assert!(smoke.requests < full.requests);
+        assert!(smoke.tenants < full.tenants);
+        assert_eq!(smoke.policy, full.policy);
+        assert!(full.tenants >= 1_000, "full scale means thousands of tenants");
+        assert!(full.offered_load > 1.0, "the shard ladder needs an overloaded 1-shard rung");
+        assert_eq!(full.policy, FleetPolicy::Deadline);
+        assert!(full.min_slice >= 1 && full.max_live >= 1 && full.shards >= 1);
+        // from_env falls back to the defaults when the knobs are unset (the
+        // ambient test environment never sets MAGMA_FLEET_*).
+        assert_eq!(FleetKnobs::from_env(true), smoke);
+        assert_eq!(FleetKnobs::from_env(false), full);
+    }
+
+    #[test]
+    fn fleet_policy_parses_case_insensitively() {
+        assert_eq!("deadline".parse::<FleetPolicy>().unwrap(), FleetPolicy::Deadline);
+        assert_eq!("UNIFORM".parse::<FleetPolicy>().unwrap(), FleetPolicy::Uniform);
+        assert!("edf".parse::<FleetPolicy>().is_err());
+        assert_eq!(FleetPolicy::default(), FleetPolicy::Deadline);
+        assert_eq!(FleetPolicy::Deadline.to_string(), "deadline");
     }
 
     #[test]

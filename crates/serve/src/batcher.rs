@@ -77,6 +77,15 @@ impl AdmissionBatcher {
         self.pending.len()
     }
 
+    /// The arrivals the next [`take_group`](AdmissionBatcher::take_group)
+    /// would admit, oldest first — the fleet scheduler peeks these to price a
+    /// prospective group (deadline, preemption value) *before* committing to
+    /// a cut.
+    pub fn peek_next_group(&self) -> impl Iterator<Item = &Arrival> {
+        let count = self.pending.len().min(self.policy.target_size);
+        self.pending.iter().take(count)
+    }
+
     /// The earliest virtual time a group can be cut, or `None` when nothing
     /// is pending: the arrival time of the `target_size`-th pending job when
     /// the queue is full enough, the oldest arrival's admission deadline

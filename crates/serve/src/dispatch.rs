@@ -28,7 +28,7 @@
 
 use crate::cache::{quantize_signatures, CacheStats, MappingCache, SignatureKey};
 use magma_m3e::{M3e, Mapping, MappingProblem, Schedule, StoredSolution};
-use magma_optim::{Magma, Optimizer, SearchOutcome, SearchSession};
+use magma_optim::{Magma, Optimizer, SearchOutcome, SearchSession, SessionState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -202,6 +202,23 @@ impl MappingService {
         match &plan.seeds {
             Some(seeds) => magma.refine_session(problem, seeds.clone(), rng),
             None => magma.start(problem, rng),
+        }
+    }
+
+    /// The owned counterpart of [`MappingService::start_search`]: returns a
+    /// detached [`SessionState`] so a scheduler can hold many live searches
+    /// at once and lend each its problem and RNG per step. Bit-identical to
+    /// `start_search` driven at the same slices.
+    pub fn open_search(
+        &self,
+        plan: &SearchPlan,
+        problem: &M3e,
+        rng: &mut StdRng,
+    ) -> Box<dyn SessionState> {
+        let magma = Magma::default();
+        match &plan.seeds {
+            Some(seeds) => magma.refine_open(problem, seeds.clone(), rng),
+            None => magma.open(problem, rng),
         }
     }
 

@@ -1,0 +1,902 @@
+//! Fleet-scale serving: N platform shards behind a signature-affine router,
+//! each multiplexing many live searches through a concurrent session
+//! scheduler.
+//!
+//! The single-queue simulator ([`crate::sim`]) models one mapper and one
+//! accelerator. A fleet is `MAGMA_FLEET_SHARDS` independent **shards** —
+//! each a full platform with its own mapper clock, accelerator timeline,
+//! mapping cache and [`SessionScheduler`] — fed from one global admission
+//! batcher:
+//!
+//! ```text
+//!  trace ─▶ AdmissionBatcher ─▶ ShardRouter ──▶ shard 0: scheduler ⇄ cache ⇄ accel
+//!                         (affinity + load)  ├▶ shard 1: …
+//!                                            └▶ shard N-1: …
+//! ```
+//!
+//! The event loop is a pure function of `(FleetConfig, TenantMix)`: three
+//! event kinds — an **arrival** joins the batcher, a **cut** admits the next
+//! group to the shard the router picks, a **step** advances the
+//! earliest-clock shard's scheduler by one slice — are processed in global
+//! virtual-time order (ties resolved arrival < cut < step, then shard
+//! index), so fleet runs are bit-identical across repeats and
+//! `MAGMA_THREADS` settings. A cut happens once the batcher is ready *and*
+//! a shard can take the group: either a free scheduler slot, or (margin
+//! knob permitting) a live session cheap enough to value-preempt.
+//!
+//! With one shard, the Uniform policy, no preemption margin and a slice at
+//! least the search budget, the loop degenerates exactly — same floating
+//! point, same RNG streams — to the single-queue overlap simulator, which
+//! `tests/integration_fleet.rs` pins down.
+//!
+//! Offered load is calibrated against the **reference shard** (shard 0), so
+//! `MAGMA_FLEET_LOAD=2.5` means "2.5× what one shard sustains": the
+//! one-shard rung of the [`FleetReport`] ladder drowns and the ladder's
+//! throughput climbs with the shard count — the scaling headline
+//! `BENCH_fleet.json` exists to track.
+
+use crate::batcher::{AdmissionBatcher, BatchPolicy};
+use crate::cache::{quantize_signatures, CacheStats};
+use crate::dispatch::{DispatchConfig, DispatchOutcome, MappingService};
+use crate::metrics::{CacheReport, LatencyStats, ServeMetrics};
+use crate::router::{RouterStats, ShardRouter};
+use crate::scheduler::{LiveSession, SchedStats, SchedStep, SchedulerConfig, SessionScheduler};
+use crate::sim::{
+    assemble_metrics, calibrate, dispatch_seed, group_problem, record_group, JobRecord,
+};
+use crate::trace::{generate_trace, Arrival, Scenario, TraceParams};
+use magma_model::{JobSignature, TenantMix};
+use magma_platform::settings::{self, FleetKnobs, FleetPolicy};
+use magma_platform::Setting;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// The full parameter set of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// One platform setting per shard (shard count = length; heterogeneous
+    /// mixes cycle `MAGMA_FLEET_SETTINGS`). Shard 0 is the load-calibration
+    /// reference.
+    pub shard_settings: Vec<Setting>,
+    /// The traffic scenario.
+    pub scenario: Scenario,
+    /// Arrivals to simulate.
+    pub requests: usize,
+    /// Dispatch-group size target.
+    pub group_target: usize,
+    /// Admission deadline in batch-formation windows.
+    pub max_wait_x: f64,
+    /// Mini-batch size per job.
+    pub mini_batch: usize,
+    /// Offered load relative to the reference shard's calibrated rate.
+    pub offered_load: f64,
+    /// SLA tolerance factor (see [`crate::sim`]).
+    pub sla_x: f64,
+    /// Virtual mapper cost per evaluated sample, in seconds.
+    pub overhead_sec_per_sample: f64,
+    /// Search budgets and cache geometry (per shard).
+    pub dispatch: DispatchConfig,
+    /// Scheduler policy.
+    pub policy: FleetPolicy,
+    /// Live-session capacity per shard.
+    pub max_live: usize,
+    /// Fixed slice under [`FleetPolicy::Uniform`], in samples.
+    pub base_slice: usize,
+    /// Slice floor under [`FleetPolicy::Deadline`], in samples.
+    pub min_slice: usize,
+    /// Value-preemption margin (`0` disables value preemption).
+    pub preempt_margin: f64,
+    /// Mapper-saturation factor for stress scenarios; `0` (the default)
+    /// uses the configured per-sample overhead. When positive, the
+    /// per-sample overhead is re-derived after calibration so that one cold
+    /// search costs `mapper_pressure × shards` batch windows — every
+    /// shard's mapper is oversubscribed by the factor at any rung, forcing
+    /// live sessions to pile up and deadlines to expire mid-search (the
+    /// `deadline_pressure` scenario sets this; the scaling headline leaves
+    /// it off).
+    pub mapper_pressure: f64,
+    /// Trace/search seed.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// Builds a config from the `MAGMA_FLEET_*` knob family for `shards`
+    /// shards (cycling the settings list) under the given scenario.
+    pub fn from_knobs(knobs: &FleetKnobs, shards: usize, scenario: Scenario) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        assert!(!knobs.shard_settings.is_empty(), "the settings list cannot be empty");
+        FleetConfig {
+            shard_settings: (0..shards)
+                .map(|s| knobs.shard_settings[s % knobs.shard_settings.len()])
+                .collect(),
+            scenario,
+            requests: knobs.requests,
+            group_target: knobs.serve.group_target,
+            max_wait_x: knobs.serve.max_wait_x,
+            mini_batch: magma_model::workload::DEFAULT_MINI_BATCH,
+            offered_load: knobs.offered_load,
+            sla_x: knobs.serve.sla_x,
+            overhead_sec_per_sample: knobs.serve.overhead_us_per_sample * 1e-6,
+            dispatch: DispatchConfig::new(
+                knobs.serve.cold_budget,
+                knobs.serve.refine_budget,
+                knobs.serve.quant_step,
+                knobs.serve.cache_capacity,
+            )
+            .with_cache_epsilon(knobs.serve.cache_epsilon),
+            policy: knobs.policy,
+            max_live: knobs.max_live,
+            base_slice: knobs.serve.search_slice,
+            min_slice: knobs.min_slice,
+            preempt_margin: knobs.preempt_margin,
+            mapper_pressure: 0.0,
+            seed: knobs.serve.seed,
+        }
+    }
+
+    /// Number of shards (the settings list's length).
+    pub fn shards(&self) -> usize {
+        self.shard_settings.len()
+    }
+}
+
+/// The output of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// The fleet-wide metrics block (cache counters summed over shards).
+    pub metrics: ServeMetrics,
+    /// The calibrated mean inter-arrival gap, in virtual seconds.
+    pub mean_interarrival_sec: f64,
+    /// The per-job SLA bound applied, in virtual seconds.
+    pub sla_sec: f64,
+    /// Scheduler lifecycle counters, summed over shards.
+    pub sched: SchedStats,
+    /// Router placement counters.
+    pub router: RouterStats,
+    /// Jobs completed per shard.
+    pub per_shard_jobs: Vec<usize>,
+}
+
+/// Earliest per-job SLA expiry across a group's arrivals.
+fn group_deadline(arrivals: &[Arrival], mix: &TenantMix, sla_sec: f64) -> f64 {
+    arrivals
+        .iter()
+        .map(|a| a.time_sec + mix.tenants()[a.tenant].effective_sla_sec(sla_sec))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// A group's preemption value: Σ `1 / sla_multiplier` over its arrivals —
+/// tighter contracts are worth more, bigger groups are worth more.
+fn group_value<'a>(arrivals: impl Iterator<Item = &'a Arrival>, mix: &TenantMix) -> f64 {
+    arrivals.map(|a| 1.0 / mix.tenants()[a.tenant].sla_multiplier().unwrap_or(1.0)).sum()
+}
+
+/// Whether the next group could be taken right now: a free slot somewhere,
+/// or a value-preemptable victim the prospective group out-values by the
+/// margin.
+fn gate_is_open(
+    scheds: &[SessionScheduler],
+    batcher: &AdmissionBatcher,
+    margin: f64,
+    mix: &TenantMix,
+) -> bool {
+    if scheds.iter().any(|s| s.has_room()) {
+        return true;
+    }
+    if margin <= 0.0 || batcher.pending() == 0 {
+        return false;
+    }
+    let incoming = group_value(batcher.peek_next_group(), mix);
+    match scheds
+        .iter()
+        .filter_map(|s| s.preemptable_value())
+        .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.min(v))))
+    {
+        Some(cheapest) => incoming >= margin * cheapest,
+        None => false,
+    }
+}
+
+/// Completes a finished (or preempted) session on its shard: stores the
+/// best mapping in the shard's cache, schedules the group at `max(search
+/// end, accelerator free)` and appends the job records.
+#[allow(clippy::too_many_arguments)]
+fn complete_session(
+    session: LiveSession,
+    search_end_sec: f64,
+    service: &mut MappingService,
+    accel_free: &mut f64,
+    records: &mut Vec<JobRecord>,
+    outcomes: &mut Vec<DispatchOutcome>,
+    shard_jobs: &mut usize,
+) {
+    let LiveSession { group, plan, problem, state, .. } = session;
+    let outcome = service.complete_group(&problem, plan, state.finish());
+    let exec_start = search_end_sec.max(*accel_free);
+    record_group(records, &group, &outcome, group.formed_at_sec, exec_start);
+    *accel_free = exec_start + outcome.schedule.makespan_sec();
+    *shard_jobs += group.arrivals.len();
+    outcomes.push(outcome);
+}
+
+/// Runs one fleet scenario to completion. See the module docs for the event
+/// model.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (no shards/requests, a non-positive
+/// offered load) — [`FleetConfig::from_knobs`] never builds such a config.
+pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
+    let shards = config.shards();
+    assert!(shards > 0 && config.requests > 0 && config.group_target > 0);
+    assert!(config.offered_load > 0.0 && config.offered_load.is_finite());
+
+    let platforms: Vec<_> = config.shard_settings.iter().map(|&s| settings::build(s)).collect();
+    // Load and SLA are calibrated against the reference shard (shard 0), so
+    // the offered load means "multiples of one shard's unoptimized rate" at
+    // every rung of a scaling ladder.
+    let calib = calibrate(
+        &platforms[0],
+        mix,
+        config.group_target,
+        config.mini_batch,
+        config.offered_load,
+        config.sla_x,
+        config.dispatch.cold_budget,
+        config.overhead_sec_per_sample,
+        config.seed,
+    );
+    let sla_sec = calib.sla_sec;
+    // Stress scenarios re-derive the per-sample mapper cost so that one
+    // cold search costs `mapper_pressure × shards` batch windows — the
+    // mapper is then the contended resource at every rung of a ladder (the
+    // SLA keeps the *configured* overhead, so the pressure actually bites).
+    let overhead_sec = if config.mapper_pressure > 0.0 {
+        config.mapper_pressure * shards as f64 * calib.batch_window_sec
+            / config.dispatch.cold_budget as f64
+    } else {
+        config.overhead_sec_per_sample
+    };
+
+    let trace = generate_trace(
+        &TraceParams {
+            scenario: config.scenario,
+            requests: config.requests,
+            mean_interarrival_sec: calib.mean_interarrival_sec,
+            mini_batch: config.mini_batch,
+            seed: config.seed,
+        },
+        mix,
+    );
+    let mut batcher = AdmissionBatcher::new(BatchPolicy::new(
+        config.group_target,
+        config.max_wait_x * calib.batch_window_sec,
+    ));
+    let mut router = ShardRouter::new(shards);
+    let mut services: Vec<_> = (0..shards).map(|_| MappingService::new(config.dispatch)).collect();
+    let sched_config = SchedulerConfig {
+        policy: config.policy,
+        max_live: config.max_live,
+        base_slice: config.base_slice,
+        min_slice: config.min_slice,
+        preempt_margin: config.preempt_margin,
+        overhead_sec_per_sample: overhead_sec,
+    };
+    let mut scheds: Vec<_> = (0..shards).map(|_| SessionScheduler::new(sched_config)).collect();
+    let mut mapper_now = vec![0.0f64; shards];
+    let mut accel_free = vec![0.0f64; shards];
+    let mut per_shard_jobs = vec![0usize; shards];
+
+    let mut records: Vec<JobRecord> = Vec::with_capacity(trace.len());
+    let mut outcomes: Vec<DispatchOutcome> = Vec::new();
+    let mut next = 0usize;
+    let mut admitted = 0u64;
+    // The admission gate: open while some shard can take the next group.
+    // `gate_since` is the instant the current open stretch began — a cut
+    // can never predate the capacity it needs.
+    let mut gate_open = true;
+    let mut gate_since = 0.0f64;
+
+    loop {
+        let ta = trace.get(next).map(|a| a.time_sec);
+        let tc = if gate_open { batcher.earliest_ready().map(|r| r.max(gate_since)) } else { None };
+        let ts = (0..shards)
+            .filter(|&s| scheds[s].live() > 0)
+            .map(|s| (mapper_now[s], s))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("clocks are finite").then(a.1.cmp(&b.1)));
+
+        let t_cut = tc.unwrap_or(f64::INFINITY);
+        let t_step = ts.map_or(f64::INFINITY, |(t, _)| t);
+        // The time the gate re-evaluation below attributes to this event.
+        let gate_time;
+        match (ta, tc, ts) {
+            // Arrivals admit first on ties so they can join the group being
+            // cut — the same discipline as the single-queue loop.
+            (Some(t), _, _) if t <= t_cut && t <= t_step => {
+                batcher.push(trace[next].clone());
+                next += 1;
+                gate_time = t;
+            }
+            (_, Some(t), _) if t <= t_step => {
+                let group = batcher.take_group(t).expect("readiness verified");
+                let sigs: Vec<JobSignature> =
+                    group.arrivals.iter().map(|a| a.job.signature()).collect();
+                let key = quantize_signatures(&sigs, config.dispatch.quant_step);
+                let mut admissible: Vec<bool> = scheds.iter().map(|s| s.has_room()).collect();
+                if !admissible.iter().any(|&b| b) {
+                    // The gate only opened through value preemption: evict
+                    // the fleet's cheapest started session (ties to the
+                    // lowest shard) and finish it with what it has.
+                    let (vs, _) = (0..shards)
+                        .filter_map(|s| scheds[s].preemptable_value().map(|v| (s, v)))
+                        .min_by(|a, b| {
+                            a.1.partial_cmp(&b.1).expect("values are finite").then(a.0.cmp(&b.0))
+                        })
+                        .expect("the gate verified a victim exists");
+                    let victim = scheds[vs].preempt_lowest_value();
+                    let end = mapper_now[vs].max(t);
+                    complete_session(
+                        victim,
+                        end,
+                        &mut services[vs],
+                        &mut accel_free[vs],
+                        &mut records,
+                        &mut outcomes,
+                        &mut per_shard_jobs[vs],
+                    );
+                    admissible[vs] = true;
+                }
+                // A shard's congestion in seconds: queued mapper work plus
+                // how far its accelerator timeline runs past now — search is
+                // usually cheap, so the accelerator queue is what actually
+                // differentiates shards under load.
+                let loads: Vec<f64> = (0..shards)
+                    .map(|s| scheds[s].backlog() * overhead_sec + (accel_free[s] - t).max(0.0))
+                    .collect();
+                let shard = router.place(&key, &loads, &admissible);
+                let problem = group_problem(&platforms[shard], &group);
+                let mut rng = StdRng::seed_from_u64(dispatch_seed(config.seed, admitted as usize));
+                let plan = services[shard].plan_group(&problem, &mut rng);
+                let budget = plan.budget();
+                let state = services[shard].open_search(&plan, &problem, &mut rng);
+                let deadline_sec = group_deadline(&group.arrivals, mix, sla_sec);
+                let value = group_value(group.arrivals.iter(), mix);
+                let session = LiveSession {
+                    id: admitted,
+                    group,
+                    plan,
+                    problem,
+                    rng,
+                    state,
+                    budget,
+                    deadline_sec,
+                    value,
+                };
+                admitted += 1;
+                scheds[shard].admit(session, t);
+                // An idle mapper starts at the admission; a busy one keeps
+                // its clock (the new session waits for a slice).
+                mapper_now[shard] = mapper_now[shard].max(t);
+                gate_time = t;
+            }
+            (_, _, Some((t, shard))) => {
+                match scheds[shard].step(t) {
+                    SchedStep::Idle => unreachable!("only shards with live sessions step"),
+                    SchedStep::Progress { spent } => {
+                        mapper_now[shard] += spent as f64 * overhead_sec;
+                    }
+                    SchedStep::Finished { session, spent, preempted } => {
+                        debug_assert!(
+                            !preempted || config.policy == FleetPolicy::Deadline,
+                            "only the Deadline policy preempts on step"
+                        );
+                        mapper_now[shard] += spent as f64 * overhead_sec;
+                        let end = mapper_now[shard];
+                        complete_session(
+                            *session,
+                            end,
+                            &mut services[shard],
+                            &mut accel_free[shard],
+                            &mut records,
+                            &mut outcomes,
+                            &mut per_shard_jobs[shard],
+                        );
+                    }
+                }
+                // Room freed (or spent advanced) when the mapper's slice
+                // ended, not at the step's start.
+                gate_time = mapper_now[shard];
+            }
+            (None, None, None) => break,
+            // The guards compare against INFINITY when an event kind is
+            // absent, so any arm with a Some already matched above.
+            _ => unreachable!("the time guards cover every live event"),
+        }
+
+        let open = gate_is_open(&scheds, &batcher, config.preempt_margin, mix);
+        if open && !gate_open {
+            gate_since = gate_time;
+        }
+        gate_open = open;
+    }
+    debug_assert_eq!(records.len(), config.requests, "every arrival completes exactly once");
+
+    let mut cache = CacheStats::default();
+    let mut entries = 0usize;
+    for service in &services {
+        let s = service.cache_stats();
+        cache.hits += s.hits;
+        cache.misses += s.misses;
+        cache.near_hits += s.near_hits;
+        cache.insertions += s.insertions;
+        cache.evictions += s.evictions;
+        entries += service.cache_len();
+    }
+    let cache_block = CacheReport {
+        hits: cache.hits,
+        misses: cache.misses,
+        near_hits: cache.near_hits,
+        evictions: cache.evictions,
+        hit_rate: cache.hit_rate(),
+        entries,
+    };
+    let sched = scheds.iter().fold(SchedStats::default(), |mut acc, s| {
+        let st = s.stats();
+        acc.admitted += st.admitted;
+        acc.completed += st.completed;
+        acc.preempted_deadline += st.preempted_deadline;
+        acc.preempted_value += st.preempted_value;
+        acc.late_admissions += st.late_admissions;
+        acc.min_slice_clamps += st.min_slice_clamps;
+        acc
+    });
+    FleetResult {
+        metrics: assemble_metrics(&records, &outcomes, cache_block, mix, sla_sec),
+        mean_interarrival_sec: calib.mean_interarrival_sec,
+        sla_sec,
+        sched,
+        router: router.stats(),
+        per_shard_jobs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The BENCH_fleet.json report.
+// ---------------------------------------------------------------------------
+
+/// Version tag of the fleet report layout. Same contract as
+/// [`crate::report::SCHEMA`]: fields are only ever added, with a bump.
+pub const FLEET_SCHEMA: &str = "magma-fleet/v1";
+
+/// One `(scenario, shard count)` rung of the scaling ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRung {
+    /// Shards in this rung.
+    pub shards: usize,
+    /// Per-shard platform settings (cycled from `MAGMA_FLEET_SETTINGS`).
+    pub shard_settings: Vec<Setting>,
+    /// Jobs completed (always the full trace).
+    pub jobs: usize,
+    /// Jobs per virtual second.
+    pub jobs_per_sec: f64,
+    /// Useful work per virtual second, GFLOP/s.
+    pub throughput_gflops: f64,
+    /// `jobs_per_sec / (the 1-shard rung's jobs_per_sec)` — the scaling
+    /// headline (1.0 on the 1-shard rung itself).
+    pub speedup_vs_one_shard: f64,
+    /// End-to-end p50, µs of virtual time.
+    pub p50_e2e_us: f64,
+    /// End-to-end p95, µs.
+    pub p95_e2e_us: f64,
+    /// End-to-end p99, µs.
+    pub p99_e2e_us: f64,
+    /// Queueing (arrival → dispatch) profile, seconds.
+    pub queueing: LatencyStats,
+    /// End-to-end profile, seconds.
+    pub end_to_end: LatencyStats,
+    /// SLA violations across all tenants.
+    pub sla_violations: usize,
+    /// `sla_violations / jobs`.
+    pub sla_violation_rate: f64,
+    /// Fleet-wide cache counters (summed over shards).
+    pub cache: crate::metrics::CacheReport,
+    /// Fleet-wide dispatch/budget/quality summary.
+    pub dispatch: crate::metrics::DispatchSummary,
+    /// Sessions admitted across shards.
+    pub admitted: u64,
+    /// Sessions that ran to their full budget.
+    pub completed: u64,
+    /// Deadline preemptions (early finishes past the deadline).
+    pub preempted_deadline: u64,
+    /// Value preemptions (evicted for a higher-value group).
+    pub preempted_value: u64,
+    /// Total preemptions (both kinds).
+    pub preemptions: u64,
+    /// Groups admitted with their deadline already past.
+    pub late_admissions: u64,
+    /// Deadline-policy steps clamped to the slice floor.
+    pub min_slice_clamps: u64,
+    /// Groups placed by the router.
+    pub placed: u64,
+    /// Placements that followed signature affinity.
+    pub affinity_hits: u64,
+    /// Jobs completed per shard.
+    pub per_shard_jobs: Vec<usize>,
+    /// Calibrated mean inter-arrival gap, µs of virtual time.
+    pub mean_interarrival_us: f64,
+    /// Per-job SLA bound, µs of virtual time.
+    pub sla_us: f64,
+}
+
+/// One scenario's scaling ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScenarioResult {
+    /// Short stable identifier (`fleet_mix`, `deadline_pressure`).
+    pub name: String,
+    /// The traffic scenario simulated.
+    pub scenario: Scenario,
+    /// Scheduler policy in force (`uniform` / `deadline`).
+    pub policy: String,
+    /// Offered load relative to one reference shard.
+    pub offered_load: f64,
+    /// SLA tolerance factor.
+    pub sla_x: f64,
+    /// One rung per shard count, ascending.
+    pub rungs: Vec<FleetRung>,
+}
+
+/// The full report written to `BENCH_fleet.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Schema version tag ([`FLEET_SCHEMA`]).
+    pub schema: String,
+    /// `smoke` or `full`.
+    pub mode: String,
+    /// Trace/search seed.
+    pub seed: u64,
+    /// Shard counts of the ladder, ascending from 1.
+    pub shard_ladder: Vec<usize>,
+    /// Synthetic tenants in the mix.
+    pub tenants: usize,
+    /// Arrivals per rung.
+    pub requests: usize,
+    /// Live-session capacity per shard.
+    pub max_live: usize,
+    /// Deadline-policy slice floor, samples.
+    pub min_slice: usize,
+    /// Value-preemption margin.
+    pub preempt_margin: f64,
+    /// One ladder per scenario.
+    pub scenarios: Vec<FleetScenarioResult>,
+}
+
+impl FleetReport {
+    /// The `magma-fleet/v1` schema self-check: the versioned invariants CI
+    /// asserts before uploading a profile. Returns the first violation as an
+    /// error string.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != FLEET_SCHEMA {
+            return Err(format!("schema tag {} != {}", self.schema, FLEET_SCHEMA));
+        }
+        if self.scenarios.is_empty() {
+            return Err("empty scenario list".into());
+        }
+        if self.shard_ladder.first() != Some(&1) {
+            return Err("the ladder must start at 1 shard (the speedup baseline)".into());
+        }
+        if self.shard_ladder.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("the shard ladder must be strictly ascending".into());
+        }
+        for scenario in &self.scenarios {
+            let rung_shards: Vec<usize> = scenario.rungs.iter().map(|r| r.shards).collect();
+            if rung_shards != self.shard_ladder {
+                return Err(format!("{}: rungs {rung_shards:?} != ladder", scenario.name));
+            }
+            let base = scenario.rungs[0].jobs_per_sec;
+            for rung in &scenario.rungs {
+                if rung.jobs != self.requests {
+                    return Err(format!(
+                        "{} @ {} shards: {} jobs completed of {} — arrivals lost",
+                        scenario.name, rung.shards, rung.jobs, self.requests
+                    ));
+                }
+                if rung.shard_settings.len() != rung.shards {
+                    return Err(format!(
+                        "{} @ {} shards: one setting per shard required",
+                        scenario.name, rung.shards
+                    ));
+                }
+                if !(rung.p50_e2e_us <= rung.p95_e2e_us && rung.p95_e2e_us <= rung.p99_e2e_us) {
+                    return Err(format!(
+                        "{} @ {} shards: percentiles out of order",
+                        scenario.name, rung.shards
+                    ));
+                }
+                if rung.preemptions != rung.preempted_deadline + rung.preempted_value {
+                    return Err(format!(
+                        "{} @ {} shards: preemption counters inconsistent",
+                        scenario.name, rung.shards
+                    ));
+                }
+                if rung.admitted != rung.completed + rung.preemptions {
+                    return Err(format!(
+                        "{} @ {} shards: admitted {} != completed {} + preempted {}",
+                        scenario.name, rung.shards, rung.admitted, rung.completed, rung.preemptions
+                    ));
+                }
+                let expect = if base > 0.0 { rung.jobs_per_sec / base } else { 0.0 };
+                if (rung.speedup_vs_one_shard - expect).abs() > 1e-9 * expect.max(1.0) {
+                    return Err(format!(
+                        "{} @ {} shards: speedup {} disagrees with the ladder",
+                        scenario.name, rung.shards, rung.speedup_vs_one_shard
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The standard fleet scenario set.
+///
+/// * `fleet_mix` — the scaling headline: a large synthetic tenant mix at an
+///   offered load that overloads one shard (`MAGMA_FLEET_LOAD`, default
+///   2.5×), under the configured policy.
+/// * `deadline_pressure` — the preemption stress: 1.5× that load with the
+///   SLA tolerance cut to a third and the mapper oversubscribed 1.5×
+///   ([`FleetConfig::mapper_pressure`]), always under the Deadline policy,
+///   so live sessions pile up, deadlines expire mid-search and the
+///   preemption counters exercise.
+pub fn fleet_scenarios(knobs: &FleetKnobs) -> Vec<(&'static str, FleetConfig)> {
+    let base = |shards| FleetConfig::from_knobs(knobs, shards, Scenario::Poisson);
+    let mut pressure = base(knobs.shards);
+    pressure.offered_load = knobs.offered_load * 1.5;
+    pressure.sla_x = knobs.serve.sla_x / 3.0;
+    pressure.policy = FleetPolicy::Deadline;
+    pressure.mapper_pressure = 1.5;
+    vec![("fleet_mix", base(knobs.shards)), ("deadline_pressure", pressure)]
+}
+
+/// The shard-count ladder: `{1, 4}` for smoke, `{1, 2, N}` for full (always
+/// starting at the 1-shard speedup baseline, deduplicated, ascending).
+pub fn shard_ladder(knobs: &FleetKnobs, smoke: bool) -> Vec<usize> {
+    let mut ladder = if smoke { vec![1, knobs.shards] } else { vec![1, 2, knobs.shards] };
+    ladder.sort_unstable();
+    ladder.dedup();
+    ladder
+}
+
+/// Runs the fleet scenario set over the shard ladder and assembles the
+/// report.
+pub fn run_fleet_ladder(knobs: &FleetKnobs, smoke: bool) -> FleetReport {
+    let ladder = shard_ladder(knobs, smoke);
+    let mix = TenantMix::synthetic(knobs.tenants, knobs.serve.seed);
+    let scenarios = fleet_scenarios(knobs)
+        .into_iter()
+        .map(|(name, template)| {
+            let mut rungs = Vec::with_capacity(ladder.len());
+            let mut base_jobs_per_sec = 0.0f64;
+            for &shards in &ladder {
+                let mut config = template.clone();
+                config.shard_settings = (0..shards)
+                    .map(|s| knobs.shard_settings[s % knobs.shard_settings.len()])
+                    .collect();
+                let result = fleet_simulate(&config, &mix);
+                if rungs.is_empty() {
+                    base_jobs_per_sec = result.metrics.jobs_per_sec;
+                }
+                rungs.push(rung_from_result(&config, &result, base_jobs_per_sec));
+            }
+            FleetScenarioResult {
+                name: name.to_string(),
+                scenario: template.scenario,
+                policy: template.policy.to_string(),
+                offered_load: template.offered_load,
+                sla_x: template.sla_x,
+                rungs,
+            }
+        })
+        .collect();
+    FleetReport {
+        schema: FLEET_SCHEMA.to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        seed: knobs.serve.seed,
+        shard_ladder: ladder,
+        tenants: knobs.tenants,
+        requests: knobs.requests,
+        max_live: knobs.max_live,
+        min_slice: knobs.min_slice,
+        preempt_margin: knobs.preempt_margin,
+        scenarios,
+    }
+}
+
+/// Folds one run into its ladder rung.
+fn rung_from_result(
+    config: &FleetConfig,
+    result: &FleetResult,
+    base_jobs_per_sec: f64,
+) -> FleetRung {
+    let m = &result.metrics;
+    let sla_violations: usize = m.tenants.iter().map(|t| t.sla_violations).sum();
+    FleetRung {
+        shards: config.shards(),
+        shard_settings: config.shard_settings.clone(),
+        jobs: m.jobs,
+        jobs_per_sec: m.jobs_per_sec,
+        throughput_gflops: m.throughput_gflops,
+        speedup_vs_one_shard: if base_jobs_per_sec > 0.0 {
+            m.jobs_per_sec / base_jobs_per_sec
+        } else {
+            0.0
+        },
+        p50_e2e_us: m.end_to_end.p50_sec * 1e6,
+        p95_e2e_us: m.end_to_end.p95_sec * 1e6,
+        p99_e2e_us: m.end_to_end.p99_sec * 1e6,
+        queueing: m.queueing,
+        end_to_end: m.end_to_end,
+        sla_violations,
+        sla_violation_rate: if m.jobs == 0 { 0.0 } else { sla_violations as f64 / m.jobs as f64 },
+        cache: m.cache,
+        dispatch: m.dispatch,
+        admitted: result.sched.admitted,
+        completed: result.sched.completed,
+        preempted_deadline: result.sched.preempted_deadline,
+        preempted_value: result.sched.preempted_value,
+        preemptions: result.sched.preemptions(),
+        late_admissions: result.sched.late_admissions,
+        min_slice_clamps: result.sched.min_slice_clamps,
+        placed: result.router.placed,
+        affinity_hits: result.router.affinity_hits,
+        per_shard_jobs: result.per_shard_jobs.clone(),
+        mean_interarrival_us: result.mean_interarrival_sec * 1e6,
+        sla_us: result.sla_sec * 1e6,
+    }
+}
+
+/// Writes the report to `BENCH_fleet.json` in `MAGMA_BENCH_DIR` (default:
+/// the current directory), returning the path — the same contract as
+/// `BENCH_serve.json`, so CI never silently uploads a stale profile.
+pub fn write_fleet_json(report: &FleetReport) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("MAGMA_BENCH_DIR").map(PathBuf::from).unwrap_or_else(|_| ".".into());
+    let path = dir.join("BENCH_fleet.json");
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::other(format!("serializing the fleet report: {e}")))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_knobs() -> FleetKnobs {
+        FleetKnobs {
+            serve: settings::ServeKnobs {
+                requests: 48,
+                group_target: 6,
+                cold_budget: 40,
+                refine_budget: 4,
+                cache_capacity: 16,
+                ..settings::ServeKnobs::smoke()
+            },
+            shards: 3,
+            requests: 48,
+            tenants: 12,
+            offered_load: 8.0,
+            max_live: 2,
+            ..FleetKnobs::smoke()
+        }
+    }
+
+    #[test]
+    #[ignore = "manual load-curve probe"]
+    fn load_probe() {
+        for load in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let mut knobs = tiny_knobs();
+            knobs.offered_load = load;
+            let mix = TenantMix::synthetic(knobs.tenants, 0);
+            let one = fleet_simulate(&FleetConfig::from_knobs(&knobs, 1, Scenario::Poisson), &mix);
+            let three =
+                fleet_simulate(&FleetConfig::from_knobs(&knobs, 3, Scenario::Poisson), &mix);
+            println!(
+                "load {load:5.1}: 1-shard {:9.1} jobs/s (preempt {}), 3-shard {:9.1} jobs/s (preempt {}, per-shard {:?}, interarrival {:.2e})",
+                one.metrics.jobs_per_sec,
+                one.sched.preemptions(),
+                three.metrics.jobs_per_sec,
+                three.sched.preemptions(),
+                three.per_shard_jobs,
+                three.mean_interarrival_sec
+            );
+        }
+    }
+
+    #[test]
+    fn every_arrival_completes_exactly_once_across_shards() {
+        let knobs = tiny_knobs();
+        let mix = TenantMix::synthetic(knobs.tenants, 0);
+        let config = FleetConfig::from_knobs(&knobs, 3, Scenario::Poisson);
+        let result = fleet_simulate(&config, &mix);
+        assert_eq!(result.metrics.jobs, 48);
+        assert_eq!(result.per_shard_jobs.iter().sum::<usize>(), 48);
+        assert_eq!(result.sched.admitted, result.metrics.dispatch.dispatches as u64);
+        assert_eq!(result.sched.admitted, result.sched.completed + result.sched.preemptions());
+        assert_eq!(result.router.placed, result.sched.admitted);
+        assert!(result.metrics.jobs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn fleet_simulation_is_deterministic() {
+        let knobs = tiny_knobs();
+        let mix = TenantMix::synthetic(knobs.tenants, 0);
+        let config = FleetConfig::from_knobs(&knobs, 2, Scenario::Bursty);
+        let a = fleet_simulate(&config, &mix);
+        let b = fleet_simulate(&config, &mix);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_shards_raise_throughput_under_overload() {
+        let knobs = tiny_knobs();
+        let mix = TenantMix::synthetic(knobs.tenants, 0);
+        let one = fleet_simulate(&FleetConfig::from_knobs(&knobs, 1, Scenario::Poisson), &mix);
+        let three = fleet_simulate(&FleetConfig::from_knobs(&knobs, 3, Scenario::Poisson), &mix);
+        assert!(
+            three.metrics.jobs_per_sec > one.metrics.jobs_per_sec,
+            "3 shards {} must beat 1 shard {} at 2x load",
+            three.metrics.jobs_per_sec,
+            one.metrics.jobs_per_sec
+        );
+    }
+
+    #[test]
+    fn ladder_report_validates_and_round_trips() {
+        let report = run_fleet_ladder(&tiny_knobs(), true);
+        report.validate().expect("a freshly assembled report must self-check");
+        assert_eq!(report.shard_ladder, vec![1, 3]);
+        assert_eq!(report.scenarios.len(), 2);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        for key in [
+            "\"schema\"",
+            "\"shard_ladder\"",
+            "\"speedup_vs_one_shard\"",
+            "\"p99_e2e_us\"",
+            "\"preemptions\"",
+            "\"preempted_deadline\"",
+            "\"preempted_value\"",
+            "\"late_admissions\"",
+            "\"min_slice_clamps\"",
+            "\"affinity_hits\"",
+            "\"per_shard_jobs\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // A tampered report fails the self-check.
+        let mut bad = report.clone();
+        bad.scenarios[0].rungs[1].speedup_vs_one_shard *= 2.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn deadline_pressure_scenario_preempts() {
+        let knobs = tiny_knobs();
+        let (_, mut pressure) =
+            fleet_scenarios(&knobs).into_iter().find(|(n, _)| *n == "deadline_pressure").unwrap();
+        // Preemption needs the mapper backlog to outgrow the SLA, which
+        // takes tens of groups — give the stress a longer trace than the
+        // other tiny tests use.
+        pressure.requests = 240;
+        let mix = TenantMix::synthetic(knobs.tenants, 0);
+        let result = fleet_simulate(&pressure, &mix);
+        assert!(
+            result.sched.preemptions() > 0,
+            "an oversubscribed mapper with tight SLAs must expire deadlines mid-search: {:?}",
+            result.sched
+        );
+        assert_eq!(result.metrics.jobs, 240, "preempted groups still complete");
+    }
+}

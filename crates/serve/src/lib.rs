@@ -41,6 +41,22 @@
 //!   comparison, self-checked by
 //!   [`ServeReport::validate`](report::ServeReport::validate)).
 //!
+//! # Fleet serving
+//!
+//! Above the single-queue loop sits the **fleet** layer — N platform
+//! shards behind a signature-affine router, each time-sharing its mapper
+//! across many live searches:
+//!
+//! * [`router`] — sticky signature-affinity placement with
+//!   least-loaded/lowest-index fallback.
+//! * [`scheduler`] — the per-shard concurrent session scheduler: uniform
+//!   round-robin or deadline-aware (EDF + urgency-sized slices), with
+//!   deadline and value **preemption** (early `finish()` of live sessions).
+//! * [`fleet`] — the global event loop gluing trace → batcher → router →
+//!   shards, plus the schema-stable `BENCH_fleet.json` scaling-ladder
+//!   report (`magma-fleet/v1`, self-checked by
+//!   [`FleetReport::validate`](fleet::FleetReport::validate)).
+//!
 //! # Paper cross-references
 //!
 //! | Paper artefact | Here |
@@ -76,15 +92,24 @@
 pub mod batcher;
 pub mod cache;
 pub mod dispatch;
+pub mod fleet;
 pub mod metrics;
 pub mod report;
+pub mod router;
+pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
 pub use batcher::{AdmissionBatcher, BatchPolicy, DispatchGroup};
 pub use cache::{quantize_signatures, CacheStats, MappingCache, SignatureKey};
 pub use dispatch::{DispatchConfig, DispatchKind, DispatchOutcome, MappingService};
+pub use fleet::{
+    fleet_simulate, run_fleet_ladder, write_fleet_json, FleetConfig, FleetReport, FleetResult,
+    FLEET_SCHEMA,
+};
 pub use metrics::{LatencyStats, ServeMetrics};
 pub use report::{run_standard_scenarios, ServeReport, SCHEMA};
+pub use router::{RouterStats, ShardRouter};
+pub use scheduler::{SchedStats, SchedulerConfig, SessionScheduler};
 pub use sim::{simulate, SimConfig, SimResult};
 pub use trace::{generate_trace, Arrival, Scenario, TraceParams};

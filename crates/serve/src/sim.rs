@@ -136,13 +136,51 @@ pub struct SimResult {
     pub sla_sec: f64,
 }
 
-/// One completed job's bookkeeping.
-struct JobRecord {
-    tenant: usize,
-    arrival_sec: f64,
-    dispatched_sec: f64,
-    completed_sec: f64,
-    flops: u64,
+/// One completed job's bookkeeping (shared with the fleet simulator).
+pub(crate) struct JobRecord {
+    pub(crate) tenant: usize,
+    pub(crate) arrival_sec: f64,
+    pub(crate) dispatched_sec: f64,
+    pub(crate) completed_sec: f64,
+    pub(crate) flops: u64,
+}
+
+/// The load calibration of one reference platform (see the module docs):
+/// everything the trace synthesis and the SLA bound derive from the
+/// unoptimized service rate.
+pub(crate) struct Calibration {
+    pub(crate) mean_interarrival_sec: f64,
+    pub(crate) batch_window_sec: f64,
+    pub(crate) sla_sec: f64,
+}
+
+/// Calibrates arrival rate and SLA bound against `platform`'s unoptimized
+/// service time, exactly as [`simulate`] always has (same seeded random
+/// mapping, same arithmetic). The fleet simulator calibrates against its
+/// *reference* (first) shard so the offered load means "load on one shard".
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn calibrate(
+    platform: &magma_platform::AcceleratorPlatform,
+    mix: &TenantMix,
+    group_target: usize,
+    mini_batch: usize,
+    offered_load: f64,
+    sla_x: f64,
+    cold_budget: usize,
+    overhead_sec_per_sample: f64,
+    seed: u64,
+) -> Calibration {
+    let calib_group = calibration_group(mix, group_target, mini_batch);
+    let calib_n = calib_group.len();
+    let calib_problem = M3e::new(platform.clone(), calib_group, Objective::Throughput);
+    let mut calib_rng = StdRng::seed_from_u64(seed);
+    let calib_mapping = Mapping::random(&mut calib_rng, calib_n, platform.num_sub_accels());
+    let calib_makespan = calib_problem.schedule(&calib_mapping).makespan_sec();
+    let mean_interarrival_sec = calib_makespan / calib_n as f64 / offered_load;
+    let batch_window_sec = group_target as f64 * mean_interarrival_sec;
+    let cold_overhead_sec = cold_budget as f64 * overhead_sec_per_sample;
+    let sla_sec = sla_x * (batch_window_sec + calib_makespan + cold_overhead_sec);
+    Calibration { mean_interarrival_sec, batch_window_sec, sla_sec }
 }
 
 /// Runs one scenario to completion.
@@ -158,16 +196,17 @@ pub fn simulate(config: &SimConfig, mix: &TenantMix) -> SimResult {
     let platform = settings::build(config.setting);
 
     // --- calibration: unoptimized service time of one representative group.
-    let calib_group = calibration_group(mix, config.group_target, config.mini_batch);
-    let calib_n = calib_group.len();
-    let calib_problem = M3e::new(platform.clone(), calib_group, Objective::Throughput);
-    let mut calib_rng = StdRng::seed_from_u64(config.seed);
-    let calib_mapping = Mapping::random(&mut calib_rng, calib_n, platform.num_sub_accels());
-    let calib_makespan = calib_problem.schedule(&calib_mapping).makespan_sec();
-    let mean_interarrival_sec = calib_makespan / calib_n as f64 / config.offered_load;
-    let batch_window_sec = config.group_target as f64 * mean_interarrival_sec;
-    let cold_overhead_sec = config.dispatch.cold_budget as f64 * config.overhead_sec_per_sample;
-    let sla_sec = config.sla_x * (batch_window_sec + calib_makespan + cold_overhead_sec);
+    let Calibration { mean_interarrival_sec, batch_window_sec, sla_sec } = calibrate(
+        &platform,
+        mix,
+        config.group_target,
+        config.mini_batch,
+        config.offered_load,
+        config.sla_x,
+        config.dispatch.cold_budget,
+        config.overhead_sec_per_sample,
+        config.seed,
+    );
 
     // --- trace + components.
     let trace = generate_trace(
@@ -192,24 +231,27 @@ pub fn simulate(config: &SimConfig, mix: &TenantMix) -> SimResult {
         run_legacy(config, &platform, trace, batcher, &mut service)
     };
 
-    let metrics = assemble_metrics(&records, &outcomes, &service, mix, sla_sec);
+    let metrics = assemble_metrics(&records, &outcomes, cache_report(&service), mix, sla_sec);
     SimResult { metrics, mean_interarrival_sec, sla_sec }
 }
 
 /// Builds the M3E problem of one dispatch group.
-fn group_problem(platform: &magma_platform::AcceleratorPlatform, group: &DispatchGroup) -> M3e {
+pub(crate) fn group_problem(
+    platform: &magma_platform::AcceleratorPlatform,
+    group: &DispatchGroup,
+) -> M3e {
     let jobs: Vec<_> =
         group.arrivals.iter().enumerate().map(|(k, a)| a.job.clone().with_id(JobId(k))).collect();
     M3e::new(platform.clone(), Group::new(jobs), Objective::Throughput)
 }
 
 /// Per-dispatch search seed, decorrelated by the golden-ratio stride.
-fn dispatch_seed(config: &SimConfig, index: usize) -> u64 {
-    config.seed.wrapping_add((index as u64).wrapping_mul(K_SEED_STRIDE))
+pub(crate) fn dispatch_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_add((index as u64).wrapping_mul(K_SEED_STRIDE))
 }
 
 /// Appends the completed group's job records, given when execution started.
-fn record_group(
+pub(crate) fn record_group(
     records: &mut Vec<JobRecord>,
     group: &DispatchGroup,
     outcome: &DispatchOutcome,
@@ -264,7 +306,8 @@ fn run_legacy(
             (_, Some(td)) => {
                 let group = batcher.take_group(td).expect("ready time reached");
                 let problem = group_problem(platform, &group);
-                let outcome = service.map_group(&problem, dispatch_seed(config, outcomes.len()));
+                let outcome =
+                    service.map_group(&problem, dispatch_seed(config.seed, outcomes.len()));
                 let overhead = outcome.samples as f64 * config.overhead_sec_per_sample;
                 record_group(&mut records, &group, &outcome, td, td + overhead);
                 free_at = td + overhead + outcome.schedule.makespan_sec();
@@ -314,7 +357,7 @@ fn run_overlap(
             (_, Some(td)) => {
                 let group = batcher.take_group(td).expect("ready time reached");
                 let problem = group_problem(platform, &group);
-                let mut rng = StdRng::seed_from_u64(dispatch_seed(config, outcomes.len()));
+                let mut rng = StdRng::seed_from_u64(dispatch_seed(config.seed, outcomes.len()));
                 let plan = service.plan_group(&problem, &mut rng);
                 let budget = plan.budget();
                 // Advance the search in slices on the mapper clock; the
@@ -353,22 +396,36 @@ fn run_overlap(
 
 /// Seed stride decorrelating per-dispatch search RNG streams (the 64-bit
 /// golden ratio, as used by splitmix-style generators).
-const K_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const K_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The calibration group: the first `target` jobs of the mix, round-robin
 /// across tenants, re-identified 0..target.
-fn calibration_group(mix: &TenantMix, target: usize, mini_batch: usize) -> Group {
+pub(crate) fn calibration_group(mix: &TenantMix, target: usize, mini_batch: usize) -> Group {
     let mut streams: Vec<_> = mix.tenants().iter().map(|t| t.job_stream(mini_batch)).collect();
     let tenants = streams.len();
     let jobs = (0..target).map(|k| streams[k % tenants].next_job(JobId(k))).collect();
     Group::new(jobs)
 }
 
-/// Folds the run's records into the metrics block.
-fn assemble_metrics(
+/// The cache block of one mapping service, as reported.
+pub(crate) fn cache_report(service: &MappingService) -> CacheReport {
+    let stats = service.cache_stats();
+    CacheReport {
+        hits: stats.hits,
+        misses: stats.misses,
+        near_hits: stats.near_hits,
+        evictions: stats.evictions,
+        hit_rate: stats.hit_rate(),
+        entries: service.cache_len(),
+    }
+}
+
+/// Folds the run's records into the metrics block. Takes the cache block by
+/// value so the fleet simulator can pass an aggregate over many shards.
+pub(crate) fn assemble_metrics(
     records: &[JobRecord],
     outcomes: &[DispatchOutcome],
-    service: &MappingService,
+    cache: CacheReport,
     mix: &TenantMix,
     sla_sec: f64,
 ) -> ServeMetrics {
@@ -422,7 +479,6 @@ fn assemble_metrics(
         })
         .collect();
 
-    let stats = service.cache_stats();
     ServeMetrics {
         jobs: records.len(),
         duration_sec,
@@ -432,14 +488,7 @@ fn assemble_metrics(
         service: service_lat,
         end_to_end,
         tenants,
-        cache: CacheReport {
-            hits: stats.hits,
-            misses: stats.misses,
-            near_hits: stats.near_hits,
-            evictions: stats.evictions,
-            hit_rate: stats.hit_rate(),
-            entries: service.cache_len(),
-        },
+        cache,
         dispatch: DispatchSummary::from_outcomes(outcomes),
     }
 }

@@ -139,6 +139,49 @@ fn mixed_slice_sizes_are_bit_identical_too() {
     assert_identical("MAGMA", 0, 1, &reference, &sliced);
 }
 
+/// The early-finish (preemption) contract the fleet scheduler is built on:
+/// a session abandoned part-way through its budget still yields a valid
+/// outcome, bit-identical to the one-shot search at the *spent* budget —
+/// whether the cut lands mid-generation (19 is no multiple of any population
+/// here) or on a generation boundary (24 = two 12-strong MAGMA generations).
+#[test]
+fn early_finish_matches_one_shot_at_the_spent_budget() {
+    let p = problem(Setting::S2, TaskType::Mix, Some(16.0), 12, 0);
+    for algorithm in
+        [Algorithm::Magma, Algorithm::StdGa, Algorithm::De, Algorithm::Pso, Algorithm::CmaEs]
+    {
+        let mapper = algorithm.build();
+        for spent in [19usize, 24] {
+            let reference =
+                with_threads(1, || mapper.search(&p, spent, &mut StdRng::seed_from_u64(SEED)));
+            let mut rng = StdRng::seed_from_u64(SEED);
+            let mut session = mapper.start(&p, &mut rng);
+            // Two uneven steps, then abandon far short of the nominal
+            // 70-sample budget — exactly what a deadline preemption does.
+            assert_eq!(session.step(spent - 7).spent, spent - 7, "{}", mapper.name());
+            assert_eq!(session.step(7).spent, 7, "{}", mapper.name());
+            assert_eq!(session.spent(), spent, "{}", mapper.name());
+            let preempted = session.finish();
+            assert_eq!(preempted.history.num_samples(), spent, "{}", mapper.name());
+            assert_identical(mapper.name(), spent, 1, &reference, &preempted);
+        }
+    }
+}
+
+/// Finishing a session that never evaluated a single sample panics — there
+/// is no mapping to return. This is why every preemption site (the fleet's
+/// `SessionScheduler` included) must guard on `spent() > 0` before an early
+/// `finish()`.
+#[test]
+#[should_panic(expected = "at least one mapping")]
+fn finishing_an_unstepped_session_panics() {
+    let p = problem(Setting::S2, TaskType::Mix, Some(16.0), 8, 0);
+    let mapper = Algorithm::Magma.build();
+    let mut rng = StdRng::seed_from_u64(0);
+    let session = mapper.start(&p, &mut rng);
+    let _ = session.finish();
+}
+
 /// One-shot heuristics expose the exhaustion contract: the first step spends
 /// their single sample, every later step reports zero.
 #[test]
