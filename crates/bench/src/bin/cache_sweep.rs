@@ -1,0 +1,150 @@
+//! `cache_sweep` — the mapping-cache calibration sweep behind
+//! `BENCH_cache.json` (not a paper artefact; the tuning harness for the
+//! serving layer's warm-start cache).
+//!
+//! Sweeps the nearest-key probe threshold × refinement budget × key
+//! quantization step grid of `magma_serve::sweep` on the standard Poisson
+//! mix trace, prints the measured frontier (hit rate, near-hit share, hit
+//! quality vs cold search, end-to-end latency per point) plus a
+//! `MAGMA_SIGNATURE_PROFILE` on/off A/B at the shipped knob point, and
+//! writes the schema-stable `BENCH_cache.json` (schema `magma-cache/v1`,
+//! self-checked via `CacheSweepReport::validate`).
+//!
+//! The run doubles as an acceptance check and panics on regression: a
+//! calibrated point must exist (near-hit quality ≥ 0.95× cold search at
+//! ≤ 0.25× of the cold budget), and in full mode the shipped defaults must
+//! be that calibrated point — so a default that the frontier no longer
+//! justifies fails CI instead of shipping silently.
+//!
+//! # Knobs
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `--smoke` / `MAGMA_SERVE_MODE=smoke` | CI scale: tiny grid (probe off vs shipped epsilon) |
+//! | `MAGMA_SERVE_*` | the underlying serving knobs (trace size, budgets, seed) |
+//! | `MAGMA_THREADS` | evaluation worker threads — wall-clock only, the report never changes |
+//! | `MAGMA_BENCH_DIR` | output directory of `BENCH_cache.json` |
+
+use magma_serve::sweep::{run_cache_sweep, write_cache_json, SweepPoint};
+use magma_serve::CacheSweepReport;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("MAGMA_SERVE_MODE").map(|v| v == "smoke").unwrap_or(false);
+    let knobs = magma::platform::settings::ServeKnobs::from_env(smoke);
+    println!("==============================================================");
+    println!("cache_sweep — mapping-cache calibration (magma-serve)");
+    println!(
+        "mode {}, {} requests/point, groups of {}, cold budget {}, cache {} entries, seed {}",
+        if smoke { "smoke" } else { "full" },
+        knobs.requests,
+        knobs.group_target,
+        knobs.cold_budget,
+        knobs.cache_capacity,
+        knobs.seed
+    );
+    println!(
+        "shipped defaults: epsilon {}, refine budget {}, quant step {}",
+        knobs.cache_epsilon, knobs.refine_budget, knobs.quant_step
+    );
+    println!("==============================================================");
+
+    let report = run_cache_sweep(&knobs, smoke, true);
+    if let Err(violation) = report.validate() {
+        eprintln!("magma-cache/v1 schema self-check failed: {violation}");
+        std::process::exit(1);
+    }
+    print_report(&report);
+
+    // Write the profile before gating: a failing acceptance still leaves
+    // the measured frontier on disk for diagnosis.
+    match write_cache_json(&report) {
+        Ok(path) => println!("\n(cache profile written to {})", path.display()),
+        Err(e) => {
+            eprintln!("could not write BENCH_cache.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    check_acceptance(&report, smoke);
+}
+
+fn print_point(p: &SweepPoint, marker: &str) {
+    println!(
+        "  {:>5.2} {:>7} {:>6.2} | {:>5} {:>5} {:>5} {:>6.3} | {:>8.3} {:>8.3} {:>8.3} | \
+         {:>10.1} {:>10.1} {:>9.0}{marker}",
+        p.epsilon,
+        p.refine_budget,
+        p.quant_step,
+        p.hits,
+        p.near_hits,
+        p.misses,
+        p.hit_rate,
+        p.quality_vs_probe_off,
+        p.hit_cold_throughput_ratio,
+        p.hit_sample_fraction,
+        p.mean_e2e_us,
+        p.p95_e2e_us,
+        p.jobs_per_sec
+    );
+}
+
+fn print_report(report: &CacheSweepReport) {
+    println!(
+        "\n    eps  refine  quant |  hits  near  miss   rate |  quality   cohort   budget |  \
+         mean e2e    p95 e2e    jobs/s"
+    );
+    for p in &report.grid {
+        let chosen = report.calibrated.as_ref() == Some(p);
+        print_point(p, if chosen { "  ← calibrated" } else { "" });
+    }
+    if let Some(ab) = &report.profile_ab {
+        println!("\nsignature profile A/B at the shipped knob point:");
+        print_point(&ab.on, "  (profile on)");
+        print_point(&ab.off, "  (profile off)");
+    }
+}
+
+/// The calibration acceptance criteria. Panics on regression so CI fails
+/// loudly.
+fn check_acceptance(report: &CacheSweepReport, smoke: bool) {
+    let calibrated = report.calibrated.as_ref().unwrap_or_else(|| {
+        panic!(
+            "no grid point kept quality ≥ {} at ≤ {} of the cold budget — the near-hit \
+             probe cannot be shipped on this frontier",
+            report.quality_floor, report.budget_ceiling
+        )
+    });
+    assert!(
+        calibrated.quality_vs_probe_off >= report.quality_floor
+            && calibrated.hit_sample_fraction <= report.budget_ceiling,
+        "calibrated point violates its own floors: {calibrated:?}"
+    );
+    // Smoke sweeps pin refine/quant to the knobs and only A/B the probe, so
+    // defaults can only be held to the frontier at full scale.
+    if !smoke {
+        assert!(
+            report.defaults_match_calibrated,
+            "the shipped defaults (epsilon {}, refine {}, quant {}) are not the calibrated \
+             point (epsilon {}, refine {}, quant {}) — recalibrate platform::settings",
+            report.default_epsilon,
+            report.default_refine_budget,
+            report.default_quant_step,
+            calibrated.epsilon,
+            calibrated.refine_budget,
+            calibrated.quant_step
+        );
+    }
+    println!(
+        "\nacceptance: calibrated point epsilon {}, refine {}, quant {} — hit rate {:.3}, \
+         quality {:.3} (≥ {}), budget {:.3} (≤ {}){}",
+        calibrated.epsilon,
+        calibrated.refine_budget,
+        calibrated.quant_step,
+        calibrated.hit_rate,
+        calibrated.quality_vs_probe_off,
+        report.quality_floor,
+        calibrated.hit_sample_fraction,
+        report.budget_ceiling,
+        if smoke { "" } else { "; shipped defaults match" }
+    );
+}

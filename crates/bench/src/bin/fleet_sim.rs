@@ -8,7 +8,7 @@
 //! stress (higher load, SLAs cut to a third, the mapper oversubscribed) —
 //! over a shard-count ladder, prints a throughput/latency/preemption
 //! profile per rung and writes the schema-stable `BENCH_fleet.json`
-//! (schema `magma-fleet/v1`, self-checked via `FleetReport::validate`).
+//! (schema `magma-fleet/v2`, self-checked via `FleetReport::validate`).
 //!
 //! The run doubles as an acceptance check and panics on regression: the
 //! widest `fleet_mix` rung must beat the 1-shard rung's throughput, and the
@@ -29,6 +29,9 @@
 //! | `MAGMA_FLEET_POLICY` | `uniform` or `deadline` scheduling |
 //! | `MAGMA_FLEET_MIN_SLICE` | deadline-policy slice floor (samples) |
 //! | `MAGMA_FLEET_PREEMPT` | value-preemption margin (0 disables) |
+//! | `MAGMA_FLEET_SHARED_CACHE` | shared cache tier entries (0 disables the tier) |
+//! | `MAGMA_FLEET_TENANT_QUOTA` | per-tenant entry quota over the shared tier (0 = unlimited) |
+//! | `MAGMA_SERVE_CACHE_PATH` | per-shard cache persistence at `<path>.shard<i>` |
 //! | `MAGMA_SERVE_*` | the underlying serving knobs (budgets, cache, SLA, seed) |
 //! | `MAGMA_THREADS` | evaluation worker threads — wall-clock only, the report never changes |
 //! | `MAGMA_BENCH_DIR` | output directory of `BENCH_fleet.json` |
@@ -61,7 +64,7 @@ fn main() {
 
     let report = run_fleet_ladder(&knobs, smoke);
     if let Err(violation) = report.validate() {
-        eprintln!("magma-fleet/v1 schema self-check failed: {violation}");
+        eprintln!("magma-fleet/v2 schema self-check failed: {violation}");
         std::process::exit(1);
     }
     print_report(&report);
@@ -101,15 +104,26 @@ fn print_rung(r: &FleetRung) {
         r.min_slice_clamps
     );
     println!(
-        "     routing: {}/{} affinity hits, per-shard jobs {:?}; cache rate {:.2}; \
-         SLA violations {} ({:.1}%)",
+        "     routing: {}/{} affinity hits, {} shared-balanced, per-shard jobs {:?}; \
+         cache rate {:.2}; SLA violations {} ({:.1}%)",
         r.affinity_hits,
         r.placed,
+        r.shared_balanced,
         r.per_shard_jobs,
         r.cache.hit_rate,
         r.sla_violations,
         r.sla_violation_rate * 100.0
     );
+    if r.shared.hits + r.shared.misses > 0 {
+        println!(
+            "     shared tier: {} hits / {} lookups (rate {:.2}), {} entries, {} evictions",
+            r.shared.hits,
+            r.shared.hits + r.shared.misses,
+            r.shared.hit_rate,
+            r.shared.entries,
+            r.shared.evictions
+        );
+    }
 }
 
 fn print_scenario(s: &FleetScenarioResult) {

@@ -100,9 +100,10 @@ impl M3e {
         let table = JobAnalyzer::with_cost_model(cost_model).analyze(&group, &platform);
         let dominant_task = dominant_task(&group);
         let mut signatures = group.signatures();
-        // Behind the MAGMA_SIGNATURE_PROFILE knob (default off), fold the
-        // analysis table's per-core no-stall latencies into the signatures so
-        // warm-start matching sees platform affinity, not just layer shape.
+        // Behind the MAGMA_SIGNATURE_PROFILE knob (default on since the
+        // cache_sweep calibration; `=0` opts out), fold the analysis table's
+        // per-core no-stall latencies into the signatures so warm-start
+        // matching sees platform affinity, not just layer shape.
         if magma_platform::settings::magma_signature_profile() {
             attach_core_classes(&mut signatures, &table);
         }
@@ -280,19 +281,22 @@ mod tests {
         let p = m3e(TaskType::Mix, 20);
         let sigs = p.signatures();
         assert_eq!(sigs.len(), 20);
+        // The shape part is the job's own signature; the core class on top
+        // comes from the profile knob (on by default — see below).
         for (job, sig) in p.group().iter().zip(sigs) {
-            assert_eq!(job.signature(), *sig);
+            assert_eq!(job.signature(), sig.with_core_class(0));
         }
         // The trait exposes the same slice.
         assert_eq!(MappingProblem::signatures(&p), Some(sigs));
     }
 
     #[test]
-    fn signatures_stay_shape_only_without_the_profile_knob() {
+    fn signatures_carry_core_classes_under_the_default_profile_knob() {
         // The ambient test environment never sets MAGMA_SIGNATURE_PROFILE,
-        // so M3e signatures must equal the platform-independent ones.
+        // and since the cache_sweep calibration the profiled metric is the
+        // default: every M3e signature carries a packed core class.
         let p = m3e(TaskType::Mix, 12);
-        assert!(p.signatures().iter().all(|s| !s.has_core_class()));
+        assert!(p.signatures().iter().all(|s| s.has_core_class()));
     }
 
     #[test]

@@ -14,14 +14,20 @@
 //! recently used; inserting beyond the capacity evicts the least recently
 //! used entry. [`CacheStats`] counts hits, misses, insertions and evictions
 //! for the metrics pipeline.
+//!
+//! The whole cache round-trips through serde ([`MappingCache::save`] /
+//! [`MappingCache::load`], behind the `MAGMA_SERVE_CACHE_PATH` knob) so a
+//! serve or fleet restart starts warm: entries, LRU order *and* counters
+//! survive byte-for-byte.
 
 use magma_m3e::{LruOrder, StoredSolution};
 use magma_model::{JobSignature, LayerClass, TaskType};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// One job signature, quantized to log-scale magnitude buckets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct QuantizedSignature {
     /// Task category (exact).
     pub task: TaskType,
@@ -36,8 +42,9 @@ pub struct QuantizedSignature {
 }
 
 /// The cache key of a dispatch group: its quantized signatures as a sorted
-/// multiset (order-insensitive by construction).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// multiset (order-insensitive by construction). Serializes transparently
+/// as the signature array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SignatureKey(Vec<QuantizedSignature>);
 
 impl SignatureKey {
@@ -152,6 +159,27 @@ impl MappingCache {
         self.stats
     }
 
+    /// Whether `key` is cached, **without** counting a lookup or touching
+    /// recency — the peek behind shared-tier-aware routing.
+    pub fn contains_key(&self, key: &SignatureKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The cached keys in recency order, least recently used first.
+    pub fn keys_by_recency(&self) -> &[SignatureKey] {
+        self.recency.as_slice()
+    }
+
+    /// Removes the entry for `key` (counted as an eviction when present).
+    pub fn remove(&mut self, key: &SignatureKey) -> Option<StoredSolution> {
+        let removed = self.entries.remove(key);
+        if removed.is_some() {
+            self.recency.remove(key);
+            self.stats.evictions += 1;
+        }
+        removed
+    }
+
     /// Looks `key` up, counting a hit or miss and marking a hit entry most
     /// recently used.
     pub fn lookup(&mut self, key: &SignatureKey) -> Option<&StoredSolution> {
@@ -175,8 +203,11 @@ impl MappingCache {
     ///
     /// Only entries that stored signatures for the *same group size* are
     /// candidates, so the adapted mapping always covers the group one-job-
-    /// to-one-job. Candidates are scanned in recency order (deterministic);
-    /// ties prefer the most recently used entry. This is what lets
+    /// to-one-job. The tie-break is explicit: minimum mean distance first,
+    /// then the **most recently used** entry among equal distances. Keying
+    /// the winner on recency rank (not scan order) means evictions,
+    /// re-insertions or a [`MappingCache::load`] of a persisted cache can
+    /// never silently change which entry serves a tie. This is what lets
     /// mixed-tenant traffic — whose quantized signature multisets essentially
     /// never repeat exactly — still reuse solved mappings of *similar*
     /// groups.
@@ -189,8 +220,10 @@ impl MappingCache {
         if epsilon <= 0.0 || self.entries.contains_key(key) {
             return self.lookup(key);
         }
-        let mut best: Option<(f64, SignatureKey)> = None;
-        for stored_key in self.recency.as_slice().iter().rev() {
+        // Best candidate as (mean distance, recency rank). The recency slice
+        // is LRU-first, so a *higher* rank is *more* recently used.
+        let mut best: Option<(f64, usize)> = None;
+        for (rank, stored_key) in self.recency.as_slice().iter().enumerate() {
             let stored = &self.entries[stored_key];
             let Some(stored_sigs) = stored.signatures() else { continue };
             if stored_sigs.len() != sigs.len() {
@@ -201,12 +234,14 @@ impl MappingCache {
                 .map(|s| stored_sigs.iter().map(|t| s.distance(t)).fold(f64::INFINITY, f64::min))
                 .sum();
             let mean = total / sigs.len().max(1) as f64;
-            if mean <= epsilon && best.as_ref().is_none_or(|(b, _)| mean < *b) {
-                best = Some((mean, stored_key.clone()));
+            if mean <= epsilon && best.is_none_or(|(bd, br)| mean < bd || (mean == bd && rank > br))
+            {
+                best = Some((mean, rank));
             }
         }
         match best {
-            Some((_, near_key)) => {
+            Some((_, rank)) => {
+                let near_key = self.recency.as_slice()[rank].clone();
                 self.stats.hits += 1;
                 self.stats.near_hits += 1;
                 self.recency.bump(&near_key);
@@ -229,6 +264,206 @@ impl MappingCache {
             let lru = self.recency.pop_lru().expect("recency tracks every entry");
             self.entries.remove(&lru);
             self.stats.evictions += 1;
+        }
+    }
+
+    /// Re-bounds the cache to `capacity`, evicting least recently used
+    /// entries (counted in the stats) until it fits. Used when a persisted
+    /// cache is installed under a configuration with a smaller capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn rebound(&mut self, capacity: usize) {
+        assert!(capacity > 0, "a mapping cache must hold at least one entry");
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            let lru = self.recency.pop_lru().expect("recency tracks every entry");
+            self.entries.remove(&lru);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Writes the cache as pretty-printed JSON to `path` (the format behind
+    /// `MAGMA_SERVE_CACHE_PATH`). Entries are emitted least recently used
+    /// first, so LRU order — and with it every future eviction and near-hit
+    /// tie-break — survives the round trip exactly, as do the counters.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+
+    /// Loads a cache previously written by [`MappingCache::save`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+// Hand-written because `SignatureKey` serializes as an array, which the
+// generic map impls cannot use as a JSON object key: entries are emitted as
+// a sequence of `[key, solution]` pairs in LRU→MRU order, which is exactly
+// the information needed to rebuild both the hash map and the recency order.
+impl Serialize for MappingCache {
+    fn to_value(&self) -> Value {
+        let entries: Vec<Value> = self
+            .recency
+            .as_slice()
+            .iter()
+            .map(|k| Value::Seq(vec![k.to_value(), self.entries[k].to_value()]))
+            .collect();
+        Value::Map(vec![
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("entries".to_string(), Value::Seq(entries)),
+        ])
+    }
+}
+
+impl Deserialize for MappingCache {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.as_map().is_none() {
+            return Err(DeError::mismatch("object", v));
+        }
+        let capacity = usize::from_value(v.get("capacity"))
+            .map_err(|e| DeError::custom(format!("field capacity: {e}")))?;
+        if capacity == 0 {
+            return Err(DeError::custom(
+                "field capacity: a mapping cache holds at least one entry",
+            ));
+        }
+        // Tolerate a missing stats block (counters restart at zero).
+        let stats = match v.get("stats") {
+            Value::Null => CacheStats::default(),
+            other => CacheStats::from_value(other)
+                .map_err(|e| DeError::custom(format!("field stats: {e}")))?,
+        };
+        let pairs = Vec::<(SignatureKey, StoredSolution)>::from_value(v.get("entries"))
+            .map_err(|e| DeError::custom(format!("field entries: {e}")))?;
+        if pairs.len() > capacity {
+            return Err(DeError::custom(format!(
+                "field entries: {} entries exceed the declared capacity {capacity}",
+                pairs.len()
+            )));
+        }
+        let mut cache =
+            MappingCache { capacity, entries: HashMap::new(), recency: LruOrder::new(), stats };
+        // Pairs are stored LRU-first; bumping in order reproduces the
+        // recency order exactly.
+        for (key, solution) in pairs {
+            cache.entries.insert(key.clone(), solution);
+            cache.recency.bump(&key);
+        }
+        Ok(cache)
+    }
+}
+
+/// The fleet-wide shared cache tier sitting *behind* the per-shard
+/// [`MappingCache`]s (`MAGMA_FLEET_SHARED_CACHE`).
+///
+/// A shard that misses its own cache falls through to this tier, so a
+/// mapping solved on shard 2 warms a recurrence routed to shard 0 —
+/// previously only the router's sticky affinity kept warm state reachable.
+/// Inserts publish to both tiers. On top of the shared LRU sits a
+/// **per-tenant quota** (`MAGMA_FLEET_TENANT_QUOTA`): each publishing
+/// tenant may hold at most that many shared entries, so one chatty tenant
+/// cannot monopolise the fleet tier; its own least recently used entry is
+/// evicted first.
+///
+/// The tier lives on the fleet simulator's single-threaded event loop, so
+/// determinism across `MAGMA_THREADS` is inherited, not re-proved.
+#[derive(Debug, Clone)]
+pub struct SharedCache {
+    cache: MappingCache,
+    tenant_quota: usize,
+    /// Publishing tenant of each live entry (quota bookkeeping).
+    owners: HashMap<SignatureKey, usize>,
+}
+
+impl SharedCache {
+    /// Creates an empty shared tier bounded to `capacity` entries, with at
+    /// most `tenant_quota` entries per publishing tenant (0 = no quota).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, tenant_quota: usize) -> Self {
+        SharedCache { cache: MappingCache::new(capacity), tenant_quota, owners: HashMap::new() }
+    }
+
+    /// The capacity bound of the shared LRU.
+    pub fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// The per-tenant entry quota (0 = unlimited).
+    pub fn tenant_quota(&self) -> usize {
+        self.tenant_quota
+    }
+
+    /// Number of shared entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The tier's own hit/miss/eviction counters (disjoint from the
+    /// per-shard counters: a shard miss that the tier serves counts as a
+    /// shard miss *and* a shared hit).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of live entries published by `tenant`.
+    pub fn tenant_entries(&self, tenant: usize) -> usize {
+        self.owners.values().filter(|&&t| t == tenant).count()
+    }
+
+    /// Whether `key` is in the tier, without counting a lookup — the cheap
+    /// peek behind shared-tier-aware placement ([`crate::ShardRouter`]).
+    pub fn contains(&self, key: &SignatureKey) -> bool {
+        self.cache.contains_key(key)
+    }
+
+    /// The shard-miss fallthrough: exactly [`MappingCache::lookup_near`]
+    /// over the shared LRU (same epsilon semantics and tie-break).
+    pub fn lookup_near(
+        &mut self,
+        key: &SignatureKey,
+        sigs: &[JobSignature],
+        epsilon: f64,
+    ) -> Option<&StoredSolution> {
+        self.cache.lookup_near(key, sigs, epsilon)
+    }
+
+    /// Publishes a solved mapping to the shared tier on behalf of `tenant`,
+    /// then enforces the tenant quota (evicting the tenant's own LRU
+    /// entries) and the global capacity.
+    pub fn publish(&mut self, key: SignatureKey, solution: StoredSolution, tenant: usize) {
+        self.cache.insert(key.clone(), solution);
+        self.owners.insert(key.clone(), tenant);
+        // Capacity eviction inside `insert` may have dropped entries; keep
+        // the owner map aligned with the live set.
+        let cache = &self.cache;
+        self.owners.retain(|k, _| cache.contains_key(k));
+        if self.tenant_quota > 0 {
+            while self.tenant_entries(tenant) > self.tenant_quota {
+                let victim = self
+                    .cache
+                    .keys_by_recency()
+                    .iter()
+                    .find(|k| self.owners.get(*k) == Some(&tenant) && **k != key)
+                    .cloned()
+                    .expect("over-quota tenant owns an older entry");
+                self.cache.remove(&victim);
+                self.owners.remove(&victim);
+            }
         }
     }
 }
@@ -388,6 +623,125 @@ mod tests {
         let key_b = quantize_signatures(&sigs_b, 1.0);
         assert!(cache.lookup_near(&key_b, &sigs_b, 1e9).is_none());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lookup_near_breaks_distance_ties_toward_the_most_recent_entry() {
+        // Two entries under different keys but with *identical* stored
+        // signatures, so any probe sees them at exactly equal distance.
+        let sigs = WorkloadSpec::single_group(TaskType::Vision, 8, 0).signatures();
+        let key_a = quantize_signatures(&sigs, 1.0);
+        let key_b = key(TaskType::Language, 8, 0);
+        let sol_a = solution(8, 10);
+        let sol_b = solution(8, 11);
+        let mapping_a = sol_a.mapping().clone();
+        let mapping_b = sol_b.mapping().clone();
+        let probe_key = key(TaskType::Mix, 8, 0);
+        assert!(probe_key != key_a && probe_key != key_b, "the probe key must be an exact miss");
+
+        let mut cache = MappingCache::new(4);
+        cache.insert(key_a.clone(), StoredSolution::new(mapping_a.clone(), Some(sigs.clone())));
+        cache.insert(key_b, StoredSolution::new(mapping_b.clone(), Some(sigs.clone())));
+        // B is most recent: the tie must go to B.
+        let hit = cache.lookup_near(&probe_key, &sigs, 1e6).expect("both entries are in range");
+        assert_eq!(hit.mapping(), &mapping_b);
+        // Touch A; the same tie must now go to A — recency, not scan or
+        // insertion order, decides.
+        assert!(cache.lookup(&key_a).is_some());
+        let hit = cache.lookup_near(&probe_key, &sigs, 1e6).expect("still in range");
+        assert_eq!(hit.mapping(), &mapping_a);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_entries_lru_order_and_stats() {
+        let mut cache = MappingCache::new(4);
+        let (key_v, sol_v) = profiled_solution(TaskType::Vision, 8, 0);
+        let (key_l, sol_l) = profiled_solution(TaskType::Language, 8, 1);
+        let (key_m, sol_m) = profiled_solution(TaskType::Mix, 8, 2);
+        cache.insert(key_v.clone(), sol_v);
+        cache.insert(key_l, sol_l);
+        cache.insert(key_m, sol_m);
+        // Accrue non-trivial stats and a non-insertion recency order.
+        assert!(cache.lookup(&key_v).is_some());
+        assert!(cache.lookup(&key(TaskType::Vision, 8, 99)).is_none());
+
+        let json = serde_json::to_string_pretty(&cache).unwrap();
+        let back: MappingCache = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.capacity(), cache.capacity());
+        assert_eq!(back.stats(), cache.stats());
+        assert_eq!(back.keys_by_recency(), cache.keys_by_recency());
+        for k in cache.keys_by_recency() {
+            assert_eq!(back.entries[k].mapping(), cache.entries[k].mapping());
+        }
+        // Byte-equal re-serialization: nothing was lost or reordered.
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let mut cache = MappingCache::new(4);
+        let (key_v, sol_v) = profiled_solution(TaskType::Vision, 8, 0);
+        cache.insert(key_v.clone(), sol_v);
+        assert!(cache.lookup(&key_v).is_some());
+        let path =
+            std::env::temp_dir().join(format!("magma_cache_roundtrip_{}.json", std::process::id()));
+        cache.save(&path).expect("temp dir is writable");
+        let back = MappingCache::load(&path).expect("just written");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.stats(), cache.stats());
+        assert_eq!(back.keys_by_recency(), cache.keys_by_recency());
+    }
+
+    #[test]
+    fn load_rejects_entries_beyond_capacity() {
+        let mut cache = MappingCache::new(2);
+        let (key_v, sol_v) = profiled_solution(TaskType::Vision, 8, 0);
+        cache.insert(key_v, sol_v);
+        let json =
+            serde_json::to_string(&cache).unwrap().replace("\"capacity\":2", "\"capacity\":0");
+        assert!(serde_json::from_str::<MappingCache>(&json).is_err());
+    }
+
+    #[test]
+    fn rebound_evicts_down_to_the_new_capacity() {
+        let mut cache = MappingCache::new(4);
+        let (a, b, c) =
+            (key(TaskType::Vision, 8, 0), key(TaskType::Language, 8, 0), key(TaskType::Mix, 8, 0));
+        cache.insert(a.clone(), solution(8, 0));
+        cache.insert(b, solution(8, 1));
+        cache.insert(c.clone(), solution(8, 2));
+        assert!(cache.lookup(&a).is_some()); // a becomes MRU
+        cache.rebound(2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.contains_key(&a) && cache.contains_key(&c), "the MRU entries survive");
+    }
+
+    #[test]
+    fn shared_tier_serves_a_shard_miss_and_enforces_the_tenant_quota() {
+        let mut shared = SharedCache::new(8, 2);
+        let (key_v, sol_v) = profiled_solution(TaskType::Vision, 8, 0);
+        shared.publish(key_v.clone(), sol_v, 3);
+        // The peek is stat-free; the fallthrough lookup counts a hit.
+        assert!(shared.contains(&key_v));
+        assert_eq!(shared.stats().hits + shared.stats().misses, 0);
+        let sigs = WorkloadSpec::single_group(TaskType::Vision, 8, 0).signatures();
+        assert!(shared.lookup_near(&key_v, &sigs, 0.0).is_some());
+        assert_eq!(shared.stats().hits, 1);
+
+        // A tenant over quota evicts its *own* LRU entry; other tenants are
+        // untouched.
+        let (key_l, sol_l) = profiled_solution(TaskType::Language, 8, 1);
+        let (key_m, sol_m) = profiled_solution(TaskType::Mix, 8, 2);
+        let (key_r, sol_r) = profiled_solution(TaskType::Recommendation, 8, 3);
+        shared.publish(key_l.clone(), sol_l, 3);
+        shared.publish(key_m.clone(), sol_m, 7);
+        shared.publish(key_r.clone(), sol_r, 3);
+        assert_eq!(shared.tenant_entries(3), 2);
+        assert_eq!(shared.tenant_entries(7), 1);
+        assert!(!shared.contains(&key_v), "tenant 3's LRU entry was evicted by its quota");
+        assert!(shared.contains(&key_m), "tenant 7 is under quota");
+        assert!(shared.contains(&key_l) && shared.contains(&key_r));
     }
 
     #[test]

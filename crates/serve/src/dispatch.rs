@@ -26,7 +26,7 @@
 //! three — and, by the session-stepping invariant, any slicing of the same
 //! budget produces the same outcome.
 
-use crate::cache::{quantize_signatures, CacheStats, MappingCache, SignatureKey};
+use crate::cache::{quantize_signatures, CacheStats, MappingCache, SharedCache, SignatureKey};
 use magma_m3e::{M3e, Mapping, MappingProblem, Schedule, StoredSolution};
 use magma_optim::{Magma, Optimizer, SearchOutcome, SearchSession, SessionState};
 use rand::rngs::StdRng;
@@ -154,6 +154,22 @@ impl MappingService {
         self.cache.len()
     }
 
+    /// Read-only view of the cache — the persistence seam: save it with
+    /// [`MappingCache::save`] at the end of a run (`MAGMA_SERVE_CACHE_PATH`).
+    pub fn cache(&self) -> &MappingCache {
+        &self.cache
+    }
+
+    /// Installs `cache` — typically one [`MappingCache::load`]ed from a
+    /// previous run — re-bounded to the configured capacity. A service that
+    /// starts with a persisted cache behaves hit-for-hit identically to the
+    /// service that kept running (the warm-restart invariant the
+    /// integration suite pins down).
+    pub fn install_cache(&mut self, mut cache: MappingCache) {
+        cache.rebound(self.config.cache_capacity);
+        self.cache = cache;
+    }
+
     /// Plans how a dispatch group will be searched: probes the cache (exact
     /// key, then the nearest-key fallback when `cache_epsilon > 0`) and, on
     /// a hit, adapts the stored solution into a seed population. The plan
@@ -164,25 +180,48 @@ impl MappingService {
     /// population draws from it, exactly as the pre-session one-call path
     /// did.
     pub fn plan_group(&mut self, problem: &M3e, rng: &mut StdRng) -> SearchPlan {
+        self.plan_group_shared(problem, rng, None)
+    }
+
+    /// [`MappingService::plan_group`] with a fleet-tier fallthrough: a miss
+    /// in this service's own cache probes the [`SharedCache`] (same epsilon,
+    /// same tie-break) before falling back to a cold search. A dispatch the
+    /// tier serves counts as a miss in the shard's counters and a hit in
+    /// the tier's — the two stat streams stay disjoint.
+    pub fn plan_group_shared(
+        &mut self,
+        problem: &M3e,
+        rng: &mut StdRng,
+        shared: Option<&mut SharedCache>,
+    ) -> SearchPlan {
         let sigs = problem.signatures();
         let key = quantize_signatures(sigs, self.config.quant_step);
         let num_accels = MappingProblem::num_accels(problem);
         let magma = Magma::default();
-        match self.cache.lookup_near(&key, sigs, self.config.cache_epsilon) {
-            Some(stored) => {
-                let budget = self.config.refine_budget;
-                // Sized by Magma itself so the seeds fill exactly one
-                // initial population.
-                let pop = magma.population_size_for(problem, budget);
+        let budget = self.config.refine_budget;
+        // Sized by Magma itself so the seeds fill exactly one initial
+        // population (pure in the problem and budget; no RNG draw).
+        let pop = magma.population_size_for(problem, budget);
+        if let Some(stored) = self.cache.lookup_near(&key, sigs, self.config.cache_epsilon) {
+            let seeds = stored.seed_population(rng, sigs, num_accels, pop);
+            return SearchPlan { kind: DispatchKind::CacheHit, budget, key, seeds: Some(seeds) };
+        }
+        if let Some(tier) = shared {
+            if let Some(stored) = tier.lookup_near(&key, sigs, self.config.cache_epsilon) {
                 let seeds = stored.seed_population(rng, sigs, num_accels, pop);
-                SearchPlan { kind: DispatchKind::CacheHit, budget, key, seeds: Some(seeds) }
+                return SearchPlan {
+                    kind: DispatchKind::CacheHit,
+                    budget,
+                    key,
+                    seeds: Some(seeds),
+                };
             }
-            None => SearchPlan {
-                kind: DispatchKind::ColdSearch,
-                budget: self.config.cold_budget,
-                key,
-                seeds: None,
-            },
+        }
+        SearchPlan {
+            kind: DispatchKind::ColdSearch,
+            budget: self.config.cold_budget,
+            key,
+            seeds: None,
         }
     }
 
@@ -289,6 +328,13 @@ impl SearchPlan {
     /// The sampling budget the search should spend.
     pub fn budget(&self) -> usize {
         self.budget
+    }
+
+    /// The cache key the group quantized to — what the fleet loop publishes
+    /// the completed mapping under in the shared tier (avoiding a second
+    /// quantization pass).
+    pub fn key(&self) -> &SignatureKey {
+        &self.key
     }
 }
 
@@ -405,6 +451,40 @@ mod tests {
         assert_eq!(hit_a.kind, hit_b.kind);
         assert_eq!(hit_a.best_fitness.to_bits(), hit_b.best_fitness.to_bits());
         assert_eq!(hit_a.mapping, hit_b.mapping);
+    }
+
+    #[test]
+    fn a_shard_miss_falls_through_to_the_shared_tier() {
+        let p = problem(0);
+        // Shard A solves the group and publishes to the shared tier.
+        let mut shard_a = MappingService::new(config());
+        let cold = shard_a.map_group(&p, 1);
+        let mut shared = SharedCache::new(8, 0);
+        let sigs = p.signatures().to_vec();
+        let key = quantize_signatures(&sigs, shard_a.config().quant_step);
+        shared.publish(key, StoredSolution::new(cold.mapping.clone(), Some(sigs)), 0);
+        // Shard B's own cache is cold: alone it would cold-search, but the
+        // tier turns the plan into a refine-budget hit. The miss lands in
+        // shard B's counters, the hit in the tier's.
+        let mut shard_b = MappingService::new(config());
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = shard_b.plan_group_shared(&p, &mut rng, Some(&mut shared));
+        assert_eq!(plan.kind(), DispatchKind::CacheHit);
+        assert_eq!(plan.budget(), shard_b.config().refine_budget);
+        assert_eq!(shard_b.cache_stats().misses, 1);
+        assert_eq!(shard_b.cache_stats().hits, 0);
+        assert_eq!(shared.stats().hits, 1);
+    }
+
+    #[test]
+    fn an_installed_cache_restores_hit_behaviour() {
+        let p = problem(0);
+        let mut service = MappingService::new(config());
+        service.map_group(&p, 1);
+        let saved = service.cache().clone();
+        let mut restarted = MappingService::new(config());
+        restarted.install_cache(saved);
+        assert_eq!(restarted.map_group(&p, 2).kind, DispatchKind::CacheHit);
     }
 
     #[test]

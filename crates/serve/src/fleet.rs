@@ -24,6 +24,19 @@
 //! a shard can take the group: either a free scheduler slot, or (margin
 //! knob permitting) a live session cheap enough to value-preempt.
 //!
+//! Behind the per-shard caches sits an optional fleet-wide **shared cache
+//! tier** (`MAGMA_FLEET_SHARED_CACHE` entries, per-tenant quota
+//! `MAGMA_FLEET_TENANT_QUOTA`): a shard miss falls through to the tier
+//! before cold-searching, every completed session publishes its mapping to
+//! both its shard cache and the tier, and the router places tier-held keys
+//! purely by load ([`crate::router::ShardRouter::place_balanced`]) since
+//! any shard then serves them warm. The tier lives on the fleet's
+//! single-threaded event loop, so its event order — and therefore every
+//! fleet result — stays bit-identical across `MAGMA_THREADS` settings.
+//! When `MAGMA_SERVE_CACHE_PATH` is set, each shard persists its cache to
+//! `<path>.shard<i>` at the end of the run and reloads it at the next
+//! start, so fleet restarts begin warm.
+//!
 //! With one shard, the Uniform policy, no preemption margin and a slice at
 //! least the search budget, the loop degenerates exactly — same floating
 //! point, same RNG streams — to the single-queue overlap simulator, which
@@ -36,7 +49,7 @@
 //! `BENCH_fleet.json` exists to track.
 
 use crate::batcher::{AdmissionBatcher, BatchPolicy};
-use crate::cache::{quantize_signatures, CacheStats};
+use crate::cache::{quantize_signatures, CacheStats, MappingCache, SharedCache};
 use crate::dispatch::{DispatchConfig, DispatchOutcome, MappingService};
 use crate::metrics::{CacheReport, LatencyStats, ServeMetrics};
 use crate::router::{RouterStats, ShardRouter};
@@ -45,6 +58,7 @@ use crate::sim::{
     assemble_metrics, calibrate, dispatch_seed, group_problem, record_group, JobRecord,
 };
 use crate::trace::{generate_trace, Arrival, Scenario, TraceParams};
+use magma_m3e::StoredSolution;
 use magma_model::{JobSignature, TenantMix};
 use magma_platform::settings::{self, FleetKnobs, FleetPolicy};
 use magma_platform::Setting;
@@ -78,6 +92,15 @@ pub struct FleetConfig {
     pub overhead_sec_per_sample: f64,
     /// Search budgets and cache geometry (per shard).
     pub dispatch: DispatchConfig,
+    /// Entries in the fleet-wide shared cache tier; `0` disables the tier
+    /// (shard misses go straight to a cold search, exactly the pre-tier
+    /// behaviour).
+    pub shared_cache_capacity: usize,
+    /// Per-tenant entry quota over the shared tier; `0` means unlimited.
+    pub shared_tenant_quota: usize,
+    /// Mapping-cache persistence base path (`MAGMA_SERVE_CACHE_PATH`): each
+    /// shard loads/saves `<path>.shard<i>`. `None` keeps caches in-memory.
+    pub cache_path: Option<PathBuf>,
     /// Scheduler policy.
     pub policy: FleetPolicy,
     /// Live-session capacity per shard.
@@ -126,6 +149,9 @@ impl FleetConfig {
                 knobs.serve.cache_capacity,
             )
             .with_cache_epsilon(knobs.serve.cache_epsilon),
+            shared_cache_capacity: knobs.shared_cache_capacity,
+            shared_tenant_quota: knobs.shared_tenant_quota,
+            cache_path: knobs.serve.cache_path.as_ref().map(PathBuf::from),
             policy: knobs.policy,
             max_live: knobs.max_live,
             base_slice: knobs.serve.search_slice,
@@ -153,6 +179,11 @@ pub struct FleetResult {
     pub sla_sec: f64,
     /// Scheduler lifecycle counters, summed over shards.
     pub sched: SchedStats,
+    /// Shared cache tier counters (all zero when the tier is disabled). The
+    /// tier's stream is disjoint from the per-shard counters in
+    /// [`FleetResult::metrics`]: a tier-served dispatch is a shard miss
+    /// *and* a tier hit.
+    pub shared: CacheReport,
     /// Router placement counters.
     pub router: RouterStats,
     /// Jobs completed per shard.
@@ -199,26 +230,56 @@ fn gate_is_open(
     }
 }
 
+/// A group's dominant tenant: the most frequent tenant among its arrivals,
+/// smallest index on ties — the tenant the shared tier charges the
+/// published entry to.
+fn dominant_tenant(arrivals: &[Arrival]) -> usize {
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for a in arrivals {
+        *counts.entry(a.tenant).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(tenant, _)| tenant)
+        .unwrap_or(0)
+}
+
 /// Completes a finished (or preempted) session on its shard: stores the
-/// best mapping in the shard's cache, schedules the group at `max(search
-/// end, accelerator free)` and appends the job records.
+/// best mapping in the shard's cache, publishes it to the shared tier (when
+/// one exists) under the group's dominant tenant, schedules the group at
+/// `max(search end, accelerator free)` and appends the job records.
 #[allow(clippy::too_many_arguments)]
 fn complete_session(
     session: LiveSession,
     search_end_sec: f64,
     service: &mut MappingService,
+    shared: Option<&mut SharedCache>,
     accel_free: &mut f64,
     records: &mut Vec<JobRecord>,
     outcomes: &mut Vec<DispatchOutcome>,
     shard_jobs: &mut usize,
 ) {
     let LiveSession { group, plan, problem, state, .. } = session;
+    let key = plan.key().clone();
     let outcome = service.complete_group(&problem, plan, state.finish());
+    if let Some(tier) = shared {
+        tier.publish(
+            key,
+            StoredSolution::new(outcome.mapping.clone(), Some(problem.signatures().to_vec())),
+            dominant_tenant(&group.arrivals),
+        );
+    }
     let exec_start = search_end_sec.max(*accel_free);
     record_group(records, &group, &outcome, group.formed_at_sec, exec_start);
     *accel_free = exec_start + outcome.schedule.makespan_sec();
     *shard_jobs += group.arrivals.len();
     outcomes.push(outcome);
+}
+
+/// The per-shard persistence file a fleet base path expands to.
+fn shard_cache_file(base: &std::path::Path, shard: usize) -> PathBuf {
+    PathBuf::from(format!("{}.shard{shard}", base.display()))
 }
 
 /// Runs one fleet scenario to completion. See the module docs for the event
@@ -276,6 +337,24 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
     ));
     let mut router = ShardRouter::new(shards);
     let mut services: Vec<_> = (0..shards).map(|_| MappingService::new(config.dispatch)).collect();
+    // Warm restart: each shard reloads its own persisted cache file. A
+    // missing file is the normal first run; an unreadable one is reported
+    // and that shard comes up cold.
+    if let Some(base) = &config.cache_path {
+        for (i, service) in services.iter_mut().enumerate() {
+            let file = shard_cache_file(base, i);
+            if file.exists() {
+                match MappingCache::load(&file) {
+                    Ok(cache) => service.install_cache(cache),
+                    Err(e) => {
+                        eprintln!("warning: ignoring mapping cache at {}: {e}", file.display())
+                    }
+                }
+            }
+        }
+    }
+    let mut shared = (config.shared_cache_capacity > 0)
+        .then(|| SharedCache::new(config.shared_cache_capacity, config.shared_tenant_quota));
     let sched_config = SchedulerConfig {
         policy: config.policy,
         max_live: config.max_live,
@@ -341,6 +420,7 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
                         victim,
                         end,
                         &mut services[vs],
+                        shared.as_mut(),
                         &mut accel_free[vs],
                         &mut records,
                         &mut outcomes,
@@ -355,10 +435,16 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
                 let loads: Vec<f64> = (0..shards)
                     .map(|s| scheds[s].backlog() * overhead_sec + (accel_free[s] - t).max(0.0))
                     .collect();
-                let shard = router.place(&key, &loads, &admissible);
+                // A key the shared tier holds is served warm from any
+                // shard, so affinity buys nothing: place purely by load.
+                let shard = if shared.as_ref().is_some_and(|t| t.contains(&key)) {
+                    router.place_balanced(&loads, &admissible)
+                } else {
+                    router.place(&key, &loads, &admissible)
+                };
                 let problem = group_problem(&platforms[shard], &group);
                 let mut rng = StdRng::seed_from_u64(dispatch_seed(config.seed, admitted as usize));
-                let plan = services[shard].plan_group(&problem, &mut rng);
+                let plan = services[shard].plan_group_shared(&problem, &mut rng, shared.as_mut());
                 let budget = plan.budget();
                 let state = services[shard].open_search(&plan, &problem, &mut rng);
                 let deadline_sec = group_deadline(&group.arrivals, mix, sla_sec);
@@ -398,6 +484,7 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
                             *session,
                             end,
                             &mut services[shard],
+                            shared.as_mut(),
                             &mut accel_free[shard],
                             &mut records,
                             &mut outcomes,
@@ -422,6 +509,15 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
         gate_open = open;
     }
     debug_assert_eq!(records.len(), config.requests, "every arrival completes exactly once");
+
+    if let Some(base) = &config.cache_path {
+        for (i, service) in services.iter().enumerate() {
+            let file = shard_cache_file(base, i);
+            if let Err(e) = service.cache().save(&file) {
+                eprintln!("warning: could not persist mapping cache to {}: {e}", file.display());
+            }
+        }
+    }
 
     let mut cache = CacheStats::default();
     let mut entries = 0usize;
@@ -452,11 +548,26 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
         acc.min_slice_clamps += st.min_slice_clamps;
         acc
     });
+    let shared_block = match &shared {
+        Some(tier) => {
+            let s = tier.stats();
+            CacheReport {
+                hits: s.hits,
+                misses: s.misses,
+                near_hits: s.near_hits,
+                evictions: s.evictions,
+                hit_rate: s.hit_rate(),
+                entries: tier.len(),
+            }
+        }
+        None => CacheReport::default(),
+    };
     FleetResult {
         metrics: assemble_metrics(&records, &outcomes, cache_block, mix, sla_sec),
         mean_interarrival_sec: calib.mean_interarrival_sec,
         sla_sec,
         sched,
+        shared: shared_block,
         router: router.stats(),
         per_shard_jobs,
     }
@@ -468,7 +579,8 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
 
 /// Version tag of the fleet report layout. Same contract as
 /// [`crate::report::SCHEMA`]: fields are only ever added, with a bump.
-pub const FLEET_SCHEMA: &str = "magma-fleet/v1";
+/// `v2` added the shared cache tier block (`shared`, `shared_balanced`).
+pub const FLEET_SCHEMA: &str = "magma-fleet/v2";
 
 /// One `(scenario, shard count)` rung of the scaling ladder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -502,6 +614,10 @@ pub struct FleetRung {
     pub sla_violation_rate: f64,
     /// Fleet-wide cache counters (summed over shards).
     pub cache: crate::metrics::CacheReport,
+    /// Shared cache tier counters — disjoint from `cache`: a tier-served
+    /// dispatch is a shard miss *and* a tier hit. All zero when
+    /// `MAGMA_FLEET_SHARED_CACHE=0`.
+    pub shared: crate::metrics::CacheReport,
     /// Fleet-wide dispatch/budget/quality summary.
     pub dispatch: crate::metrics::DispatchSummary,
     /// Sessions admitted across shards.
@@ -522,6 +638,9 @@ pub struct FleetRung {
     pub placed: u64,
     /// Placements that followed signature affinity.
     pub affinity_hits: u64,
+    /// Placements routed purely by load because the shared tier held the
+    /// group's key.
+    pub shared_balanced: u64,
     /// Jobs completed per shard.
     pub per_shard_jobs: Vec<usize>,
     /// Calibrated mean inter-arrival gap, µs of virtual time.
@@ -573,7 +692,7 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
-    /// The `magma-fleet/v1` schema self-check: the versioned invariants CI
+    /// The [`FLEET_SCHEMA`] self-check: the versioned invariants CI
     /// asserts before uploading a profile. Returns the first violation as an
     /// error string.
     pub fn validate(&self) -> Result<(), String> {
@@ -614,6 +733,20 @@ impl FleetReport {
                         scenario.name, rung.shards
                     ));
                 }
+                if rung.shared_balanced > rung.placed {
+                    return Err(format!(
+                        "{} @ {} shards: more shared-balanced placements than placements",
+                        scenario.name, rung.shards
+                    ));
+                }
+                let tier_lookups = rung.shared.hits + rung.shared.misses;
+                if tier_lookups != 0 && tier_lookups != rung.cache.misses {
+                    return Err(format!(
+                        "{} @ {} shards: tier lookups {} != shard misses {} — every shard \
+                         miss probes the enabled tier exactly once",
+                        scenario.name, rung.shards, tier_lookups, rung.cache.misses
+                    ));
+                }
                 if rung.preemptions != rung.preempted_deadline + rung.preempted_value {
                     return Err(format!(
                         "{} @ {} shards: preemption counters inconsistent",
@@ -646,9 +779,10 @@ impl FleetReport {
 ///   2.5×), under the configured policy.
 /// * `deadline_pressure` — the preemption stress: 1.5× that load with the
 ///   SLA tolerance cut to a third and the mapper oversubscribed 1.5×
-///   ([`FleetConfig::mapper_pressure`]), always under the Deadline policy,
-///   so live sessions pile up, deadlines expire mid-search and the
-///   preemption counters exercise.
+///   ([`FleetConfig::mapper_pressure`]), always under the Deadline policy
+///   and with the nearest-key probe off (exact-key hits only), so live
+///   sessions pile up, deadlines expire mid-search and the preemption
+///   counters exercise.
 pub fn fleet_scenarios(knobs: &FleetKnobs) -> Vec<(&'static str, FleetConfig)> {
     let base = |shards| FleetConfig::from_knobs(knobs, shards, Scenario::Poisson);
     let mut pressure = base(knobs.shards);
@@ -656,6 +790,14 @@ pub fn fleet_scenarios(knobs: &FleetKnobs) -> Vec<(&'static str, FleetConfig)> {
     pressure.sla_x = knobs.serve.sla_x / 3.0;
     pressure.policy = FleetPolicy::Deadline;
     pressure.mapper_pressure = 1.5;
+    // The stress must actually pay for cold searches: a nearest-key hit
+    // sidesteps the mapper entirely, and with the calibrated probe on (and
+    // smoke-scale traces warming the cache within a few groups) no deadline
+    // would ever expire mid-search. Exact-key hits stay — repeated groups
+    // are part of the workload — but the probe is off here so the
+    // preemption machinery is exercised regardless of how the cache
+    // defaults are calibrated.
+    pressure.dispatch.cache_epsilon = 0.0;
     vec![("fleet_mix", base(knobs.shards)), ("deadline_pressure", pressure)]
 }
 
@@ -683,6 +825,12 @@ pub fn run_fleet_ladder(knobs: &FleetKnobs, smoke: bool) -> FleetReport {
                 config.shard_settings = (0..shards)
                     .map(|s| knobs.shard_settings[s % knobs.shard_settings.len()])
                     .collect();
+                // Every rung of the ladder starts cold: a persistence file
+                // (`MAGMA_SERVE_CACHE_PATH`) would leak shard caches from
+                // rung to rung and scenario to scenario, invalidating the
+                // scaling comparison. Warm fleet restarts are exercised by
+                // `fleet_simulate` callers and the integration suite.
+                config.cache_path = None;
                 let result = fleet_simulate(&config, &mix);
                 if rungs.is_empty() {
                     base_jobs_per_sec = result.metrics.jobs_per_sec;
@@ -740,6 +888,7 @@ fn rung_from_result(
         sla_violations,
         sla_violation_rate: if m.jobs == 0 { 0.0 } else { sla_violations as f64 / m.jobs as f64 },
         cache: m.cache,
+        shared: result.shared,
         dispatch: m.dispatch,
         admitted: result.sched.admitted,
         completed: result.sched.completed,
@@ -750,6 +899,7 @@ fn rung_from_result(
         min_slice_clamps: result.sched.min_slice_clamps,
         placed: result.router.placed,
         affinity_hits: result.router.affinity_hits,
+        shared_balanced: result.router.shared_balanced,
         per_shard_jobs: result.per_shard_jobs.clone(),
         mean_interarrival_us: result.mean_interarrival_sec * 1e6,
         sla_us: result.sla_sec * 1e6,
@@ -869,6 +1019,8 @@ mod tests {
             "\"late_admissions\"",
             "\"min_slice_clamps\"",
             "\"affinity_hits\"",
+            "\"shared_balanced\"",
+            "\"shared\"",
             "\"per_shard_jobs\"",
         ] {
             assert!(json.contains(key), "missing {key}");
@@ -879,6 +1031,55 @@ mod tests {
         let mut bad = report.clone();
         bad.scenarios[0].rungs[1].speedup_vs_one_shard *= 2.0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn the_shared_tier_serves_cross_shard_repeats() {
+        let knobs = tiny_knobs();
+        let mix = TenantMix::synthetic(knobs.tenants, 0);
+        let tiered_config = FleetConfig::from_knobs(&knobs, 3, Scenario::Poisson);
+        assert!(tiered_config.shared_cache_capacity > 0, "smoke knobs enable the tier");
+        let mut solo_config = tiered_config.clone();
+        solo_config.shared_cache_capacity = 0;
+        let tiered = fleet_simulate(&tiered_config, &mix);
+        let solo = fleet_simulate(&solo_config, &mix);
+        assert!(
+            tiered.shared.hits > 0,
+            "repeated signatures across shards must hit the tier: {:?}",
+            tiered.shared
+        );
+        assert_eq!(solo.shared, CacheReport::default(), "a disabled tier reports zeros");
+        // A tier lookup happens on every shard miss and nowhere else.
+        assert_eq!(tiered.shared.hits + tiered.shared.misses, tiered.metrics.cache.misses);
+        // Cold searches (misses everywhere) can only go down with the tier.
+        assert!(tiered.shared.misses <= solo.metrics.cache.misses);
+    }
+
+    #[test]
+    fn a_persisted_fleet_restarts_warm() {
+        let knobs = tiny_knobs();
+        let mix = TenantMix::synthetic(knobs.tenants, 0);
+        let base = std::env::temp_dir().join(format!("magma_fleet_cache_{}", std::process::id()));
+        let shards = 2;
+        let mut config = FleetConfig::from_knobs(&knobs, shards, Scenario::Poisson);
+        config.cache_path = Some(base.clone());
+        for i in 0..shards {
+            let _ = std::fs::remove_file(shard_cache_file(&base, i));
+        }
+        let cold = fleet_simulate(&config, &mix);
+        let warm = fleet_simulate(&config, &mix);
+        for i in 0..shards {
+            let file = shard_cache_file(&base, i);
+            assert!(file.exists(), "every shard persists its cache");
+            let _ = std::fs::remove_file(file);
+        }
+        assert!(
+            warm.metrics.cache.hit_rate > cold.metrics.cache.hit_rate,
+            "a restart from persisted caches must hit more: warm {} vs cold {}",
+            warm.metrics.cache.hit_rate,
+            cold.metrics.cache.hit_rate
+        );
+        assert_eq!(warm.metrics.jobs, cold.metrics.jobs);
     }
 
     #[test]

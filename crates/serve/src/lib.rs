@@ -25,7 +25,10 @@
 //! * [`trace`] — seeded arrival scenarios over the model zoo's tenants.
 //! * [`batcher`] — admission batching under a group-size/deadline policy.
 //! * [`cache`] — the bounded LRU over quantized [`magma_model::JobSignature`]
-//!   sets, with an optional nearest-key probe for near-matching groups.
+//!   sets, with a nearest-key probe for near-matching groups (threshold
+//!   calibrated by [`sweep`]), serde persistence (`MAGMA_SERVE_CACHE_PATH`
+//!   makes restarts warm) and a fleet-wide [`cache::SharedCache`]
+//!   tier with per-tenant quotas.
 //! * [`dispatch`] — cold search vs adapt-then-refine as *steppable plans*
 //!   (plan → session → complete), both through the parallel batch evaluator
 //!   (`magma_optim::parallel`).
@@ -40,6 +43,9 @@
 //!   (`magma-serve/v2`: both serving modes plus their end-to-end
 //!   comparison, self-checked by
 //!   [`ServeReport::validate`](report::ServeReport::validate)).
+//! * [`sweep`] — the epsilon × refine-budget × quantization calibration
+//!   sweep behind `BENCH_cache.json` (`magma-cache/v1`), whose frontier
+//!   justifies the shipped cache defaults.
 //!
 //! # Fleet serving
 //!
@@ -53,8 +59,9 @@
 //!   round-robin or deadline-aware (EDF + urgency-sized slices), with
 //!   deadline and value **preemption** (early `finish()` of live sessions).
 //! * [`fleet`] — the global event loop gluing trace → batcher → router →
-//!   shards, plus the schema-stable `BENCH_fleet.json` scaling-ladder
-//!   report (`magma-fleet/v1`, self-checked by
+//!   shards (with an optional shared cache tier and per-shard cache
+//!   persistence), plus the schema-stable `BENCH_fleet.json`
+//!   scaling-ladder report (`magma-fleet/v2`, self-checked by
 //!   [`FleetReport::validate`](fleet::FleetReport::validate)).
 //!
 //! # Paper cross-references
@@ -98,10 +105,11 @@ pub mod report;
 pub mod router;
 pub mod scheduler;
 pub mod sim;
+pub mod sweep;
 pub mod trace;
 
 pub use batcher::{AdmissionBatcher, BatchPolicy, DispatchGroup};
-pub use cache::{quantize_signatures, CacheStats, MappingCache, SignatureKey};
+pub use cache::{quantize_signatures, CacheStats, MappingCache, SharedCache, SignatureKey};
 pub use dispatch::{DispatchConfig, DispatchKind, DispatchOutcome, MappingService};
 pub use fleet::{
     fleet_simulate, run_fleet_ladder, write_fleet_json, FleetConfig, FleetReport, FleetResult,
@@ -112,4 +120,5 @@ pub use report::{run_standard_scenarios, ServeReport, SCHEMA};
 pub use router::{RouterStats, ShardRouter};
 pub use scheduler::{SchedStats, SchedulerConfig, SessionScheduler};
 pub use sim::{simulate, SimConfig, SimResult};
+pub use sweep::{run_cache_sweep, write_cache_json, CacheSweepReport, CACHE_SCHEMA};
 pub use trace::{generate_trace, Arrival, Scenario, TraceParams};

@@ -13,8 +13,16 @@ use serde::{Deserialize, Serialize};
 
 /// Nearest-rank percentile of an ascending-sorted sample vector.
 ///
-/// Returns 0.0 for an empty vector; `q` is clamped to `[0, 1]`.
+/// # Contract
+///
+/// `q` must lie in `(0, 1]`: the nearest-rank statistic is undefined at
+/// `q = 0` (there is no 0th-smallest sample) and extrapolates nothing above
+/// the maximum. An out-of-contract quantile is a caller bug — debug builds
+/// panic on it; release builds clamp to the nearest valid rank so a stray
+/// quantile degrades instead of crashing a serving fleet. Returns 0.0 for
+/// an empty vector.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(q > 0.0 && q <= 1.0, "percentile quantile must lie in (0, 1], got {q}");
     if sorted.is_empty() {
         return 0.0;
     }
@@ -81,7 +89,7 @@ pub struct TenantReport {
 }
 
 /// Cache summary in the emitted report.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheReport {
     /// Lookup hits (exact-key and nearest-key combined).
     pub hits: u64,
@@ -206,10 +214,31 @@ mod tests {
         assert_eq!(percentile(&v, 0.50), 50.0);
         assert_eq!(percentile(&v, 0.95), 95.0);
         assert_eq!(percentile(&v, 0.99), 99.0);
-        assert_eq!(percentile(&v, 1.0), 100.0);
-        assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn percentile_contract_boundaries() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        // The closed upper boundary is in contract and returns the maximum.
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        // Any in-contract quantile, however tiny, resolves to rank 1 — the
+        // open lower boundary never reaches a "0th smallest" sample.
+        assert_eq!(percentile(&v, 1e-12), 1.0);
+        assert_eq!(percentile(&v, 0.01), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn percentile_rejects_a_zero_quantile() {
+        let _ = percentile(&[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn percentile_rejects_a_quantile_above_one() {
+        let _ = percentile(&[1.0, 2.0], 1.5);
     }
 
     #[test]

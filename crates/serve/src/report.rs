@@ -192,7 +192,13 @@ fn run_ladder(knobs: &ServeKnobs, smoke: bool, overlap: bool) -> Vec<ScenarioRes
     standard_scenarios(smoke)
         .into_iter()
         .map(|(name, scenario, mix)| {
-            let config = SimConfig::from_knobs(knobs, scenario).with_overlap(overlap);
+            let mut config = SimConfig::from_knobs(knobs, scenario).with_overlap(overlap);
+            // The report's acceptance criteria assume every scenario starts
+            // cold; a persistence file (`MAGMA_SERVE_CACHE_PATH`) would leak
+            // cache state across scenarios and ladders. Warm restarts are
+            // exercised by `sim::simulate` callers and the integration
+            // suites, never by the standard report.
+            config.cache_path = None;
             let result = simulate(&config, &mix);
             ScenarioResult {
                 name: name.to_string(),

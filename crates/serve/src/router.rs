@@ -29,6 +29,10 @@ pub struct RouterStats {
     pub placed: u64,
     /// Placements that followed a sticky affinity entry.
     pub affinity_hits: u64,
+    /// Placements routed purely by load because the fleet's shared cache
+    /// tier already held the group's exact key (see
+    /// [`ShardRouter::place_balanced`]).
+    pub shared_balanced: u64,
 }
 
 /// The shard placement engine. See the module docs for the policy.
@@ -103,6 +107,26 @@ impl ShardRouter {
         self.per_shard[chosen] += 1;
         chosen
     }
+
+    /// Places a group purely by load, ignoring (and not re-pinning) any
+    /// affinity entry. The fleet loop calls this when its shared cache tier
+    /// holds the group's exact key: every shard then serves the group warm
+    /// through the tier fallthrough, so cache affinity buys nothing and the
+    /// least-loaded admissible shard (lowest index on ties) is strictly
+    /// better. Counted as [`RouterStats::shared_balanced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ShardRouter::place`].
+    pub fn place_balanced(&mut self, load: &[f64], admissible: &[bool]) -> usize {
+        assert_eq!(load.len(), self.shards, "one load entry per shard");
+        assert_eq!(admissible.len(), self.shards, "one admissibility flag per shard");
+        let chosen = least_loaded(load, admissible).expect("at least one admissible shard");
+        self.stats.shared_balanced += 1;
+        self.stats.placed += 1;
+        self.per_shard[chosen] += 1;
+        chosen
+    }
 }
 
 /// The admissible shard with the smallest load; lowest index wins ties
@@ -167,6 +191,21 @@ mod tests {
         // Shard 0 is full: the key moves to shard 1 and re-pins there.
         assert_eq!(r.place(&key(3), &[0.0, 1.0], &[false, true]), 1);
         assert_eq!(r.place(&key(3), &[0.0, 9.0], &[true, true]), 1, "re-pinned");
+    }
+
+    #[test]
+    fn shared_keys_balance_by_load_without_touching_affinity() {
+        let mut r = ShardRouter::new(3);
+        let all = [true, true, true];
+        // The key pins to shard 0 on first sight ...
+        assert_eq!(r.place(&key(2), &[0.0, 1.0, 1.0], &all), 0);
+        // ... but while the shared tier holds it, load wins over affinity.
+        assert_eq!(r.place_balanced(&[5.0, 0.5, 1.0], &all), 1);
+        assert_eq!(r.stats().shared_balanced, 1);
+        // The balanced placement did not re-pin: affinity still says 0.
+        assert_eq!(r.place(&key(2), &[9.0, 0.0, 0.0], &all), 0);
+        assert_eq!(r.stats().affinity_hits, 1);
+        assert_eq!(r.stats().placed, 3);
     }
 
     #[test]

@@ -42,6 +42,12 @@ use magma_optim::SessionState;
 use magma_platform::settings::FleetPolicy;
 use rand::rngs::StdRng;
 
+/// Positive floor applied to a session's deadline headroom before the
+/// urgency division in deadline slice sizing — a picosecond, far below any
+/// virtual-clock resolution the simulators use, so it only ever matters as
+/// a division guard.
+const MIN_HEADROOM_SEC: f64 = 1e-12;
+
 /// Tuning of one shard's scheduler (derived from the `MAGMA_FLEET_*` knob
 /// family by the fleet loop).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -289,14 +295,25 @@ impl SessionScheduler {
                 let headroom = session.deadline_sec - now_sec;
                 if headroom <= 0.0 {
                     // Already late: spend the floor, no more — the next
-                    // selection preempts it.
+                    // selection preempts it. This branch, not the division
+                    // below, must absorb every non-positive headroom.
                     self.stats.min_slice_clamps += 1;
                     self.config.min_slice.min(remaining)
                 } else {
                     // Urgency = fraction of the headroom the rest of the
                     // search would occupy; 1 means "sprint to the budget".
+                    // The headroom is positive here but can be arbitrarily
+                    // tiny, so it is floored before the division and the
+                    // ratio clamped into (0, 1] — no sub-floor headroom or
+                    // zero per-sample overhead can yield an infinite, NaN
+                    // or zero slice scale.
+                    let headroom = headroom.max(MIN_HEADROOM_SEC);
                     let cost = remaining as f64 * self.config.overhead_sec_per_sample;
-                    let urgency = (cost / headroom).min(1.0);
+                    let urgency = (cost / headroom).clamp(f64::MIN_POSITIVE, 1.0);
+                    debug_assert!(
+                        urgency > 0.0 && urgency <= 1.0,
+                        "urgency must lie in (0, 1], got {urgency}"
+                    );
                     let sized = (remaining as f64 * urgency).ceil() as usize;
                     sized.max(self.config.min_slice).min(remaining)
                 }
@@ -455,6 +472,43 @@ mod tests {
                 assert!(outcome.history.num_samples() > 0);
             }
             _ => panic!("a late session is preempted at its next selection"),
+        }
+    }
+
+    #[test]
+    fn deadline_slice_sizing_survives_every_headroom_edge() {
+        // (a) Exactly at the deadline (headroom == 0): the clamp branch, not
+        // the division, must absorb it — floor slice, clamp counted.
+        let mut sched = SessionScheduler::new(config(FleetPolicy::Deadline));
+        sched.admit(live(0, 256, 5.0, 1.0), 0.0);
+        match sched.step(5.0) {
+            SchedStep::Progress { spent } => assert_eq!(spent, 4, "the min_slice floor"),
+            _ => panic!("an at-deadline session still gets its floor step"),
+        }
+        assert_eq!(sched.stats().min_slice_clamps, 1);
+
+        // (b) Vanishingly small positive headroom: urgency saturates at 1
+        // (never infinite or NaN) and the slice sprints to the remaining
+        // budget in one finite step.
+        let mut sched = SessionScheduler::new(config(FleetPolicy::Deadline));
+        sched.admit(live(0, 64, 5.0, 1.0), 0.0);
+        match sched.step(5.0 - 1e-15) {
+            SchedStep::Finished { preempted, .. } => assert!(!preempted, "ran to budget"),
+            SchedStep::Progress { spent } => panic!("expected a full-budget sprint, got {spent}"),
+            SchedStep::Idle => panic!("a session was admitted"),
+        }
+        assert_eq!(sched.stats().min_slice_clamps, 0, "positive headroom never clamps");
+
+        // (c) Zero per-sample overhead: urgency is floored into (0, 1]
+        // instead of collapsing to 0, and the slice lands on the floor.
+        let mut sched = SessionScheduler::new(SchedulerConfig {
+            overhead_sec_per_sample: 0.0,
+            ..config(FleetPolicy::Deadline)
+        });
+        sched.admit(live(0, 256, 1000.0, 1.0), 0.0);
+        match sched.step(0.0) {
+            SchedStep::Progress { spent } => assert_eq!(spent, 4, "a relaxed session trickles"),
+            _ => panic!("a relaxed session must progress at the floor slice"),
         }
     }
 

@@ -47,6 +47,7 @@
 //! system, times a tolerance factor.
 
 use crate::batcher::{AdmissionBatcher, BatchPolicy, DispatchGroup};
+use crate::cache::MappingCache;
 use crate::dispatch::{DispatchConfig, DispatchOutcome, MappingService};
 use crate::metrics::{CacheReport, DispatchSummary, LatencyStats, ServeMetrics, TenantReport};
 use crate::trace::{generate_trace, Scenario, TraceParams};
@@ -85,6 +86,10 @@ pub struct SimConfig {
     pub search_slice: usize,
     /// Search budgets and cache geometry.
     pub dispatch: DispatchConfig,
+    /// Mapping-cache persistence file (`MAGMA_SERVE_CACHE_PATH`): loaded —
+    /// if present — before the run, saved back after it, so a restarted
+    /// simulator starts warm. `None` keeps the cache in-memory only.
+    pub cache_path: Option<std::path::PathBuf>,
     /// Trace/search seed.
     pub seed: u64,
 }
@@ -112,6 +117,7 @@ impl SimConfig {
                 knobs.cache_capacity,
             )
             .with_cache_epsilon(knobs.cache_epsilon),
+            cache_path: knobs.cache_path.as_ref().map(std::path::PathBuf::from),
             seed: knobs.seed,
         }
     }
@@ -120,6 +126,14 @@ impl SimConfig {
     /// layer to run the same scenario in both modes).
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// This config with cache persistence at `path` (what
+    /// `MAGMA_SERVE_CACHE_PATH` maps to; the warm-restart tests set it
+    /// directly).
+    pub fn with_cache_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
         self
     }
 }
@@ -224,12 +238,31 @@ pub fn simulate(config: &SimConfig, mix: &TenantMix) -> SimResult {
         config.max_wait_x * batch_window_sec,
     ));
     let mut service = MappingService::new(config.dispatch);
+    // Warm restart: install a persisted cache when one exists. A missing
+    // file is the normal first run; an unreadable one is reported and
+    // ignored (a serving fleet must come up cold rather than not at all).
+    if let Some(path) = &config.cache_path {
+        if path.exists() {
+            match MappingCache::load(path) {
+                Ok(cache) => service.install_cache(cache),
+                Err(e) => {
+                    eprintln!("warning: ignoring mapping cache at {}: {e}", path.display())
+                }
+            }
+        }
+    }
 
     let (records, outcomes) = if config.overlap {
         run_overlap(config, &platform, trace, batcher, &mut service)
     } else {
         run_legacy(config, &platform, trace, batcher, &mut service)
     };
+
+    if let Some(path) = &config.cache_path {
+        if let Err(e) = service.cache().save(path) {
+            eprintln!("warning: could not persist mapping cache to {}: {e}", path.display());
+        }
+    }
 
     let metrics = assemble_metrics(&records, &outcomes, cache_report(&service), mix, sla_sec);
     SimResult { metrics, mean_interarrival_sec, sla_sec }
@@ -512,6 +545,7 @@ mod tests {
             overlap: false,
             search_slice: 8,
             dispatch: DispatchConfig::new(40, 4, 1.0, 16),
+            cache_path: None,
             seed,
         }
     }

@@ -72,7 +72,7 @@ fn fleet_report_validates_and_survives_a_serde_round_trip() {
     let report: magma_serve::FleetReport =
         serde_json::from_str(&json).expect("report deserializes");
     assert_eq!(report.schema, magma_serve::FLEET_SCHEMA);
-    report.validate().expect("the magma-fleet/v1 self-check holds after a round trip");
+    report.validate().expect("the fleet schema self-check holds after a round trip");
     assert_eq!(serde_json::to_string_pretty(&report).unwrap(), json);
 }
 
@@ -119,6 +119,11 @@ fn one_shard_uniform_fleet_matches_the_single_queue_simulator_exactly() {
             policy: FleetPolicy::Uniform,
             min_slice: 4,
             preempt_margin: 0.0,
+            // The shared tier and the single-queue simulator are different
+            // machines: the degenerate-fleet equivalence only holds with
+            // the tier off.
+            shared_cache_capacity: 0,
+            shared_tenant_quota: 0,
         };
         let fleet = fleet_simulate(&FleetConfig::from_knobs(&fleet_knobs, 1, scenario), &mix);
         assert_eq!(
@@ -145,6 +150,11 @@ fn deadline_preemption_fires_and_preempted_groups_still_complete() {
     config.sla_x = knobs.serve.sla_x / 3.0;
     config.policy = FleetPolicy::Deadline;
     config.mapper_pressure = 1.5;
+    // This test pins the preemption path, which needs a cold-search-
+    // dominated mapper: the shared tier and the nearest-key probe turn most
+    // searches into cheap refinements at this scale, so switch them off.
+    config.shared_cache_capacity = 0;
+    config.dispatch.cache_epsilon = 0.0;
     let mix = TenantMix::synthetic(knobs.tenants, 0);
     let result = with_threads(2, || fleet_simulate(&config, &mix));
     assert!(
@@ -191,6 +201,59 @@ fn past_deadline_admissions_degrade_gracefully() {
     assert!(result.sched.preempted_deadline > 0, "and are then early-finished");
     let violations: usize = result.metrics.tenants.iter().map(|t| t.sla_violations).sum();
     assert!(violations > 0, "blown deadlines surface as SLA violations, not panics");
+}
+
+/// The fleet warm-restart contract: every shard persists its cache to
+/// `<path>.shard<i>`, a restarted fleet reloads them and hits more than the
+/// cold run — and restarts from the same persisted files are bit-identical
+/// whatever `MAGMA_THREADS` says (shared tier, router and scheduler
+/// counters included).
+#[test]
+fn a_persisted_fleet_cache_restart_is_warm_and_thread_invariant() {
+    let knobs = test_knobs();
+    let mix = TenantMix::synthetic(knobs.tenants, 0);
+    let shards = 2;
+    let dir = std::env::temp_dir();
+    let tag = format!("magma_fleet_it_{}", std::process::id());
+    let shard_file = |base: &std::path::Path, i: usize| {
+        std::path::PathBuf::from(format!("{}.shard{i}", base.display()))
+    };
+    let seed_base = dir.join(format!("{tag}_seed"));
+    for i in 0..shards {
+        let _ = std::fs::remove_file(shard_file(&seed_base, i));
+    }
+    let mut config = FleetConfig::from_knobs(&knobs, shards, Scenario::Poisson);
+    config.cache_path = Some(seed_base.clone());
+    let cold = with_threads(2, || fleet_simulate(&config, &mix));
+    let warm_run = |name: &str, threads: usize| {
+        let base = dir.join(format!("{tag}_{name}"));
+        for i in 0..shards {
+            std::fs::copy(shard_file(&seed_base, i), shard_file(&base, i))
+                .expect("the persisted shard caches copy");
+        }
+        let mut warm_config = config.clone();
+        warm_config.cache_path = Some(base.clone());
+        let result = with_threads(threads, || fleet_simulate(&warm_config, &mix));
+        for i in 0..shards {
+            let _ = std::fs::remove_file(shard_file(&base, i));
+        }
+        result
+    };
+    let warm_serial = warm_run("t1", 1);
+    let warm_parallel = warm_run("t4", 4);
+    for i in 0..shards {
+        let _ = std::fs::remove_file(shard_file(&seed_base, i));
+    }
+    assert!(
+        warm_serial.metrics.cache.hit_rate > cold.metrics.cache.hit_rate,
+        "a fleet restart from persisted shard caches must hit more: warm {} vs cold {}",
+        warm_serial.metrics.cache.hit_rate,
+        cold.metrics.cache.hit_rate
+    );
+    assert_eq!(
+        warm_serial, warm_parallel,
+        "a reloaded fleet must reproduce identical results across MAGMA_THREADS"
+    );
 }
 
 // ---------------------------------------------------------------------------

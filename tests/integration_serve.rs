@@ -125,6 +125,50 @@ fn overlap_mode_beats_legacy_end_to_end_on_the_repeated_tenant_trace() {
     report.validate().expect("self-check");
 }
 
+/// The warm-restart contract of `MAGMA_SERVE_CACHE_PATH`: a run persists
+/// its mapping cache, a restart loads it and serves strictly more hits than
+/// the cold run did — and two restarts from the same persisted file are
+/// bit-identical whatever `MAGMA_THREADS` says.
+#[test]
+fn a_persisted_cache_restart_is_warm_and_thread_invariant() {
+    use magma_model::TenantMix;
+    use magma_serve::sim::{simulate, SimConfig};
+    use magma_serve::trace::Scenario;
+
+    let knobs = test_knobs();
+    let mix = TenantMix::synthetic(8, knobs.seed);
+    let dir = std::env::temp_dir();
+    let seed_file = dir.join(format!("magma_serve_cache_seed_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&seed_file);
+    let base = SimConfig::from_knobs(&knobs, Scenario::Poisson);
+    // First run: starts cold, persists its cache on exit.
+    let cold = with_threads(2, || simulate(&base.clone().with_cache_path(&seed_file), &mix));
+    // Every restart loads its own copy of the persisted file — a run
+    // overwrites its cache file on exit, so copies keep the restarts
+    // independent and comparable.
+    let warm_run = |tag: &str, threads: usize| {
+        let copy = dir.join(format!("magma_serve_cache_{tag}_{}.json", std::process::id()));
+        std::fs::copy(&seed_file, &copy).expect("the persisted cache copies");
+        let result = with_threads(threads, || simulate(&base.clone().with_cache_path(&copy), &mix));
+        let _ = std::fs::remove_file(copy);
+        result
+    };
+    let warm_serial = warm_run("t1", 1);
+    let warm_parallel = warm_run("t4", 4);
+    let _ = std::fs::remove_file(&seed_file);
+    assert!(
+        warm_serial.metrics.cache.hit_rate > cold.metrics.cache.hit_rate,
+        "a restart from the persisted cache must hit more: warm {} vs cold {}",
+        warm_serial.metrics.cache.hit_rate,
+        cold.metrics.cache.hit_rate
+    );
+    assert!(warm_serial.metrics.cache.hits > cold.metrics.cache.hits);
+    assert_eq!(
+        warm_serial.metrics, warm_parallel.metrics,
+        "a reloaded cache must reproduce identical metrics across MAGMA_THREADS"
+    );
+}
+
 #[test]
 fn every_scenario_completes_all_requests_with_sane_profiles() {
     let report = with_threads(2, || run_standard_scenarios(&test_knobs(), true));
