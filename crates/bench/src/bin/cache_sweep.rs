@@ -7,14 +7,20 @@
 //! mix trace, prints the measured frontier (hit rate, near-hit share, hit
 //! quality vs cold search, end-to-end latency per point) plus a
 //! `MAGMA_SIGNATURE_PROFILE` on/off A/B at the shipped knob point, and
-//! writes the schema-stable `BENCH_cache.json` (schema `magma-cache/v1`,
+//! writes the schema-stable `BENCH_cache.json` (schema `magma-cache/v2`,
 //! self-checked via `CacheSweepReport::validate`).
 //!
-//! The run doubles as an acceptance check and panics on regression: a
-//! calibrated point must exist (near-hit quality ≥ 0.95× cold search at
+//! With `--scenario <file>` the sweep's trace comes from a registry
+//! scenario (`magma-registry`) instead of the standard Poisson mix, and
+//! the report embeds the resolved scenario descriptor.
+//!
+//! The builtin run doubles as an acceptance check and panics on regression:
+//! a calibrated point must exist (near-hit quality ≥ 0.95× cold search at
 //! ≤ 0.25× of the cold budget), and in full mode the shipped defaults must
 //! be that calibrated point — so a default that the frontier no longer
-//! justifies fails CI instead of shipping silently.
+//! justifies fails CI instead of shipping silently. Registry scenarios
+//! skip that gate — their frontier is the scenario's, not the shipped
+//! defaults'.
 //!
 //! # Knobs
 //!
@@ -22,15 +28,18 @@
 //! |---|---|
 //! | `--smoke` / `MAGMA_SERVE_MODE=smoke` | CI scale: tiny grid (probe off vs shipped epsilon) |
 //! | `MAGMA_SERVE_*` | the underlying serving knobs (trace size, budgets, seed) |
+//! | `--scenario <file>` | sweep on a registry scenario's trace instead of the standard Poisson mix |
+//! | `MAGMA_SCENARIO_DIR` | registry root the scenario's references resolve against (default `scenarios/`) |
 //! | `MAGMA_THREADS` | evaluation worker threads — wall-clock only, the report never changes |
 //! | `MAGMA_BENCH_DIR` | output directory of `BENCH_cache.json` |
 
-use magma_serve::sweep::{run_cache_sweep, write_cache_json, SweepPoint};
+use magma_serve::sweep::{run_cache_sweep, run_cache_sweep_custom, write_cache_json, SweepPoint};
 use magma_serve::CacheSweepReport;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("MAGMA_SERVE_MODE").map(|v| v == "smoke").unwrap_or(false);
+    let scenario = magma_bench::scenario_arg();
     let knobs = magma::platform::settings::ServeKnobs::from_env(smoke);
     println!("==============================================================");
     println!("cache_sweep — mapping-cache calibration (magma-serve)");
@@ -49,9 +58,23 @@ fn main() {
     );
     println!("==============================================================");
 
-    let report = run_cache_sweep(&knobs, smoke, true);
+    let report = match &scenario {
+        Some(path) => {
+            let resolved = magma_bench::resolve_scenario_or_exit(path);
+            println!(
+                "registry scenario {:?}: platform {} ({} cores), {} tenants, descriptor {}",
+                resolved.name,
+                resolved.platform.name(),
+                resolved.platform_def.core_count(),
+                resolved.mix.len(),
+                resolved.descriptor.content_hash
+            );
+            run_cache_sweep_custom(&knobs, smoke, true, &resolved.custom())
+        }
+        None => run_cache_sweep(&knobs, smoke, true),
+    };
     if let Err(violation) = report.validate() {
-        eprintln!("magma-cache/v1 schema self-check failed: {violation}");
+        eprintln!("magma-cache/v2 schema self-check failed: {violation}");
         std::process::exit(1);
     }
     print_report(&report);
@@ -65,7 +88,9 @@ fn main() {
             std::process::exit(1);
         }
     }
-    check_acceptance(&report, smoke);
+    if scenario.is_none() {
+        check_acceptance(&report, smoke);
+    }
 }
 
 fn print_point(p: &SweepPoint, marker: &str) {

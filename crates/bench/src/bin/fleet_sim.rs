@@ -8,12 +8,18 @@
 //! stress (higher load, SLAs cut to a third, the mapper oversubscribed) —
 //! over a shard-count ladder, prints a throughput/latency/preemption
 //! profile per rung and writes the schema-stable `BENCH_fleet.json`
-//! (schema `magma-fleet/v2`, self-checked via `FleetReport::validate`).
+//! (schema `magma-fleet/v3`, self-checked via `FleetReport::validate`).
 //!
-//! The run doubles as an acceptance check and panics on regression: the
-//! widest `fleet_mix` rung must beat the 1-shard rung's throughput, and the
-//! `deadline_pressure` scenario must actually preempt (a nonzero
-//! deadline-preemption counter at its widest rung).
+//! With `--scenario <file>` the standard set is replaced by a registry
+//! scenario (`magma-registry`): every shard runs the file's platform, the
+//! trace follows its tenant mix and traffic block, and the report embeds
+//! the resolved scenario descriptor.
+//!
+//! The builtin run doubles as an acceptance check and panics on regression:
+//! the widest `fleet_mix` rung must beat the 1-shard rung's throughput, and
+//! the `deadline_pressure` scenario must actually preempt (a nonzero
+//! deadline-preemption counter at its widest rung). Registry scenarios skip
+//! that gate.
 //!
 //! # Knobs
 //!
@@ -33,15 +39,20 @@
 //! | `MAGMA_FLEET_TENANT_QUOTA` | per-tenant entry quota over the shared tier (0 = unlimited) |
 //! | `MAGMA_SERVE_CACHE_PATH` | per-shard cache persistence at `<path>.shard<i>` |
 //! | `MAGMA_SERVE_*` | the underlying serving knobs (budgets, cache, SLA, seed) |
+//! | `--scenario <file>` | run a registry scenario file instead of the standard set |
+//! | `MAGMA_SCENARIO_DIR` | registry root the scenario's references resolve against (default `scenarios/`) |
 //! | `MAGMA_THREADS` | evaluation worker threads — wall-clock only, the report never changes |
 //! | `MAGMA_BENCH_DIR` | output directory of `BENCH_fleet.json` |
 
-use magma_serve::fleet::{run_fleet_ladder, write_fleet_json, FleetRung, FleetScenarioResult};
+use magma_serve::fleet::{
+    run_fleet_custom, run_fleet_ladder, write_fleet_json, FleetRung, FleetScenarioResult,
+};
 use magma_serve::FleetReport;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("MAGMA_FLEET_MODE").map(|v| v == "smoke").unwrap_or(false);
+    let scenario = magma_bench::scenario_arg();
     let knobs = magma::platform::settings::FleetKnobs::from_env(smoke);
     println!("==============================================================");
     println!("fleet_sim — fleet-scale multi-shard serving (magma-serve)");
@@ -62,13 +73,30 @@ fn main() {
     );
     println!("==============================================================");
 
-    let report = run_fleet_ladder(&knobs, smoke);
+    let report = match &scenario {
+        Some(path) => {
+            let resolved = magma_bench::resolve_scenario_or_exit(path);
+            println!(
+                "registry scenario {:?}: platform {} ({} cores) on every shard, {} tenants, \
+                 descriptor {}",
+                resolved.name,
+                resolved.platform.name(),
+                resolved.platform_def.core_count(),
+                resolved.mix.len(),
+                resolved.descriptor.content_hash
+            );
+            run_fleet_custom(&knobs, smoke, &resolved.custom())
+        }
+        None => run_fleet_ladder(&knobs, smoke),
+    };
     if let Err(violation) = report.validate() {
-        eprintln!("magma-fleet/v2 schema self-check failed: {violation}");
+        eprintln!("magma-fleet/v3 schema self-check failed: {violation}");
         std::process::exit(1);
     }
     print_report(&report);
-    check_acceptance(&report);
+    if scenario.is_none() {
+        check_acceptance(&report);
+    }
 
     match write_fleet_json(&report) {
         Ok(path) => println!("\n(fleet profile written to {})", path.display()),

@@ -1,0 +1,134 @@
+//! `scenario_gen` — the scenario-registry generator and checker
+//! (`magma-registry`; not a paper artefact).
+//!
+//! Two modes:
+//!
+//! * **generate** (default, `--out <dir>` to override the target): sweeps
+//!   the design space — Table III's S1–S6 plus edge-SoC duos through
+//!   64-core asymmetric-bandwidth meshes, weighted/synthetic tenant mixes,
+//!   steady / flash-crowd / model-release-day traffic — and (re)writes the
+//!   full registry tree of JSON definition files. The committed
+//!   `scenarios/` tree is exactly this output; regenerate it instead of
+//!   hand-editing.
+//! * **check** (`--check [dir]`): loads and fully validates every
+//!   committed definition (schema tags, ranges, cross-references), resolves
+//!   every scenario into a runnable value, and exits nonzero with the
+//!   registry's actionable error on the first rejection — CI's
+//!   `registry_check` gate.
+//!
+//! # Knobs
+//!
+//! | Flag / variable | Effect |
+//! |---|---|
+//! | `--out <dir>` | generate the tree under `<dir>` (default: the registry root) |
+//! | `--check [dir]` | validate an existing tree instead of generating |
+//! | `MAGMA_SCENARIO_DIR` | default registry root (default `scenarios/`) |
+
+use std::path::PathBuf;
+
+use magma_registry::{gen, magma_scenario_dir, Registry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut dir: Option<PathBuf> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check" => {
+                check = true;
+                if let Some(next) = iter.peek() {
+                    if !next.starts_with("--") {
+                        dir = Some(PathBuf::from(iter.next().unwrap()));
+                    }
+                }
+            }
+            "--out" => match iter.next() {
+                Some(path) => dir = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?} (expected --check [dir] or --out <dir>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = dir.unwrap_or_else(magma_scenario_dir);
+
+    if check {
+        run_check(&root);
+    } else {
+        run_generate(&root);
+    }
+}
+
+/// Validates every definition under `root` and resolves every scenario.
+fn run_check(root: &std::path::Path) {
+    println!("scenario_gen --check: validating registry tree at {}", root.display());
+    let registry = match Registry::load_dir(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = registry.stats();
+    for name in registry.scenario_names() {
+        match registry.resolve(&name) {
+            Ok(resolved) => {
+                if let Err(e) = resolved.descriptor.validate() {
+                    eprintln!("scenario {name:?}: descriptor self-check failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "OK: {} platforms, {} mixes, {} scenarios — all valid, all scenarios resolve",
+        stats.platforms, stats.mixes, stats.scenarios
+    );
+    println!("platforms: {}", registry.platform_names().join(", "));
+    println!("mixes:     {}", registry.mix_names().join(", "));
+    println!("scenarios: {}", registry.scenario_names().join(", "));
+}
+
+/// Writes the full builtin + generated tree under `root` and re-validates
+/// the result.
+fn run_generate(root: &std::path::Path) {
+    println!("scenario_gen: writing registry tree under {}", root.display());
+    let written = match gen::write_tree(root) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("could not write the registry tree: {e}");
+            std::process::exit(1);
+        }
+    };
+    for path in &written {
+        println!("  wrote {}", path.display());
+    }
+    // A generator that emits something its own loader rejects is a bug —
+    // re-validate what was just written.
+    match Registry::load_dir(root) {
+        Ok(registry) => {
+            let stats = registry.stats();
+            println!(
+                "wrote {} files: {} platforms, {} mixes, {} scenarios (all re-validated)",
+                written.len(),
+                stats.platforms,
+                stats.mixes,
+                stats.scenarios
+            );
+        }
+        Err(e) => {
+            eprintln!("generated tree failed its own validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}

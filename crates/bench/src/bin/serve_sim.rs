@@ -9,14 +9,20 @@
 //! accelerator execution through the steppable session API; legacy: the
 //! serial baseline), prints a latency/throughput/cache profile per scenario
 //! plus the overlap-vs-legacy comparison, and writes the schema-stable
-//! `BENCH_serve.json` (schema `magma-serve/v2`, self-checked via
+//! `BENCH_serve.json` (schema `magma-serve/v3`, self-checked via
 //! `ServeReport::validate`).
 //!
-//! The run doubles as an acceptance check and panics on regression (so CI
-//! can never silently lose either win): on the repeated-tenant scenario the
-//! cache-hit dispatches must reach ≥ 90% of the cold-search throughput while
-//! spending ≤ 10% of the cold sample budget, and overlap mode must report a
-//! strictly lower mean end-to-end latency than legacy mode.
+//! With `--scenario <file>` the builtin ladder is replaced by a scenario
+//! from the registry (`magma-registry`): the file's platform / tenant-mix /
+//! traffic definitions are validated, resolved and run in both serving
+//! modes, and the report embeds the resolved scenario descriptor.
+//!
+//! The builtin run doubles as an acceptance check and panics on regression
+//! (so CI can never silently lose either win): on the repeated-tenant
+//! scenario the cache-hit dispatches must reach ≥ 90% of the cold-search
+//! throughput while spending ≤ 10% of the cold sample budget, and overlap
+//! mode must report a strictly lower mean end-to-end latency than legacy
+//! mode. Registry scenarios skip the ladder-specific acceptance gate.
 //!
 //! # Knobs
 //!
@@ -37,16 +43,21 @@
 //! | `MAGMA_SERVE_OVERLAP` | `0` makes legacy the primary ladder (both are always simulated) |
 //! | `MAGMA_SERVE_SLICE` | samples per search slice in overlap mode (result-invariant) |
 //! | `MAGMA_SERVE_SEED` | trace/search seed |
+//! | `--scenario <file>` | run a registry scenario file instead of the builtin ladder |
+//! | `MAGMA_SCENARIO_DIR` | registry root the scenario's references resolve against (default `scenarios/`) |
 //! | `MAGMA_THREADS` | evaluation worker threads — wall-clock only, the report never changes |
 //! | `MAGMA_BENCH_DIR` | output directory of `BENCH_serve.json` |
 
 use magma_serve::metrics::LatencyStats;
-use magma_serve::report::{run_standard_scenarios, write_bench_json, ScenarioResult};
+use magma_serve::report::{
+    run_custom_scenario, run_standard_scenarios, write_bench_json, ScenarioResult,
+};
 use magma_serve::ServeReport;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("MAGMA_SERVE_MODE").map(|v| v == "smoke").unwrap_or(false);
+    let scenario = magma_bench::scenario_arg();
     let knobs = magma::platform::settings::ServeKnobs::from_env(smoke);
     println!("==============================================================");
     println!("serve_sim — online multi-tenant serving (magma-serve)");
@@ -70,13 +81,31 @@ fn main() {
     );
     println!("==============================================================");
 
-    let report = run_standard_scenarios(&knobs, smoke);
+    let report = match &scenario {
+        Some(path) => {
+            let resolved = magma_bench::resolve_scenario_or_exit(path);
+            println!(
+                "registry scenario {:?}: platform {} ({} cores), {} tenants, {} arrivals, \
+                 descriptor {}",
+                resolved.name,
+                resolved.platform.name(),
+                resolved.platform_def.core_count(),
+                resolved.mix.len(),
+                resolved.requests.unwrap_or(knobs.requests),
+                resolved.descriptor.content_hash
+            );
+            run_custom_scenario(&knobs, smoke, &resolved.custom())
+        }
+        None => run_standard_scenarios(&knobs, smoke),
+    };
     if let Err(violation) = report.validate() {
-        eprintln!("magma-serve/v2 schema self-check failed: {violation}");
+        eprintln!("magma-serve/v3 schema self-check failed: {violation}");
         std::process::exit(1);
     }
     print_report(&report);
-    check_acceptance(&report);
+    if scenario.is_none() {
+        check_acceptance(&report);
+    }
 
     match write_bench_json(&report) {
         Ok(path) => println!("\n(serving profile written to {})", path.display()),

@@ -84,6 +84,41 @@ impl Scale {
     }
 }
 
+/// Parses the shared `--scenario <file>` flag of the serving binaries
+/// (`serve_sim` / `fleet_sim` / `cache_sweep`): the path of a registry
+/// scenario definition to run instead of the builtin ladder. Exits with an
+/// actionable error when the flag is present without a path.
+pub fn scenario_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--scenario" {
+            match args.next() {
+                Some(path) => return Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--scenario requires a path to a registry scenario file");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--scenario=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Resolves a `--scenario` path against the registry
+/// (`MAGMA_SCENARIO_DIR`, default `scenarios/`), exiting with the
+/// registry's actionable error on any rejection.
+pub fn resolve_scenario_or_exit(path: &std::path::Path) -> magma_registry::ResolvedScenario {
+    match magma_registry::resolve_scenario_file(path) {
+        Ok(resolved) => resolved,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Prints a banner naming the experiment and the scale it runs at.
 pub fn banner(title: &str, scale: &Scale) {
     println!("==============================================================");

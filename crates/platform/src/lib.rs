@@ -36,4 +36,4 @@ pub mod platform;
 pub mod settings;
 
 pub use platform::AcceleratorPlatform;
-pub use settings::Setting;
+pub use settings::{PlatformSpec, Setting};

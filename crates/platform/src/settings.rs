@@ -33,13 +33,7 @@ pub fn magma_threads() -> usize {
 /// and only trims per-evaluation work. Set `MAGMA_MEMO=0` (or `off`) to opt
 /// out, e.g. to measure the memoization win itself.
 pub fn magma_memo() -> bool {
-    match std::env::var("MAGMA_MEMO") {
-        Ok(v) => {
-            let v = v.trim();
-            !(v == "0" || v.eq_ignore_ascii_case("off"))
-        }
-        Err(_) => true,
-    }
+    env_flag("MAGMA_MEMO", true)
 }
 
 /// Reads the `MAGMA_SIGNATURE_PROFILE` environment knob: whether `M3e`
@@ -56,19 +50,41 @@ pub fn magma_memo() -> bool {
 /// disabled is unchanged. Set `MAGMA_SIGNATURE_PROFILE=0` (or `off`) to
 /// restore PR 2's shape-only metric.
 pub fn magma_signature_profile() -> bool {
-    match std::env::var("MAGMA_SIGNATURE_PROFILE") {
-        Ok(v) => {
-            let v = v.trim();
-            !(v == "0" || v.eq_ignore_ascii_case("off"))
-        }
-        Err(_) => true,
-    }
+    env_flag("MAGMA_SIGNATURE_PROFILE", true)
 }
 
 /// Parses environment variable `name` into `T`, falling back to `default`
-/// when unset, empty or unparsable.
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+/// when unset, empty or unparsable. This is the single parse/default path
+/// every `MAGMA_*` knob family goes through; the malformed-value fallback is
+/// unit-tested once, centrally, on [`parse_or`].
+pub fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    parse_or(std::env::var(name).ok().as_deref(), default)
+}
+
+/// Pure core of [`env_parse`]: parses `raw` (the environment value, if the
+/// variable was set) into `T`, falling back to `default` when absent, empty,
+/// whitespace-only or unparsable. Split out so the fallback semantics are
+/// testable without mutating the process environment.
+pub fn parse_or<T: std::str::FromStr>(raw: Option<&str>, default: T) -> T {
+    raw.and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Reads a boolean environment knob: `0`, `off` or `false` (any case,
+/// surrounding whitespace ignored) disable it, anything else — including the
+/// empty string — leaves it enabled. Unset falls back to `default`.
+pub fn env_flag(name: &str, default: bool) -> bool {
+    flag_or(std::env::var(name).ok().as_deref(), default)
+}
+
+/// Pure core of [`env_flag`], testable without mutating the environment.
+pub fn flag_or(raw: Option<&str>, default: bool) -> bool {
+    match raw {
+        Some(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+        }
+        None => default,
+    }
 }
 
 /// The `MAGMA_SERVE_*` knob family configuring the online serving simulator
@@ -86,7 +102,7 @@ fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
 /// | `MAGMA_SERVE_LOAD` | `offered_load` | offered load relative to the calibrated (unoptimized) service rate |
 /// | `MAGMA_SERVE_SLA_X` | `sla_x` | per-job SLA bound, in multiples of one batch window + calibrated service time |
 /// | `MAGMA_SERVE_OVERHEAD_US` | `overhead_us_per_sample` | virtual mapper cost charged per search sample, in µs |
-/// | `MAGMA_SERVE_OVERLAP` | `overlap` | `0` disables overlap mode (search slices interleaved with execution); default on |
+/// | `MAGMA_SERVE_OVERLAP` | `overlap` | `0`/`off`/`false` disables overlap mode (search slices interleaved with execution); default on |
 /// | `MAGMA_SERVE_SLICE` | `search_slice` | samples per search slice in overlap mode |
 /// | `MAGMA_SERVE_CACHE_EPSILON` | `cache_epsilon` | nearest-key cache probe threshold (mean signature distance); `0` = exact-key only |
 /// | `MAGMA_SERVE_CACHE_PATH` | `cache_path` | mapping-cache persistence file: loaded (if present) before a run, saved after — warm restarts; empty/unset disables |
@@ -208,7 +224,7 @@ impl ServeKnobs {
             sla_x: env_parse("MAGMA_SERVE_SLA_X", d.sla_x).max(0.0),
             overhead_us_per_sample: env_parse("MAGMA_SERVE_OVERHEAD_US", d.overhead_us_per_sample)
                 .max(0.0),
-            overlap: env_parse::<usize>("MAGMA_SERVE_OVERLAP", d.overlap as usize) != 0,
+            overlap: env_flag("MAGMA_SERVE_OVERLAP", d.overlap),
             search_slice: env_parse("MAGMA_SERVE_SLICE", d.search_slice).max(1),
             cache_epsilon: env_parse("MAGMA_SERVE_CACHE_EPSILON", d.cache_epsilon).max(0.0),
             cache_path: std::env::var("MAGMA_SERVE_CACHE_PATH")
@@ -547,6 +563,51 @@ pub fn build_flexible(setting: Setting, bw_gbps: f64) -> AcceleratorPlatform {
     build_with_bw(setting, bw_gbps).into_flexible()
 }
 
+/// What platform a simulation runs on: a Table III [`Setting`] built on
+/// demand, or an arbitrary pre-built [`AcceleratorPlatform`] (e.g. one loaded
+/// from the scenario registry). The serving simulators consume this instead
+/// of a bare `Setting`, so registry-defined platforms run through exactly the
+/// same code path as the paper's six.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformSpec {
+    /// One of the paper's Table III settings, built with its default
+    /// bandwidth via [`build`].
+    Setting(Setting),
+    /// A fully specified platform (registry-loaded or hand-constructed).
+    Custom(AcceleratorPlatform),
+}
+
+impl PlatformSpec {
+    /// Materializes the platform this spec describes.
+    pub fn build(&self) -> AcceleratorPlatform {
+        match self {
+            PlatformSpec::Setting(s) => build(*s),
+            PlatformSpec::Custom(p) => p.clone(),
+        }
+    }
+
+    /// A short label for reports: the Table III name (`"S2"`) or the custom
+    /// platform's own name.
+    pub fn label(&self) -> String {
+        match self {
+            PlatformSpec::Setting(s) => s.to_string(),
+            PlatformSpec::Custom(p) => p.name().to_string(),
+        }
+    }
+}
+
+impl From<Setting> for PlatformSpec {
+    fn from(s: Setting) -> Self {
+        PlatformSpec::Setting(s)
+    }
+}
+
+impl fmt::Display for PlatformSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,6 +774,56 @@ mod tests {
         // so the profiled metric (calibrated default since the cache_sweep)
         // is what every search and cache probe sees.
         assert!(magma_signature_profile());
+    }
+
+    #[test]
+    fn parse_or_falls_back_on_malformed_values() {
+        // The single, central test of the malformed-value fallback every
+        // MAGMA_* knob family shares (via env_parse): absent, empty,
+        // whitespace-only and unparsable values all yield the default;
+        // well-formed values (with surrounding whitespace) parse.
+        assert_eq!(parse_or::<usize>(None, 7), 7);
+        assert_eq!(parse_or::<usize>(Some(""), 7), 7);
+        assert_eq!(parse_or::<usize>(Some("   "), 7), 7);
+        assert_eq!(parse_or::<usize>(Some("banana"), 7), 7);
+        assert_eq!(parse_or::<usize>(Some("-3"), 7), 7); // unsigned: no parse
+        assert_eq!(parse_or::<usize>(Some("3.5"), 7), 7);
+        assert_eq!(parse_or::<usize>(Some(" 12 "), 7), 12);
+        assert_eq!(parse_or::<f64>(Some("not-a-float"), 1.5), 1.5);
+        assert_eq!(parse_or::<f64>(Some(" 0.25 "), 1.5), 0.25);
+        assert_eq!(parse_or::<u64>(Some("18446744073709551616"), 9), 9); // overflow
+        assert_eq!(parse_or::<FleetPolicy>(Some("edf"), FleetPolicy::Uniform), {
+            FleetPolicy::Uniform
+        });
+        assert_eq!(parse_or(Some("deadline"), FleetPolicy::Uniform), FleetPolicy::Deadline);
+    }
+
+    #[test]
+    fn flag_or_disables_only_on_explicit_off_values() {
+        for off in ["0", "off", "OFF", "Off", "false", "FALSE", " 0 ", " off "] {
+            assert!(!flag_or(Some(off), true), "{off:?} should disable");
+            assert!(!flag_or(Some(off), false), "{off:?} should disable");
+        }
+        for on in ["1", "on", "yes", "", "   ", "banana", "2"] {
+            assert!(flag_or(Some(on), true), "{on:?} should enable");
+            assert!(flag_or(Some(on), false), "{on:?} should enable");
+        }
+        assert!(flag_or(None, true));
+        assert!(!flag_or(None, false));
+    }
+
+    #[test]
+    fn platform_spec_builds_and_labels() {
+        for s in Setting::ALL {
+            let spec = PlatformSpec::from(s);
+            assert_eq!(spec.build(), build(s));
+            assert_eq!(spec.label(), s.to_string());
+            assert_eq!(spec.to_string(), s.to_string());
+        }
+        let custom = PlatformSpec::Custom(build_with_bw(Setting::S2, 4.0));
+        assert_eq!(custom.label(), "S2");
+        assert_eq!(custom.build().system_bw_gbps(), 4.0);
+        assert_ne!(custom, PlatformSpec::Setting(Setting::S2));
     }
 
     #[test]

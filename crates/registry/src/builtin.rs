@@ -1,0 +1,203 @@
+//! The builtin definitions: the hardcoded experiment space (Table III's
+//! S1–S6, the standard tenant mixes, the serve ladder's arrival scenarios)
+//! re-expressed as registry definitions.
+//!
+//! These are the source of truth for the committed `scenarios/platforms`,
+//! `scenarios/mixes` and `scenarios/traffic` files (`scenario_gen` writes
+//! them; the equivalence suite re-parses the committed files and asserts
+//! they still equal these constructors), and the unit tests in [`crate::defs`]
+//! assert they **build bit-identical** runtime values to the hardcoded
+//! constructors — so the registry path and the hardcoded path cannot drift
+//! apart silently.
+
+use crate::defs::{CoreDef, MixDef, PlatformDef, ScenarioDef, TenantDef, TrafficDef};
+use crate::REGISTRY_SCHEMA;
+use magma_model::zoo;
+use magma_platform::Setting;
+
+/// Shorthand for a core class with Table III defaults (64 columns, default
+/// SL/frequency, fixed shape).
+fn core(name: &str, count: usize, pe_rows: usize, dataflow: &str, sg_kb: usize) -> CoreDef {
+    CoreDef {
+        name: name.to_string(),
+        count: Some(count),
+        pe_rows,
+        pe_cols: None,
+        dataflow: dataflow.to_string(),
+        sg_kb,
+        sl_bytes: None,
+        frequency_mhz: None,
+        flexible: None,
+    }
+}
+
+/// The registry definition of one Table III setting; builds bit-identical
+/// to [`magma_platform::settings::build`].
+pub fn platform_def_for(setting: Setting) -> PlatformDef {
+    let cores = match setting {
+        Setting::S1 => vec![core("S1-hb", 4, 32, "hb", 146)],
+        Setting::S2 => vec![core("S2-hb", 3, 32, "hb", 146), core("S2-lb0", 1, 32, "lb", 110)],
+        Setting::S3 => vec![core("S3-hb", 8, 128, "hb", 580)],
+        Setting::S4 => vec![core("S4-hb", 7, 128, "hb", 580), core("S4-lb0", 1, 128, "lb", 434)],
+        Setting::S5 => vec![
+            core("S5-big-hb", 3, 128, "hb", 580),
+            core("S5-big-lb0", 1, 128, "lb", 434),
+            core("S5-lit-hb", 3, 64, "hb", 291),
+            core("S5-lit-lb0", 1, 64, "lb", 218),
+        ],
+        Setting::S6 => vec![
+            core("S6-big-hb", 7, 128, "hb", 580),
+            core("S6-big-lb0", 1, 128, "lb", 434),
+            core("S6-lit-hb", 7, 64, "hb", 291),
+            core("S6-lit-lb0", 1, 64, "lb", 218),
+        ],
+    };
+    PlatformDef {
+        schema: REGISTRY_SCHEMA.to_string(),
+        kind: "platform".to_string(),
+        name: setting.to_string(),
+        description: Some(format!("Table III {setting}: {}", setting.description())),
+        system_bw_gbps: setting.default_bw_gbps(),
+        cores,
+    }
+}
+
+/// All six Table III platform definitions.
+pub fn builtin_platform_defs() -> Vec<PlatformDef> {
+    Setting::ALL.into_iter().map(platform_def_for).collect()
+}
+
+/// The zoo's model names for one task category.
+fn model_names(models: Vec<magma_model::Model>) -> Vec<String> {
+    models.into_iter().map(|m| m.name().to_string()).collect()
+}
+
+/// The builtin mix definitions: `standard` (one tenant per pure task
+/// category, the serving analogue of the paper's Mix task —
+/// [`magma_model::TenantMix::standard`]) and `repeated_tenant` (the single
+/// recurring-service mix behind the cache-economics scenario).
+pub fn builtin_mix_defs() -> Vec<MixDef> {
+    let tenant = |name: &str, task: &str, models: Vec<String>| TenantDef {
+        name: name.to_string(),
+        task: task.to_string(),
+        models,
+        weight: 1.0,
+        sla_multiplier: None,
+    };
+    vec![
+        MixDef {
+            schema: REGISTRY_SCHEMA.to_string(),
+            kind: "mix".to_string(),
+            name: "standard".to_string(),
+            description: Some(
+                "One equally weighted tenant per pure task category (the paper's Mix task, \
+                 served online)."
+                    .to_string(),
+            ),
+            tenants: Some(vec![
+                tenant("vision", "vision", model_names(zoo::vision_models())),
+                tenant("language", "language", model_names(zoo::language_models())),
+                tenant(
+                    "recommendation",
+                    "recommendation",
+                    model_names(zoo::recommendation_models()),
+                ),
+            ]),
+            synthetic: None,
+        },
+        MixDef {
+            schema: REGISTRY_SCHEMA.to_string(),
+            kind: "mix".to_string(),
+            name: "repeated_tenant".to_string(),
+            description: Some(
+                "A single small-model tenant whose job windows recur — the repeated-tenant \
+                 traffic where the signature-keyed mapping cache pays off."
+                    .to_string(),
+            ),
+            tenants: Some(vec![tenant(
+                "recommendation",
+                "recommendation",
+                vec!["NCF".to_string()],
+            )]),
+            synthetic: None,
+        },
+    ]
+}
+
+/// A traffic block with no scale overrides (inherits the serving knobs, so
+/// the registry run matches the hardcoded ladder bit-for-bit).
+fn inherit_traffic(process: &str) -> TrafficDef {
+    TrafficDef { process: process.to_string(), requests: None, offered_load: None, seed: None }
+}
+
+/// The builtin scenario definitions: the standard serve ladder
+/// (`poisson_mix`, `repeated_tenant`, and the full-mode `bursty_mix` /
+/// `drift_mix`) on the paper's default online platform S2, with traffic
+/// scale inherited from the knobs.
+pub fn builtin_scenario_defs() -> Vec<ScenarioDef> {
+    let scenario = |name: &str, mix: &str, process: &str, description: &str| ScenarioDef {
+        schema: REGISTRY_SCHEMA.to_string(),
+        kind: "scenario".to_string(),
+        name: name.to_string(),
+        description: Some(description.to_string()),
+        platform: "S2".to_string(),
+        mix: mix.to_string(),
+        traffic: inherit_traffic(process),
+    };
+    vec![
+        scenario(
+            "poisson_mix",
+            "standard",
+            "poisson",
+            "Stationary multi-tenant Poisson traffic on S2 (the standard ladder's first rung).",
+        ),
+        scenario(
+            "repeated_tenant",
+            "repeated_tenant",
+            "poisson",
+            "Recurring single-tenant windows on S2 — the cache-economics scenario.",
+        ),
+        scenario(
+            "bursty_mix",
+            "standard",
+            "bursty",
+            "Diurnal burst traffic on S2 — deadline-path stress (full ladder only).",
+        ),
+        scenario(
+            "drift_mix",
+            "standard",
+            "drift",
+            "Vision-to-language tenant drift on S2 — cache invalidation under drift \
+             (full ladder only).",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_defs_validate() {
+        for def in builtin_platform_defs() {
+            def.validate().unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+        for def in builtin_mix_defs() {
+            def.validate().unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+        for def in builtin_scenario_defs() {
+            def.validate().unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+    }
+
+    #[test]
+    fn builtin_scenarios_mirror_the_serve_ladder() {
+        let defs = builtin_scenario_defs();
+        let names: Vec<String> = defs.iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names, ["poisson_mix", "repeated_tenant", "bursty_mix", "drift_mix"]);
+        assert!(defs.iter().all(|d| d.platform == "S2"));
+        assert!(defs.iter().all(|d| d.traffic.requests.is_none()
+            && d.traffic.offered_load.is_none()
+            && d.traffic.seed.is_none()));
+    }
+}

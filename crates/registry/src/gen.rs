@@ -1,0 +1,381 @@
+//! The scenario-space generator: sweeps platform scale (edge-SoC duos
+//! through 64-core asymmetric-bandwidth meshes), tenant-mix shape (weighted
+//! service mixes through 512-tenant synthetic fleets) and traffic profile
+//! (steady / flash-crowd / model-release-day) and emits valid registry
+//! definition files.
+//!
+//! [`write_tree`] lays down the full committed `scenarios/` layout:
+//!
+//! ```text
+//! scenarios/
+//! ├── platforms/   s1.json … s6.json           (builtin, Table III)
+//! ├── mixes/       standard.json, repeated_tenant.json
+//! ├── traffic/     poisson_mix.json … drift_mix.json
+//! └── generated/
+//!     ├── platforms/  edge-duo.json … dc-mesh64-asymbw.json
+//!     ├── mixes/      web-weighted.json … synth-512.json
+//!     └── traffic/    {platform}-{steady,flash-crowd,model-release-day}.json
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::builtin;
+use crate::defs::{
+    CoreDef, MixDef, PlatformDef, ScenarioDef, SyntheticMixDef, TenantDef, TrafficDef,
+};
+use crate::REGISTRY_SCHEMA;
+use magma_model::zoo;
+
+/// Shorthand for a fixed-shape core class with default columns/SL/frequency.
+fn core(name: &str, count: usize, pe_rows: usize, dataflow: &str, sg_kb: usize) -> CoreDef {
+    CoreDef {
+        name: name.to_string(),
+        count: Some(count),
+        pe_rows,
+        pe_cols: None,
+        dataflow: dataflow.to_string(),
+        sg_kb,
+        sl_bytes: None,
+        frequency_mhz: None,
+        flexible: None,
+    }
+}
+
+fn platform(name: &str, description: &str, bw_gbps: f64, cores: Vec<CoreDef>) -> PlatformDef {
+    PlatformDef {
+        schema: REGISTRY_SCHEMA.to_string(),
+        kind: "platform".to_string(),
+        name: name.to_string(),
+        description: Some(description.to_string()),
+        system_bw_gbps: bw_gbps,
+        cores,
+    }
+}
+
+/// The generated platform sweep: edge SoCs (DDR1-class bandwidth, one or
+/// two small cores) up through data-center meshes (Table III core classes
+/// scaled out to 64 cores, including a bandwidth-starved asymmetric
+/// variant).
+pub fn generated_platform_defs() -> Vec<PlatformDef> {
+    vec![
+        platform(
+            "edge-duo",
+            "Edge SoC duo: one HB + one LB small core on 2 GB/s (DDR1-class) bandwidth.",
+            2.0,
+            vec![core("edge-duo-hb0", 1, 32, "hb", 146), core("edge-duo-lb0", 1, 32, "lb", 110)],
+        ),
+        platform(
+            "edge-duo-lowbw",
+            "The edge duo starved to 1 GB/s — the bandwidth knee of the Small-class sweep.",
+            1.0,
+            vec![
+                core("edge-duo-lowbw-hb0", 1, 32, "hb", 146),
+                core("edge-duo-lowbw-lb0", 1, 32, "lb", 110),
+            ],
+        ),
+        platform(
+            "edge-quad",
+            "Edge quad (an S2-shaped SoC) on 8 GB/s.",
+            8.0,
+            vec![core("edge-quad-hb", 3, 32, "hb", 146), core("edge-quad-lb0", 1, 32, "lb", 110)],
+        ),
+        platform(
+            "mobile-biglittle",
+            "Mobile big.LITTLE: two 64-row HB cores plus two 32-row LB cores on 16 GB/s.",
+            16.0,
+            vec![core("mob-big-hb", 2, 64, "hb", 291), core("mob-lit-lb", 2, 32, "lb", 110)],
+        ),
+        platform(
+            "dc-mesh16",
+            "Data-center 16-core mesh: 14 HB + 2 LB large cores on 256 GB/s (HBM-class).",
+            256.0,
+            vec![core("mesh16-hb", 14, 128, "hb", 580), core("mesh16-lb", 2, 128, "lb", 434)],
+        ),
+        platform(
+            "dc-mesh32-biglittle",
+            "Data-center 32-core big.LITTLE mesh (an S6 scaled 2×) on 256 GB/s.",
+            256.0,
+            vec![
+                core("mesh32-big-hb", 12, 128, "hb", 580),
+                core("mesh32-big-lb", 4, 128, "lb", 434),
+                core("mesh32-lit-hb", 12, 64, "hb", 291),
+                core("mesh32-lit-lb", 4, 64, "lb", 218),
+            ],
+        ),
+        platform(
+            "dc-mesh64-asymbw",
+            "64-core asymmetric-bandwidth mesh: 32 big (128-row) + 32 little (64-row) cores \
+             mixing HB and LB dataflow classes on 256 GB/s shared bandwidth.",
+            256.0,
+            vec![
+                core("mesh64-big-hb", 24, 128, "hb", 580),
+                core("mesh64-big-lb", 8, 128, "lb", 434),
+                core("mesh64-lit-hb", 24, 64, "hb", 291),
+                core("mesh64-lit-lb", 8, 64, "lb", 218),
+            ],
+        ),
+        platform(
+            "dc-mesh64-asymbw-starved",
+            "The 64-core asymmetric mesh on 64 GB/s — bandwidth contention dominates.",
+            64.0,
+            vec![
+                core("mesh64s-big-hb", 24, 128, "hb", 580),
+                core("mesh64s-big-lb", 8, 128, "lb", 434),
+                core("mesh64s-lit-hb", 24, 64, "hb", 291),
+                core("mesh64s-lit-lb", 8, 64, "lb", 218),
+            ],
+        ),
+    ]
+}
+
+/// The model names of one zoo category.
+fn names(models: Vec<magma_model::Model>) -> Vec<String> {
+    models.into_iter().map(|m| m.name().to_string()).collect()
+}
+
+/// The generated mix sweep: a weighted web-service mix with per-tenant SLA
+/// contracts, a vision-only burst service, and synthetic fleets at 64 and
+/// 512 tenants.
+pub fn generated_mix_defs() -> Vec<MixDef> {
+    let mix = |name: &str, description: &str, tenants: Option<Vec<TenantDef>>, synthetic| MixDef {
+        schema: REGISTRY_SCHEMA.to_string(),
+        kind: "mix".to_string(),
+        name: name.to_string(),
+        description: Some(description.to_string()),
+        tenants,
+        synthetic,
+    };
+    let tenant =
+        |name: &str, task: &str, models: Vec<String>, weight: f64, sla: Option<f64>| TenantDef {
+            name: name.to_string(),
+            task: task.to_string(),
+            models,
+            weight,
+            sla_multiplier: sla,
+        };
+    vec![
+        mix(
+            "web-weighted",
+            "Vision-heavy web serving: a latency-critical vision tenant at 3× traffic \
+             (SLA ×0.5), language at baseline, a batch-tolerant recommendation tail \
+             (SLA ×2).",
+            Some(vec![
+                tenant("vision", "vision", names(zoo::vision_models()), 3.0, Some(0.5)),
+                tenant("language", "language", names(zoo::language_models()), 1.0, None),
+                tenant(
+                    "recommendation",
+                    "recommendation",
+                    names(zoo::recommendation_models()),
+                    0.5,
+                    Some(2.0),
+                ),
+            ]),
+            None,
+        ),
+        mix(
+            "vision-burst",
+            "A single mobile-vision service — small recurring models, cache-friendly.",
+            Some(vec![tenant(
+                "vision",
+                "vision",
+                vec!["MobileNetV2".to_string(), "ShuffleNet".to_string()],
+                1.0,
+                None,
+            )]),
+            None,
+        ),
+        mix(
+            "synth-64",
+            "64 synthetic tenants (Zipf-weighted single-model services, seeded SLA \
+             contracts).",
+            None,
+            Some(SyntheticMixDef { tenants: 64, seed: 7 }),
+        ),
+        mix(
+            "synth-512",
+            "512 synthetic tenants — the fleet-scale long tail.",
+            None,
+            Some(SyntheticMixDef { tenants: 512, seed: 11 }),
+        ),
+    ]
+}
+
+/// The traffic profiles every generated platform is crossed with:
+/// `(suffix, process, offered_load, description)`.
+pub const TRAFFIC_PROFILES: [(&str, &str, f64, &str); 3] = [
+    ("steady", "poisson", 0.7, "Steady-state Poisson arrivals at 70% offered load."),
+    (
+        "flash-crowd",
+        "bursty",
+        3.0,
+        "Flash crowd: bursty arrivals at 3× the sustainable rate — deadline-path and \
+         admission stress.",
+    ),
+    (
+        "model-release-day",
+        "drift",
+        1.2,
+        "Model release day: tenant mix drifts vision→language at 1.2× load — cached \
+         mappings invalidate mid-trace.",
+    ),
+];
+
+/// The mixes the scenario cross-product cycles through (builtin `standard`
+/// plus the generated mixes).
+const SCENARIO_MIX_CYCLE: [&str; 5] =
+    ["standard", "web-weighted", "vision-burst", "synth-64", "synth-512"];
+
+/// The generated scenario cross-product: every generated platform × every
+/// traffic profile, with tenant mixes cycled so each mix shape is exercised
+/// (8 platforms × 3 profiles = 24 scenarios). Scale knobs (`requests`,
+/// `seed`) are inherited from the environment so the same files serve smoke
+/// runs and full benchmarks.
+pub fn generated_scenario_defs() -> Vec<ScenarioDef> {
+    let platforms = generated_platform_defs();
+    let mut scenarios = Vec::new();
+    for (i, platform) in platforms.iter().enumerate() {
+        let mix = SCENARIO_MIX_CYCLE[i % SCENARIO_MIX_CYCLE.len()];
+        for (suffix, process, load, description) in TRAFFIC_PROFILES {
+            scenarios.push(ScenarioDef {
+                schema: REGISTRY_SCHEMA.to_string(),
+                kind: "scenario".to_string(),
+                name: format!("{}-{suffix}", platform.name),
+                description: Some(format!("{description} Platform: {}.", platform.name)),
+                platform: platform.name.clone(),
+                mix: mix.to_string(),
+                traffic: TrafficDef {
+                    process: process.to_string(),
+                    requests: None,
+                    offered_load: Some(load),
+                    seed: None,
+                },
+            });
+        }
+    }
+    scenarios
+}
+
+/// Serializes one definition to its committed file form (pretty JSON plus a
+/// trailing newline).
+fn render<T: Serialize>(def: &T) -> String {
+    let mut text = serde_json::to_string_pretty(def).unwrap_or_default();
+    text.push('\n');
+    text
+}
+
+fn write_defs<T: Serialize>(
+    dir: &Path,
+    defs: &[(String, T)],
+    written: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, def) in defs {
+        let path = dir.join(format!("{}.json", name.to_lowercase()));
+        std::fs::write(&path, render(def))?;
+        written.push(path);
+    }
+    Ok(())
+}
+
+fn keyed<T: Clone>(defs: Vec<T>, name: impl Fn(&T) -> String) -> Vec<(String, T)> {
+    defs.into_iter()
+        .map(|d| {
+            let n = name(&d);
+            (n, d)
+        })
+        .collect()
+}
+
+/// Writes the full registry tree (builtin + generated definitions) under
+/// `root`, returning every file written. Overwrites existing files — the
+/// committed tree is regenerated, never hand-edited.
+pub fn write_tree(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut written = Vec::new();
+    write_defs(
+        &root.join("platforms"),
+        &keyed(builtin::builtin_platform_defs(), |d| d.name.clone()),
+        &mut written,
+    )?;
+    write_defs(
+        &root.join("mixes"),
+        &keyed(builtin::builtin_mix_defs(), |d| d.name.clone()),
+        &mut written,
+    )?;
+    write_defs(
+        &root.join("traffic"),
+        &keyed(builtin::builtin_scenario_defs(), |d| d.name.clone()),
+        &mut written,
+    )?;
+    let generated = root.join("generated");
+    write_defs(
+        &generated.join("platforms"),
+        &keyed(generated_platform_defs(), |d| d.name.clone()),
+        &mut written,
+    )?;
+    write_defs(
+        &generated.join("mixes"),
+        &keyed(generated_mix_defs(), |d| d.name.clone()),
+        &mut written,
+    )?;
+    write_defs(
+        &generated.join("traffic"),
+        &keyed(generated_scenario_defs(), |d| d.name.clone()),
+        &mut written,
+    )?;
+    written.sort();
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_defs_validate_and_span_the_acceptance_space() {
+        let platforms = generated_platform_defs();
+        for def in &platforms {
+            def.validate().unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+        // The acceptance criteria demand a 64-core asymmetric-BW mesh…
+        let mesh = platforms.iter().find(|p| p.name == "dc-mesh64-asymbw").expect("64-core mesh");
+        assert_eq!(mesh.core_count(), 64);
+        let styles: std::collections::BTreeSet<&str> =
+            mesh.cores.iter().map(|c| c.dataflow.as_str()).collect();
+        assert!(styles.len() > 1, "mixes HB and LB core classes");
+        // …and an edge-SoC duo at the other end.
+        let duo = platforms.iter().find(|p| p.name == "edge-duo").expect("edge duo");
+        assert_eq!(duo.core_count(), 2);
+
+        for def in generated_mix_defs() {
+            def.validate().unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+        let scenarios = generated_scenario_defs();
+        assert!(scenarios.len() >= 20, "scenario explosion: {}", scenarios.len());
+        for def in &scenarios {
+            def.validate().unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+        assert!(
+            scenarios.iter().any(|s| s.name == "dc-mesh64-asymbw-flash-crowd"),
+            "flash-crowd trace on the 64-core mesh exists"
+        );
+    }
+
+    #[test]
+    fn tree_writer_emits_every_definition_once() {
+        let dir =
+            std::env::temp_dir().join(format!("magma-registry-gen-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_tree(&dir).expect("writes");
+        let expected = builtin::builtin_platform_defs().len()
+            + builtin::builtin_mix_defs().len()
+            + builtin::builtin_scenario_defs().len()
+            + generated_platform_defs().len()
+            + generated_mix_defs().len()
+            + generated_scenario_defs().len();
+        assert_eq!(written.len(), expected);
+        assert!(written.iter().all(|p| p.exists()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

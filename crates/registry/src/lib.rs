@@ -1,0 +1,82 @@
+//! magma-registry — the declarative platform / tenant-mix / traffic-scenario
+//! registry.
+//!
+//! The hardcoded experiment space (Table III's S1–S6 platforms, the standard
+//! tenant mixes, the Poisson/bursty/drift arrival ladders) is re-expressed
+//! here as **data**: JSON definition files under a committed `scenarios/`
+//! tree, loaded and validated by a [`Registry`], and resolved into runnable
+//! [`CustomScenario`](magma_serve::CustomScenario) values that
+//! `serve_sim` / `fleet_sim` / `cache_sweep` accept via `--scenario <file>`
+//! without recompilation.
+//!
+//! ```text
+//!  scenarios/                       Registry::load_dir
+//!  ├── platforms/*.json   ──────▶   PlatformDef  ─┐
+//!  ├── mixes/*.json       ──────▶   MixDef       ─┤  cross-ref + range
+//!  ├── traffic/*.json     ──────▶   ScenarioDef  ─┘  validation
+//!  └── generated/...                     │
+//!                                        ▼  Registry::resolve
+//!                                ResolvedScenario
+//!                                 (AcceleratorPlatform + TenantMix +
+//!                                  Scenario + ScenarioDescriptor)
+//! ```
+//!
+//! # Definition files
+//!
+//! Every file carries `"schema": "magma-registry/v1"` and a `"kind"`
+//! (`platform` / `mix` / `scenario`); unknown schemas and kinds are rejected
+//! with actionable errors, as are out-of-range values (zero PE dims,
+//! non-positive bandwidth, zero weights), dangling cross-references
+//! (a scenario naming an unknown platform or mix, a mix naming a model the
+//! zoo does not have) and duplicate names. `null` on an optional field means
+//! "use the default" — the vendored mini-serde serializes `None` as an
+//! explicit `null`, so committed files spell defaults out.
+//!
+//! # Equivalence guarantee
+//!
+//! The committed tree's `platforms/s*.json`, `mixes/{standard,
+//! repeated_tenant}.json` and `traffic/*.json` are the [`builtin`]
+//! definitions verbatim; `tests/integration_registry.rs` locks down that
+//! registry-resolved S1–S6 platforms, mixes and traffic scenarios are
+//! **bit-identical** to the hardcoded ones (same
+//! [`AcceleratorPlatform`](magma_platform::AcceleratorPlatform), same trace
+//! event stream, same `BENCH` scenario results).
+//!
+//! # Generator
+//!
+//! [`gen`] sweeps the design space — edge-SoC duos through 64-core
+//! asymmetric-bandwidth meshes, flash-crowd / model-release-day / drift
+//! traffic — and emits valid registry files under `scenarios/generated/`;
+//! the `scenario_gen` bench bin writes the tree and `scenario_gen --check`
+//! re-validates every committed file (CI's `registry_check` gate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod defs;
+pub mod error;
+pub mod gen;
+mod registry;
+
+pub use defs::{CoreDef, MixDef, PlatformDef, ScenarioDef, SyntheticMixDef, TenantDef, TrafficDef};
+pub use error::RegistryError;
+pub use registry::{resolve_scenario_file, Registry, RegistryStats, ResolvedScenario};
+
+/// Schema tag every registry definition file must carry.
+pub const REGISTRY_SCHEMA: &str = "magma-registry/v1";
+
+/// The definition kinds the registry understands, in load order.
+pub const REGISTRY_KINDS: [&str; 3] = ["platform", "mix", "scenario"];
+
+/// The default committed registry root, relative to the repository root.
+pub const DEFAULT_SCENARIO_DIR: &str = "scenarios";
+
+/// The registry root directory: `MAGMA_SCENARIO_DIR` if set (and non-empty),
+/// else [`DEFAULT_SCENARIO_DIR`].
+pub fn magma_scenario_dir() -> std::path::PathBuf {
+    match std::env::var("MAGMA_SCENARIO_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => std::path::PathBuf::from(dir),
+        _ => std::path::PathBuf::from(DEFAULT_SCENARIO_DIR),
+    }
+}

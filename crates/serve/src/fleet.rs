@@ -50,6 +50,7 @@
 
 use crate::batcher::{AdmissionBatcher, BatchPolicy};
 use crate::cache::{quantize_signatures, CacheStats, MappingCache, SharedCache};
+use crate::descriptor::{CustomScenario, ScenarioDescriptor};
 use crate::dispatch::{DispatchConfig, DispatchOutcome, MappingService};
 use crate::metrics::{CacheReport, LatencyStats, ServeMetrics};
 use crate::router::{RouterStats, ShardRouter};
@@ -60,20 +61,20 @@ use crate::sim::{
 use crate::trace::{generate_trace, Arrival, Scenario, TraceParams};
 use magma_m3e::StoredSolution;
 use magma_model::{JobSignature, TenantMix};
-use magma_platform::settings::{self, FleetKnobs, FleetPolicy};
-use magma_platform::Setting;
+use magma_platform::settings::{FleetKnobs, FleetPolicy};
+use magma_platform::PlatformSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::path::PathBuf;
 
 /// The full parameter set of one fleet run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
-    /// One platform setting per shard (shard count = length; heterogeneous
-    /// mixes cycle `MAGMA_FLEET_SETTINGS`). Shard 0 is the load-calibration
-    /// reference.
-    pub shard_settings: Vec<Setting>,
+    /// One platform spec per shard (shard count = length; heterogeneous
+    /// mixes cycle `MAGMA_FLEET_SETTINGS`; registry scenarios may supply
+    /// fully custom platforms). Shard 0 is the load-calibration reference.
+    pub shard_settings: Vec<PlatformSpec>,
     /// The traffic scenario.
     pub scenario: Scenario,
     /// Arrivals to simulate.
@@ -132,7 +133,7 @@ impl FleetConfig {
         assert!(!knobs.shard_settings.is_empty(), "the settings list cannot be empty");
         FleetConfig {
             shard_settings: (0..shards)
-                .map(|s| knobs.shard_settings[s % knobs.shard_settings.len()])
+                .map(|s| knobs.shard_settings[s % knobs.shard_settings.len()].into())
                 .collect(),
             scenario,
             requests: knobs.requests,
@@ -294,7 +295,7 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
     assert!(shards > 0 && config.requests > 0 && config.group_target > 0);
     assert!(config.offered_load > 0.0 && config.offered_load.is_finite());
 
-    let platforms: Vec<_> = config.shard_settings.iter().map(|&s| settings::build(s)).collect();
+    let platforms: Vec<_> = config.shard_settings.iter().map(|s| s.build()).collect();
     // Load and SLA are calibrated against the reference shard (shard 0), so
     // the offered load means "multiples of one shard's unoptimized rate" at
     // every rung of a scaling ladder.
@@ -579,16 +580,20 @@ pub fn fleet_simulate(config: &FleetConfig, mix: &TenantMix) -> FleetResult {
 
 /// Version tag of the fleet report layout. Same contract as
 /// [`crate::report::SCHEMA`]: fields are only ever added, with a bump.
-/// `v2` added the shared cache tier block (`shared`, `shared_balanced`).
-pub const FLEET_SCHEMA: &str = "magma-fleet/v2";
+/// `v2` added the shared cache tier block (`shared`, `shared_balanced`);
+/// `v3` added the embedded `scenario_descriptor` (and `FleetRung`'s
+/// `shard_settings` became plain labels so registry-defined platforms can
+/// appear next to the Table III names).
+pub const FLEET_SCHEMA: &str = "magma-fleet/v3";
 
 /// One `(scenario, shard count)` rung of the scaling ladder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetRung {
     /// Shards in this rung.
     pub shards: usize,
-    /// Per-shard platform settings (cycled from `MAGMA_FLEET_SETTINGS`).
-    pub shard_settings: Vec<Setting>,
+    /// Per-shard platform labels (Table III names for builtin settings,
+    /// platform names for registry-defined meshes).
+    pub shard_settings: Vec<String>,
     /// Jobs completed (always the full trace).
     pub jobs: usize,
     /// Jobs per virtual second.
@@ -687,6 +692,10 @@ pub struct FleetReport {
     pub min_slice: usize,
     /// Value-preemption margin.
     pub preempt_margin: f64,
+    /// What this report measured: the resolved scenario descriptor
+    /// (builtin ladder parameters, or the registry definitions behind a
+    /// `--scenario` run), content-hashed.
+    pub scenario_descriptor: ScenarioDescriptor,
     /// One ladder per scenario.
     pub scenarios: Vec<FleetScenarioResult>,
 }
@@ -699,6 +708,7 @@ impl FleetReport {
         if self.schema != FLEET_SCHEMA {
             return Err(format!("schema tag {} != {}", self.schema, FLEET_SCHEMA));
         }
+        self.scenario_descriptor.validate().map_err(|e| format!("fleet report: {e}"))?;
         if self.scenarios.is_empty() {
             return Err("empty scenario list".into());
         }
@@ -810,47 +820,87 @@ pub fn shard_ladder(knobs: &FleetKnobs, smoke: bool) -> Vec<usize> {
     ladder
 }
 
+/// Runs one scenario template over the shard ladder, building each rung's
+/// shard list through `shard_spec` (cycled knob settings for the builtin
+/// ladders, one registry platform per shard for `--scenario` runs).
+fn run_scenario_ladder(
+    name: &str,
+    template: &FleetConfig,
+    ladder: &[usize],
+    mix: &TenantMix,
+    shard_spec: &dyn Fn(usize) -> PlatformSpec,
+) -> FleetScenarioResult {
+    let mut rungs = Vec::with_capacity(ladder.len());
+    let mut base_jobs_per_sec = 0.0f64;
+    for &shards in ladder {
+        let mut config = template.clone();
+        config.shard_settings = (0..shards).map(shard_spec).collect();
+        // Every rung of the ladder starts cold: a persistence file
+        // (`MAGMA_SERVE_CACHE_PATH`) would leak shard caches from
+        // rung to rung and scenario to scenario, invalidating the
+        // scaling comparison. Warm fleet restarts are exercised by
+        // `fleet_simulate` callers and the integration suite.
+        config.cache_path = None;
+        let result = fleet_simulate(&config, mix);
+        if rungs.is_empty() {
+            base_jobs_per_sec = result.metrics.jobs_per_sec;
+        }
+        rungs.push(rung_from_result(&config, &result, base_jobs_per_sec));
+    }
+    FleetScenarioResult {
+        name: name.to_string(),
+        scenario: template.scenario,
+        policy: template.policy.to_string(),
+        offered_load: template.offered_load,
+        sla_x: template.sla_x,
+        rungs,
+    }
+}
+
+/// The builtin ladder's self-describing descriptor: the knob values that
+/// shape the run (the registry path embeds full definitions instead).
+fn builtin_fleet_descriptor(knobs: &FleetKnobs, ladder: &[usize]) -> ScenarioDescriptor {
+    let params = Value::Map(vec![
+        ("ladder".into(), Value::Seq(ladder.iter().map(|&s| Value::U64(s as u64)).collect())),
+        (
+            "shard_settings".into(),
+            Value::Seq(knobs.shard_settings.iter().map(|s| Value::Str(s.to_string())).collect()),
+        ),
+        ("tenants".into(), Value::U64(knobs.tenants as u64)),
+        ("requests".into(), Value::U64(knobs.requests as u64)),
+        ("offered_load".into(), Value::F64(knobs.offered_load)),
+        ("policy".into(), Value::Str(knobs.policy.to_string())),
+        ("max_live".into(), Value::U64(knobs.max_live as u64)),
+        ("min_slice".into(), Value::U64(knobs.min_slice as u64)),
+        ("preempt_margin".into(), Value::F64(knobs.preempt_margin)),
+        ("seed".into(), Value::U64(knobs.serve.seed)),
+        (
+            "scenarios".into(),
+            Value::Seq(vec![
+                Value::Str("fleet_mix".into()),
+                Value::Str("deadline_pressure".into()),
+            ]),
+        ),
+    ]);
+    ScenarioDescriptor::new("builtin", "fleet_ladder", params)
+}
+
 /// Runs the fleet scenario set over the shard ladder and assembles the
 /// report.
 pub fn run_fleet_ladder(knobs: &FleetKnobs, smoke: bool) -> FleetReport {
     let ladder = shard_ladder(knobs, smoke);
     let mix = TenantMix::synthetic(knobs.tenants, knobs.serve.seed);
+    let shard_spec =
+        |s: usize| PlatformSpec::from(knobs.shard_settings[s % knobs.shard_settings.len()]);
     let scenarios = fleet_scenarios(knobs)
         .into_iter()
-        .map(|(name, template)| {
-            let mut rungs = Vec::with_capacity(ladder.len());
-            let mut base_jobs_per_sec = 0.0f64;
-            for &shards in &ladder {
-                let mut config = template.clone();
-                config.shard_settings = (0..shards)
-                    .map(|s| knobs.shard_settings[s % knobs.shard_settings.len()])
-                    .collect();
-                // Every rung of the ladder starts cold: a persistence file
-                // (`MAGMA_SERVE_CACHE_PATH`) would leak shard caches from
-                // rung to rung and scenario to scenario, invalidating the
-                // scaling comparison. Warm fleet restarts are exercised by
-                // `fleet_simulate` callers and the integration suite.
-                config.cache_path = None;
-                let result = fleet_simulate(&config, &mix);
-                if rungs.is_empty() {
-                    base_jobs_per_sec = result.metrics.jobs_per_sec;
-                }
-                rungs.push(rung_from_result(&config, &result, base_jobs_per_sec));
-            }
-            FleetScenarioResult {
-                name: name.to_string(),
-                scenario: template.scenario,
-                policy: template.policy.to_string(),
-                offered_load: template.offered_load,
-                sla_x: template.sla_x,
-                rungs,
-            }
-        })
+        .map(|(name, template)| run_scenario_ladder(name, &template, &ladder, &mix, &shard_spec))
         .collect();
     FleetReport {
         schema: FLEET_SCHEMA.to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         seed: knobs.serve.seed,
+        scenario_descriptor: builtin_fleet_descriptor(knobs, &ladder),
         shard_ladder: ladder,
         tenants: knobs.tenants,
         requests: knobs.requests,
@@ -858,6 +908,41 @@ pub fn run_fleet_ladder(knobs: &FleetKnobs, smoke: bool) -> FleetReport {
         min_slice: knobs.min_slice,
         preempt_margin: knobs.preempt_margin,
         scenarios,
+    }
+}
+
+/// Runs one registry-defined scenario over the shard ladder: every shard is
+/// a copy of the scenario's platform, the trace is drawn from its tenant
+/// mix, and the report embeds its descriptor. Knob-level ladder shape
+/// (shard counts, session scheduler, budgets) still comes from `knobs`;
+/// the scenario's optional `requests` / `offered_load` / `seed` override the
+/// knob defaults.
+pub fn run_fleet_custom(knobs: &FleetKnobs, smoke: bool, custom: &CustomScenario) -> FleetReport {
+    let ladder = shard_ladder(knobs, smoke);
+    let mut template = FleetConfig::from_knobs(knobs, knobs.shards, custom.scenario);
+    if let Some(requests) = custom.requests {
+        template.requests = requests;
+    }
+    if let Some(load) = custom.offered_load {
+        template.offered_load = load;
+    }
+    if let Some(seed) = custom.seed {
+        template.seed = seed;
+    }
+    let shard_spec = |_s: usize| custom.platform.clone();
+    let scenario = run_scenario_ladder(&custom.name, &template, &ladder, &custom.mix, &shard_spec);
+    FleetReport {
+        schema: FLEET_SCHEMA.to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        seed: template.seed,
+        scenario_descriptor: custom.descriptor.clone(),
+        shard_ladder: ladder,
+        tenants: custom.mix.tenants().len(),
+        requests: template.requests,
+        max_live: knobs.max_live,
+        min_slice: knobs.min_slice,
+        preempt_margin: knobs.preempt_margin,
+        scenarios: vec![scenario],
     }
 }
 
@@ -871,7 +956,7 @@ fn rung_from_result(
     let sla_violations: usize = m.tenants.iter().map(|t| t.sla_violations).sum();
     FleetRung {
         shards: config.shards(),
-        shard_settings: config.shard_settings.clone(),
+        shard_settings: config.shard_settings.iter().map(|s| s.label()).collect(),
         jobs: m.jobs,
         jobs_per_sec: m.jobs_per_sec,
         throughput_gflops: m.throughput_gflops,
@@ -924,13 +1009,13 @@ mod tests {
 
     fn tiny_knobs() -> FleetKnobs {
         FleetKnobs {
-            serve: settings::ServeKnobs {
+            serve: magma_platform::settings::ServeKnobs {
                 requests: 48,
                 group_target: 6,
                 cold_budget: 40,
                 refine_budget: 4,
                 cache_capacity: 16,
-                ..settings::ServeKnobs::smoke()
+                ..magma_platform::settings::ServeKnobs::smoke()
             },
             shards: 3,
             requests: 48,

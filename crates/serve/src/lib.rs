@@ -40,12 +40,16 @@
 //! * [`metrics`] — the latency/throughput/SLA pipeline, with per-tenant SLA
 //!   contracts.
 //! * [`report`] — the schema-stable `BENCH_serve.json` contract
-//!   (`magma-serve/v2`: both serving modes plus their end-to-end
-//!   comparison, self-checked by
+//!   (`magma-serve/v3`: both serving modes plus their end-to-end
+//!   comparison and the embedded scenario descriptor, self-checked by
 //!   [`ServeReport::validate`](report::ServeReport::validate)).
 //! * [`sweep`] — the epsilon × refine-budget × quantization calibration
-//!   sweep behind `BENCH_cache.json` (`magma-cache/v1`), whose frontier
+//!   sweep behind `BENCH_cache.json` (`magma-cache/v2`), whose frontier
 //!   justifies the shipped cache defaults.
+//! * [`descriptor`] — the self-describing
+//!   [`ScenarioDescriptor`] every report
+//!   embeds, and the [`CustomScenario`] value
+//!   the scenario registry (`magma-registry`) resolves scenario files into.
 //!
 //! # Fleet serving
 //!
@@ -61,7 +65,7 @@
 //! * [`fleet`] — the global event loop gluing trace → batcher → router →
 //!   shards (with an optional shared cache tier and per-shard cache
 //!   persistence), plus the schema-stable `BENCH_fleet.json`
-//!   scaling-ladder report (`magma-fleet/v2`, self-checked by
+//!   scaling-ladder report (`magma-fleet/v3`, self-checked by
 //!   [`FleetReport::validate`](fleet::FleetReport::validate)).
 //!
 //! # Paper cross-references
@@ -98,6 +102,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod descriptor;
 pub mod dispatch;
 pub mod fleet;
 pub mod metrics;
@@ -110,15 +115,18 @@ pub mod trace;
 
 pub use batcher::{AdmissionBatcher, BatchPolicy, DispatchGroup};
 pub use cache::{quantize_signatures, CacheStats, MappingCache, SharedCache, SignatureKey};
+pub use descriptor::{CustomScenario, ScenarioDescriptor};
 pub use dispatch::{DispatchConfig, DispatchKind, DispatchOutcome, MappingService};
 pub use fleet::{
-    fleet_simulate, run_fleet_ladder, write_fleet_json, FleetConfig, FleetReport, FleetResult,
-    FLEET_SCHEMA,
+    fleet_simulate, run_fleet_custom, run_fleet_ladder, write_fleet_json, FleetConfig, FleetReport,
+    FleetResult, FLEET_SCHEMA,
 };
 pub use metrics::{LatencyStats, ServeMetrics};
-pub use report::{run_standard_scenarios, ServeReport, SCHEMA};
+pub use report::{run_custom_scenario, run_standard_scenarios, ServeReport, SCHEMA};
 pub use router::{RouterStats, ShardRouter};
 pub use scheduler::{SchedStats, SchedulerConfig, SessionScheduler};
 pub use sim::{simulate, SimConfig, SimResult};
-pub use sweep::{run_cache_sweep, write_cache_json, CacheSweepReport, CACHE_SCHEMA};
+pub use sweep::{
+    run_cache_sweep, run_cache_sweep_custom, write_cache_json, CacheSweepReport, CACHE_SCHEMA,
+};
 pub use trace::{generate_trace, Arrival, Scenario, TraceParams};

@@ -8,11 +8,12 @@
 //! the determinism suite's bit-identical-JSON assertion possible across
 //! `MAGMA_THREADS` settings.
 
+use crate::descriptor::{CustomScenario, ScenarioDescriptor};
 use crate::sim::{simulate, SimConfig};
 use crate::trace::Scenario;
 use magma_model::{TaskType, TenantMix};
 use magma_platform::settings::ServeKnobs;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::path::PathBuf;
 
 /// Version tag of the report layout. Bump when (and only when) fields are
@@ -23,7 +24,12 @@ use std::path::PathBuf;
 /// serving mode, so every report carries both overlap and legacy results),
 /// the per-scenario `comparison` block, `overlap` on every scenario entry,
 /// `near_hits` in the cache block and `sla_multiplier` per tenant.
-pub const SCHEMA: &str = "magma-serve/v2";
+///
+/// `v3` (the scenario-registry release) adds the embedded
+/// `scenario_descriptor`: what the report measured — builtin ladder knobs or
+/// the resolved registry definitions — content-hashed and required by
+/// [`ServeReport::validate`].
+pub const SCHEMA: &str = "magma-serve/v3";
 
 /// One simulated scenario's block in the report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,6 +88,10 @@ pub struct ServeReport {
     pub refine_budget: usize,
     /// Mapping-cache capacity.
     pub cache_capacity: usize,
+    /// What this report measured: the resolved scenario descriptor
+    /// (builtin ladder parameters, or the registry definitions behind a
+    /// `--scenario` run), content-hashed.
+    pub scenario_descriptor: ScenarioDescriptor,
     /// One entry per simulated scenario, in the primary serving mode
     /// (overlap by default, `MAGMA_SERVE_OVERLAP=0` flips it).
     pub scenarios: Vec<ScenarioResult>,
@@ -111,13 +121,14 @@ impl ServeReport {
         }
     }
 
-    /// The `magma-serve/v2` schema self-check: the versioned invariants CI
+    /// The `magma-serve/v3` schema self-check: the versioned invariants CI
     /// asserts before uploading a profile. Returns the first violation as an
     /// error string.
     pub fn validate(&self) -> Result<(), String> {
         if self.schema != SCHEMA {
             return Err(format!("schema tag {} != {}", self.schema, SCHEMA));
         }
+        self.scenario_descriptor.validate().map_err(|e| format!("serve report: {e}"))?;
         if self.scenarios.is_empty() {
             return Err("empty primary ladder".into());
         }
@@ -214,13 +225,16 @@ fn run_ladder(knobs: &ServeKnobs, smoke: bool, overlap: bool) -> Vec<ScenarioRes
         .collect()
 }
 
-/// Runs the standard scenario ladder under `knobs` in **both** serving modes
-/// and assembles the report: the primary ladder follows `knobs.overlap`
-/// (`MAGMA_SERVE_OVERLAP`, default on), the baseline ladder is the other
-/// mode, and the comparison block pairs them per scenario.
-pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
-    let scenarios = run_ladder(knobs, smoke, knobs.overlap);
-    let baseline_scenarios = run_ladder(knobs, smoke, !knobs.overlap);
+/// Assembles a two-ladder report (primary + baseline + comparison) from its
+/// parts — shared by the builtin and registry paths.
+fn assemble_report(
+    knobs: &ServeKnobs,
+    smoke: bool,
+    seed: u64,
+    descriptor: ScenarioDescriptor,
+    scenarios: Vec<ScenarioResult>,
+    baseline_scenarios: Vec<ScenarioResult>,
+) -> ServeReport {
     let (overlap_ladder, legacy_ladder) = if knobs.overlap {
         (&scenarios, &baseline_scenarios)
     } else {
@@ -246,14 +260,93 @@ pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
         schema: SCHEMA.to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         primary_overlap: knobs.overlap,
-        seed: knobs.seed,
+        seed,
         cold_budget: knobs.cold_budget,
         refine_budget: knobs.refine_budget,
         cache_capacity: knobs.cache_capacity,
+        scenario_descriptor: descriptor,
         scenarios,
         baseline_scenarios,
         comparison,
     }
+}
+
+/// The builtin ladder's self-describing descriptor: the knob values that
+/// shape the run plus the ladder's scenario names (the registry path embeds
+/// the full resolved definitions instead).
+fn builtin_serve_descriptor(knobs: &ServeKnobs, smoke: bool) -> ScenarioDescriptor {
+    let names: Vec<Value> = standard_scenarios(smoke)
+        .iter()
+        .map(|(name, _, _)| Value::Str((*name).to_string()))
+        .collect();
+    let params = Value::Map(vec![
+        ("requests".into(), Value::U64(knobs.requests as u64)),
+        ("group_target".into(), Value::U64(knobs.group_target as u64)),
+        ("offered_load".into(), Value::F64(knobs.offered_load)),
+        ("sla_x".into(), Value::F64(knobs.sla_x)),
+        ("cold_budget".into(), Value::U64(knobs.cold_budget as u64)),
+        ("refine_budget".into(), Value::U64(knobs.refine_budget as u64)),
+        ("cache_capacity".into(), Value::U64(knobs.cache_capacity as u64)),
+        ("cache_epsilon".into(), Value::F64(knobs.cache_epsilon)),
+        ("quant_step".into(), Value::F64(knobs.quant_step)),
+        ("platform".into(), Value::Str("S2".into())),
+        ("seed".into(), Value::U64(knobs.seed)),
+        ("scenarios".into(), Value::Seq(names)),
+    ]);
+    ScenarioDescriptor::new("builtin", "standard_ladder", params)
+}
+
+/// Runs the standard scenario ladder under `knobs` in **both** serving modes
+/// and assembles the report: the primary ladder follows `knobs.overlap`
+/// (`MAGMA_SERVE_OVERLAP`, default on), the baseline ladder is the other
+/// mode, and the comparison block pairs them per scenario.
+pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
+    let scenarios = run_ladder(knobs, smoke, knobs.overlap);
+    let baseline_scenarios = run_ladder(knobs, smoke, !knobs.overlap);
+    let descriptor = builtin_serve_descriptor(knobs, smoke);
+    assemble_report(knobs, smoke, knobs.seed, descriptor, scenarios, baseline_scenarios)
+}
+
+/// Runs one registry-defined scenario in **both** serving modes and
+/// assembles a single-scenario report embedding its descriptor. Knob-level
+/// budgets and cache geometry come from `knobs`; the scenario supplies the
+/// platform, mix and arrival process, and its optional `requests` /
+/// `offered_load` / `seed` override the knob defaults.
+pub fn run_custom_scenario(
+    knobs: &ServeKnobs,
+    smoke: bool,
+    custom: &CustomScenario,
+) -> ServeReport {
+    let run_one = |overlap: bool| -> ScenarioResult {
+        let mut config = SimConfig::from_knobs(knobs, custom.scenario).with_overlap(overlap);
+        config.platform = custom.platform.clone();
+        if let Some(requests) = custom.requests {
+            config.requests = requests;
+        }
+        if let Some(load) = custom.offered_load {
+            config.offered_load = load;
+        }
+        if let Some(seed) = custom.seed {
+            config.seed = seed;
+        }
+        // Same cold-start contract as the builtin ladders.
+        config.cache_path = None;
+        let result = simulate(&config, &custom.mix);
+        ScenarioResult {
+            name: custom.name.clone(),
+            scenario: custom.scenario,
+            overlap,
+            requests: config.requests,
+            group_target: config.group_target,
+            mean_interarrival_us: result.mean_interarrival_sec * 1e6,
+            sla_us: result.sla_sec * 1e6,
+            metrics: result.metrics,
+        }
+    };
+    let scenarios = vec![run_one(knobs.overlap)];
+    let baseline_scenarios = vec![run_one(!knobs.overlap)];
+    let seed = custom.seed.unwrap_or(knobs.seed);
+    assemble_report(knobs, smoke, seed, custom.descriptor.clone(), scenarios, baseline_scenarios)
 }
 
 /// Writes the report to `BENCH_serve.json` in `MAGMA_BENCH_DIR` (default:
@@ -345,6 +438,11 @@ mod tests {
             "\"mean_speedup\"",
             "\"near_hits\"",
             "\"sla_multiplier\"",
+            // v3 additions.
+            "\"scenario_descriptor\"",
+            "\"source\"",
+            "\"content_hash\"",
+            "\"params\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
@@ -379,5 +477,40 @@ mod tests {
         let mut wrong_tag = run_standard_scenarios(&tiny_knobs(), true);
         wrong_tag.schema = "magma-serve/v1".into();
         assert!(wrong_tag.validate().is_err());
+        // v3: a descriptor whose params were edited without re-hashing
+        // fails the self-check.
+        let mut stale_hash = run_standard_scenarios(&tiny_knobs(), true);
+        stale_hash.scenario_descriptor.params = serde::Value::Null;
+        assert!(stale_hash.validate().is_err());
+    }
+
+    #[test]
+    fn custom_scenario_runs_and_embeds_its_descriptor() {
+        use crate::descriptor::ScenarioDescriptor;
+        use magma_platform::{PlatformSpec, Setting};
+        let knobs = tiny_knobs();
+        let descriptor = ScenarioDescriptor::new(
+            "registry",
+            "test_custom",
+            serde::Value::Map(vec![("platform".into(), serde::Value::Str("S1".into()))]),
+        );
+        let custom = CustomScenario {
+            name: "test_custom".into(),
+            scenario: Scenario::Poisson,
+            mix: TenantMix::standard(),
+            platform: PlatformSpec::Setting(Setting::S1),
+            requests: Some(32),
+            offered_load: None,
+            seed: Some(9),
+            descriptor,
+        };
+        let report = run_custom_scenario(&knobs, true, &custom);
+        report.validate().expect("custom-scenario report must self-check");
+        assert_eq!(report.scenario_descriptor.source, "registry");
+        assert_eq!(report.seed, 9);
+        assert_eq!(report.scenarios.len(), 1);
+        assert_eq!(report.scenarios[0].name, "test_custom");
+        assert_eq!(report.scenarios[0].requests, 32);
+        assert_eq!(report.scenarios[0].metrics.jobs, 32);
     }
 }

@@ -53,16 +53,17 @@ use crate::metrics::{CacheReport, DispatchSummary, LatencyStats, ServeMetrics, T
 use crate::trace::{generate_trace, Scenario, TraceParams};
 use magma_m3e::{M3e, Mapping, Objective};
 use magma_model::{Group, JobId, TenantMix};
-use magma_platform::settings::{self, ServeKnobs};
-use magma_platform::Setting;
+use magma_platform::settings::ServeKnobs;
+use magma_platform::{PlatformSpec, Setting};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The full parameter set of one simulated scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
-    /// The accelerator platform (Table III setting).
-    pub setting: Setting,
+    /// The accelerator platform: a Table III setting or a custom
+    /// (registry-loaded) platform.
+    pub platform: PlatformSpec,
     /// The traffic scenario.
     pub scenario: Scenario,
     /// Arrivals to simulate.
@@ -99,7 +100,7 @@ impl SimConfig {
     /// on the default platform (S2, the paper's main evaluation setting).
     pub fn from_knobs(knobs: &ServeKnobs, scenario: Scenario) -> Self {
         SimConfig {
-            setting: Setting::S2,
+            platform: PlatformSpec::Setting(Setting::S2),
             scenario,
             requests: knobs.requests,
             group_target: knobs.group_target,
@@ -207,7 +208,7 @@ pub(crate) fn calibrate(
 pub fn simulate(config: &SimConfig, mix: &TenantMix) -> SimResult {
     assert!(config.requests > 0 && config.group_target > 0);
     assert!(config.offered_load > 0.0 && config.offered_load.is_finite());
-    let platform = settings::build(config.setting);
+    let platform = config.platform.build();
 
     // --- calibration: unoptimized service time of one representative group.
     let Calibration { mean_interarrival_sec, batch_window_sec, sla_sec } = calibrate(
@@ -533,7 +534,7 @@ mod tests {
 
     fn tiny_config(scenario: Scenario, seed: u64) -> SimConfig {
         SimConfig {
-            setting: Setting::S2,
+            platform: PlatformSpec::Setting(Setting::S2),
             scenario,
             requests: 48,
             group_target: 8,

@@ -29,16 +29,19 @@
 //! process environment, so only the `cache_sweep` binary requests it —
 //! library users (and the test suite) leave it off.
 
+use crate::descriptor::{CustomScenario, ScenarioDescriptor};
 use crate::sim::{simulate, SimConfig};
 use crate::trace::Scenario;
 use magma_model::TenantMix;
 use magma_platform::settings::ServeKnobs;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::path::PathBuf;
 
 /// Version tag of the cache-sweep report layout. Same contract as
 /// [`crate::report::SCHEMA`]: fields are only ever added, with a bump.
-pub const CACHE_SCHEMA: &str = "magma-cache/v1";
+/// `v2` added the embedded `scenario_descriptor` (required by
+/// [`CacheSweepReport::validate`]).
+pub const CACHE_SCHEMA: &str = "magma-cache/v2";
 
 /// Minimum `quality_vs_probe_off` a grid point must keep to be admissible
 /// as the calibrated point.
@@ -133,6 +136,10 @@ pub struct CacheSweepReport {
     pub default_refine_budget: usize,
     /// Shipped default quantization step.
     pub default_quant_step: f64,
+    /// What this sweep measured: the resolved scenario descriptor (builtin
+    /// mix-trace parameters, or the registry definitions behind a
+    /// `--scenario` run), content-hashed.
+    pub scenario_descriptor: ScenarioDescriptor,
     /// One entry per grid point, in sweep order (epsilon-major).
     pub grid: Vec<SweepPoint>,
     /// The calibrated point: highest hit rate among admissible points
@@ -154,6 +161,7 @@ impl CacheSweepReport {
         if self.schema != CACHE_SCHEMA {
             return Err(format!("schema tag {} != {}", self.schema, CACHE_SCHEMA));
         }
+        self.scenario_descriptor.validate().map_err(|e| format!("cache report: {e}"))?;
         if self.grid.is_empty() {
             return Err("empty sweep grid".into());
         }
@@ -277,11 +285,12 @@ pub fn sweep_grid(knobs: &ServeKnobs, smoke: bool) -> Vec<(f64, usize, f64)> {
     grid
 }
 
-/// Runs one grid point: the standard Poisson mix trace under `knobs` with
-/// the point's probe threshold, refinement budget and quantization step.
-fn run_point(knobs: &ServeKnobs, mix: &TenantMix, point: (f64, usize, f64)) -> SweepPoint {
+/// Runs one grid point: the template's trace (the standard Poisson mix for
+/// the builtin sweep, a registry scenario otherwise) with the point's probe
+/// threshold, refinement budget and quantization step.
+fn run_point(template: &SimConfig, mix: &TenantMix, point: (f64, usize, f64)) -> SweepPoint {
     let (epsilon, refine_budget, quant_step) = point;
-    let mut config = SimConfig::from_knobs(knobs, Scenario::Poisson);
+    let mut config = template.clone();
     config.dispatch.cache_epsilon = epsilon;
     config.dispatch.refine_budget = refine_budget;
     config.dispatch.quant_step = quant_step;
@@ -356,15 +365,73 @@ fn calibrate_grid(grid: &[SweepPoint], shipped: (f64, usize, f64)) -> Option<Swe
         .cloned()
 }
 
+/// The builtin sweep's self-describing descriptor: the knob values that
+/// shape the mix-trace sweep.
+fn builtin_cache_descriptor(knobs: &ServeKnobs) -> ScenarioDescriptor {
+    let params = Value::Map(vec![
+        ("requests".into(), Value::U64(knobs.requests as u64)),
+        ("group_target".into(), Value::U64(knobs.group_target as u64)),
+        ("offered_load".into(), Value::F64(knobs.offered_load)),
+        ("cold_budget".into(), Value::U64(knobs.cold_budget as u64)),
+        ("default_epsilon".into(), Value::F64(knobs.cache_epsilon)),
+        ("default_refine_budget".into(), Value::U64(knobs.refine_budget as u64)),
+        ("default_quant_step".into(), Value::F64(knobs.quant_step)),
+        ("platform".into(), Value::Str("S2".into())),
+        ("mix".into(), Value::Str("standard".into())),
+        ("scenario".into(), Value::Str("poisson".into())),
+        ("seed".into(), Value::U64(knobs.seed)),
+    ]);
+    ScenarioDescriptor::new("builtin", "cache_sweep", params)
+}
+
 /// Runs the sweep and assembles the report. `profile_ab` additionally runs
 /// the shipped knob point with `MAGMA_SIGNATURE_PROFILE` forced on and off
 /// — this mutates the process environment, so pass `true` only from a
 /// binary's main thread (the `cache_sweep` bin does; the library test
 /// suite must not).
 pub fn run_cache_sweep(knobs: &ServeKnobs, smoke: bool, profile_ab: bool) -> CacheSweepReport {
+    let template = SimConfig::from_knobs(knobs, Scenario::Poisson);
     let mix = TenantMix::standard();
+    let descriptor = builtin_cache_descriptor(knobs);
+    run_sweep_inner(knobs, smoke, profile_ab, &template, &mix, descriptor)
+}
+
+/// Runs the same calibration sweep on a registry-defined scenario: its
+/// platform, mix and arrival process replace the builtin S2 / standard-mix /
+/// Poisson trace, and the report embeds its descriptor. The grid axes and
+/// admission floors are unchanged, so registry scenarios can re-calibrate
+/// the cache knobs for their own traffic.
+pub fn run_cache_sweep_custom(
+    knobs: &ServeKnobs,
+    smoke: bool,
+    profile_ab: bool,
+    custom: &CustomScenario,
+) -> CacheSweepReport {
+    let mut template = SimConfig::from_knobs(knobs, custom.scenario);
+    template.platform = custom.platform.clone();
+    if let Some(requests) = custom.requests {
+        template.requests = requests;
+    }
+    if let Some(load) = custom.offered_load {
+        template.offered_load = load;
+    }
+    if let Some(seed) = custom.seed {
+        template.seed = seed;
+    }
+    run_sweep_inner(knobs, smoke, profile_ab, &template, &custom.mix, custom.descriptor.clone())
+}
+
+/// The sweep engine shared by the builtin and registry paths.
+fn run_sweep_inner(
+    knobs: &ServeKnobs,
+    smoke: bool,
+    profile_ab: bool,
+    template: &SimConfig,
+    mix: &TenantMix,
+    descriptor: ScenarioDescriptor,
+) -> CacheSweepReport {
     let mut grid: Vec<SweepPoint> =
-        sweep_grid(knobs, smoke).into_iter().map(|p| run_point(knobs, &mix, p)).collect();
+        sweep_grid(knobs, smoke).into_iter().map(|p| run_point(template, mix, p)).collect();
     attach_quality(&mut grid);
     let shipped = (knobs.cache_epsilon, knobs.refine_budget, knobs.quant_step);
     let calibrated = calibrate_grid(&grid, shipped);
@@ -376,9 +443,9 @@ pub fn run_cache_sweep(knobs: &ServeKnobs, smoke: bool, profile_ab: bool) -> Cac
     let ab = profile_ab.then(|| {
         let prior = std::env::var("MAGMA_SIGNATURE_PROFILE").ok();
         std::env::set_var("MAGMA_SIGNATURE_PROFILE", "1");
-        let mut on = run_point(knobs, &mix, shipped);
+        let mut on = run_point(template, mix, shipped);
         std::env::set_var("MAGMA_SIGNATURE_PROFILE", "0");
-        let mut off = run_point(knobs, &mix, shipped);
+        let mut off = run_point(template, mix, shipped);
         match prior {
             Some(v) => std::env::set_var("MAGMA_SIGNATURE_PROFILE", v),
             None => std::env::remove_var("MAGMA_SIGNATURE_PROFILE"),
@@ -396,14 +463,15 @@ pub fn run_cache_sweep(knobs: &ServeKnobs, smoke: bool, profile_ab: bool) -> Cac
     CacheSweepReport {
         schema: CACHE_SCHEMA.to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
-        seed: knobs.seed,
-        requests: knobs.requests,
+        seed: template.seed,
+        requests: template.requests,
         cold_budget: knobs.cold_budget,
         quality_floor: QUALITY_FLOOR,
         budget_ceiling: BUDGET_CEILING,
         default_epsilon: knobs.cache_epsilon,
         default_refine_budget: knobs.refine_budget,
         default_quant_step: knobs.quant_step,
+        scenario_descriptor: descriptor,
         grid,
         calibrated,
         defaults_match_calibrated,
@@ -470,6 +538,9 @@ mod tests {
             "\"calibrated\"",
             "\"defaults_match_calibrated\"",
             "\"profile_ab\"",
+            // v2 additions.
+            "\"scenario_descriptor\"",
+            "\"content_hash\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

@@ -8,7 +8,7 @@
 //! serialized report* must be byte-equal across `MAGMA_THREADS` ∈ {1, 4}
 //! (pinned per-thread via `magma_optim::parallel::with_threads`, exactly as
 //! the optimizer determinism suite does) and across repeated runs. Since the
-//! `magma-serve/v2` schema the report carries **both** serving modes —
+//! `magma-serve/v3` schema the report carries **both** serving modes —
 //! overlap (search slices interleaved with execution, the default) and the
 //! legacy serial baseline — and the suite locks the acceptance criteria of
 //! both: the repeated-tenant cache economics (hits ≥ 90% of cold throughput
