@@ -37,9 +37,8 @@ use magma_serve::sweep::{run_cache_sweep, run_cache_sweep_custom, write_cache_js
 use magma_serve::CacheSweepReport;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("MAGMA_SERVE_MODE").map(|v| v == "smoke").unwrap_or(false);
-    let scenario = magma_bench::scenario_arg();
+    let cli = magma_bench::serving_cli("MAGMA_SERVE_MODE");
+    let (smoke, scenario) = (cli.smoke, cli.scenario);
     let knobs = magma::platform::settings::ServeKnobs::from_env(smoke);
     println!("==============================================================");
     println!("cache_sweep — mapping-cache calibration (magma-serve)");

@@ -50,9 +50,8 @@ use magma_serve::fleet::{
 use magma_serve::FleetReport;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("MAGMA_FLEET_MODE").map(|v| v == "smoke").unwrap_or(false);
-    let scenario = magma_bench::scenario_arg();
+    let cli = magma_bench::serving_cli("MAGMA_FLEET_MODE");
+    let (smoke, scenario) = (cli.smoke, cli.scenario);
     let knobs = magma::platform::settings::FleetKnobs::from_env(smoke);
     println!("==============================================================");
     println!("fleet_sim — fleet-scale multi-shard serving (magma-serve)");

@@ -1,0 +1,153 @@
+//! `loadgen` — the wall-clock load generator for the `magma_server`
+//! daemon (`magma-server`).
+//!
+//! Replays a traffic scenario over the wire at a target rate: each trace
+//! arrival becomes one `submit_group` RPC at its wall-clock due time,
+//! admission verdicts and terminal `done`s are correlated by request id,
+//! and after the last send the generator waits for stragglers, snapshots
+//! the server's stats and drains it. The run emits the schema-stable
+//! `BENCH_rpc.json` (`magma-rpc/v1`): client-measured p50/p95/p99,
+//! accepted/rejected/timed-out/cancelled counts, the daemon's final
+//! counters and the resolved scenario descriptor.
+//!
+//! The process exits non-zero if the report fails its own schema
+//! self-check or if any accepted submit never reached a terminal
+//! response (`dropped_in_flight != 0`) — the drain guarantee CI gates on.
+//!
+//! With `--scenario <file>` the trace replays a registry scenario's
+//! traffic block and tenant mix; the daemon should be started with the
+//! same file so the mixes agree.
+//!
+//! # Knobs
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `--smoke` / `MAGMA_SERVER_MODE=smoke` | CI scale: fewer requests, higher rate |
+//! | `MAGMA_SERVER_ADDR` | daemon address to dial (default `127.0.0.1:4270`) |
+//! | `MAGMA_SERVER_RATE` | offered rate, groups per wall-clock second |
+//! | `MAGMA_SERVER_REQUESTS` | trace length (arrivals replayed) |
+//! | `MAGMA_SERVER_TIMEOUT_SEC` | client-side wait bound for stragglers |
+//! | `MAGMA_SERVER_MAX_FRAME` | RPC frame size limit in bytes |
+//! | `--scenario <file>` | replay a registry scenario's traffic/mix |
+//! | `MAGMA_SCENARIO_DIR` | registry root for scenario references (default `scenarios/`) |
+//! | `MAGMA_BENCH_DIR` | output directory of `BENCH_rpc.json` |
+
+use magma::platform::settings::ServerKnobs;
+use magma_model::TenantMix;
+use magma_serve::trace::{generate_trace, Scenario, TraceParams};
+use magma_serve::ScenarioDescriptor;
+use magma_server::loadgen::{self, LoadgenParams};
+use magma_server::write_rpc_json;
+
+fn main() {
+    let cli = magma_bench::serving_cli("MAGMA_SERVER_MODE");
+    let smoke = cli.smoke;
+    let knobs = ServerKnobs::from_env(smoke);
+    let mode = if smoke { "smoke" } else { "full" };
+
+    println!("==============================================================");
+    println!("loadgen — wall-clock RPC load generator (magma-server)");
+
+    let (scenario, mix, requests, seed, descriptor) = match &cli.scenario {
+        Some(path) => {
+            let resolved = magma_bench::resolve_scenario_or_exit(path);
+            println!(
+                "registry scenario {:?}: {} traffic, {} tenants, descriptor {}",
+                resolved.name,
+                resolved.scenario,
+                resolved.mix.len(),
+                resolved.descriptor.content_hash
+            );
+            let requests = resolved.requests.unwrap_or(knobs.requests);
+            let seed = resolved.seed.unwrap_or(knobs.fleet.serve.seed);
+            (resolved.scenario, resolved.mix.clone(), requests, seed, resolved.descriptor)
+        }
+        None => {
+            let seed = knobs.fleet.serve.seed;
+            let params = serde::Value::Map(vec![
+                ("requests".into(), serde::Value::U64(knobs.requests as u64)),
+                ("rate".into(), serde::Value::F64(knobs.rate)),
+                ("tenants".into(), serde::Value::U64(knobs.fleet.tenants as u64)),
+                ("scenario".into(), serde::Value::Str("poisson".into())),
+                ("seed".into(), serde::Value::U64(seed)),
+            ]);
+            (
+                Scenario::Poisson,
+                TenantMix::synthetic(knobs.fleet.tenants, seed),
+                knobs.requests,
+                seed,
+                ScenarioDescriptor::new("builtin", "loadgen_poisson", params),
+            )
+        }
+    };
+    println!(
+        "mode {mode}, target {}, {} requests at {} groups/s, timeout {}s, seed {seed}",
+        knobs.addr, requests, knobs.rate, knobs.timeout_sec
+    );
+    println!("==============================================================");
+
+    let trace = generate_trace(
+        &TraceParams {
+            scenario,
+            requests,
+            mean_interarrival_sec: 1.0 / knobs.rate,
+            mini_batch: magma_model::workload::DEFAULT_MINI_BATCH,
+            seed,
+        },
+        &mix,
+    );
+    let params = LoadgenParams {
+        addr: knobs.addr.clone(),
+        rate: knobs.rate,
+        max_frame_bytes: knobs.max_frame_bytes,
+        timeout_sec: knobs.timeout_sec,
+        speedup: 1.0,
+    };
+    let report = match loadgen::run(&params, &trace, descriptor, mode) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen run against {} failed: {e}", knobs.addr);
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(violation) = report.validate() {
+        eprintln!("magma-rpc/v1 schema self-check failed: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "admission: {} accepted / {} busy / {} errored of {} requests",
+        report.accepted, report.rejected, report.errored, report.requests
+    );
+    println!(
+        "terminals: {} done ({} timed out), {} cancelled, {} dropped in flight",
+        report.completed, report.timed_out, report.cancelled, report.dropped_in_flight
+    );
+    println!(
+        "client latency: mean {:.1} ms, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        report.mean_latency_ms, report.p50_latency_ms, report.p95_latency_ms, report.p99_latency_ms
+    );
+    println!(
+        "server: {} jobs completed, {} sessions preempted, cache {}/{}/{} hit/near/miss",
+        report.server.completed_jobs,
+        report.server.preempted_sessions,
+        report.server.cache_hits,
+        report.server.cache_near_hits,
+        report.server.cache_misses
+    );
+
+    match write_rpc_json(&report) {
+        Ok(path) => println!("\n(RPC profile written to {})", path.display()),
+        Err(e) => {
+            eprintln!("could not write BENCH_rpc.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.dropped_in_flight != 0 {
+        eprintln!(
+            "{} accepted submits never reached a terminal response — the drain guarantee failed",
+            report.dropped_in_flight
+        );
+        std::process::exit(1);
+    }
+}

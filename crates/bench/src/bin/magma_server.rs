@@ -1,0 +1,114 @@
+//! `magma_server` — the wall-clock RPC serving daemon (`magma-server`).
+//!
+//! Binds a TCP socket and serves the mapping pipeline for real: clients
+//! submit job groups over the length-prefixed JSON protocol, the engine
+//! batches, places and searches them against `Instant::now()`, and every
+//! group's execution is reported back as a multiplexed `done` response.
+//! The process runs until a client sends `drain`: admissions close, every
+//! live session finishes, shard caches persist (when
+//! `MAGMA_SERVE_CACHE_PATH` is set) and the daemon exits with a final
+//! counter summary.
+//!
+//! With `--scenario <file>` the platform and tenant mix come from a
+//! registry scenario (`magma-registry`) instead of the synthetic
+//! defaults; the scenario's cache/SLA residuals apply to the engine.
+//!
+//! # Knobs
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `--smoke` / `MAGMA_SERVER_MODE=smoke` | CI scale: smaller budgets, tighter timeout |
+//! | `MAGMA_SERVER_ADDR` | bind address (default `127.0.0.1:4270`; port 0 = ephemeral) |
+//! | `MAGMA_SERVER_BACKLOG_SEC` | projected-backlog bound before `busy` rejections |
+//! | `MAGMA_SERVER_PENDING` | bounded admission queue per shard (planned groups) |
+//! | `MAGMA_SERVER_TIMEOUT_SEC` | wall-clock session timeout (early finish + `timed_out`) |
+//! | `MAGMA_SERVER_MAX_FRAME` | RPC frame size limit in bytes |
+//! | `MAGMA_SERVER_RATE` | target rate used to price the batching window |
+//! | `MAGMA_FLEET_*` / `MAGMA_SERVE_*` | the underlying fleet/serving knobs |
+//! | `MAGMA_SERVE_CACHE_PATH` | per-shard cache persistence at `<path>.shard<i>` |
+//! | `--scenario <file>` | serve a registry scenario's platform/mix |
+//! | `MAGMA_SCENARIO_DIR` | registry root for scenario references (default `scenarios/`) |
+
+use magma::platform::settings::{PlatformSpec, ServerKnobs};
+use magma_model::TenantMix;
+use magma_serve::EngineConfig;
+use magma_server::Server;
+
+fn main() {
+    let cli = magma_bench::serving_cli("MAGMA_SERVER_MODE");
+    let smoke = cli.smoke;
+    let mut knobs = ServerKnobs::from_env(smoke);
+
+    println!("==============================================================");
+    println!("magma_server — wall-clock RPC serving daemon (magma-server)");
+
+    let (config, mix) = match &cli.scenario {
+        Some(path) => {
+            let resolved = magma_bench::resolve_scenario_or_exit(path);
+            let custom = resolved.custom();
+            knobs.fleet.serve = custom.apply_serving(&knobs.fleet.serve);
+            if let Some(seed) = custom.seed {
+                knobs.fleet.serve.seed = seed;
+            }
+            let mut config = EngineConfig::from_knobs(&knobs);
+            config.shard_settings =
+                vec![PlatformSpec::Custom(resolved.platform.clone()); knobs.fleet.shards];
+            println!(
+                "registry scenario {:?}: platform {} ({} cores) on every shard, {} tenants, \
+                 descriptor {}",
+                resolved.name,
+                resolved.platform.name(),
+                resolved.platform_def.core_count(),
+                resolved.mix.len(),
+                resolved.descriptor.content_hash
+            );
+            (config, resolved.mix)
+        }
+        None => (
+            EngineConfig::from_knobs(&knobs),
+            TenantMix::synthetic(knobs.fleet.tenants, knobs.fleet.serve.seed),
+        ),
+    };
+    println!(
+        "mode {}, {} shards, policy {}, max_live {}, backlog bound {}s, \
+         pending/shard {}, timeout {}s, seed {}",
+        if smoke { "smoke" } else { "full" },
+        config.shards(),
+        config.policy,
+        config.max_live,
+        config.max_backlog_sec,
+        config.pending_per_shard,
+        config.timeout_sec,
+        config.seed
+    );
+    println!("==============================================================");
+
+    let server = match Server::start(&knobs.addr, knobs.max_frame_bytes, config, mix) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("could not bind {}: {e}", knobs.addr);
+            std::process::exit(1);
+        }
+    };
+    // Scripts (and the CI smoke job) scrape this line for the resolved
+    // address, so keep its shape stable.
+    println!("listening on {}", server.addr());
+
+    let stats = server.join();
+    println!(
+        "drained: {} accepted / {} rejected submits; {} jobs completed \
+         ({} timed out, {} cancelled); sessions {} admitted = {} completed + {} preempted; \
+         cache {}/{}/{} hit/near/miss",
+        stats.accepted,
+        stats.rejected,
+        stats.completed_jobs,
+        stats.timed_out_jobs,
+        stats.cancelled_jobs,
+        stats.admitted_sessions,
+        stats.completed_sessions,
+        stats.preempted_sessions,
+        stats.cache_hits,
+        stats.cache_near_hits,
+        stats.cache_misses
+    );
+}

@@ -55,9 +55,8 @@ use magma_serve::report::{
 use magma_serve::ServeReport;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("MAGMA_SERVE_MODE").map(|v| v == "smoke").unwrap_or(false);
-    let scenario = magma_bench::scenario_arg();
+    let cli = magma_bench::serving_cli("MAGMA_SERVE_MODE");
+    let (smoke, scenario) = (cli.smoke, cli.scenario);
     let knobs = magma::platform::settings::ServeKnobs::from_env(smoke);
     println!("==============================================================");
     println!("serve_sim — online multi-tenant serving (magma-serve)");

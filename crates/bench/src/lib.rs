@@ -84,26 +84,65 @@ impl Scale {
     }
 }
 
-/// Parses the shared `--scenario <file>` flag of the serving binaries
-/// (`serve_sim` / `fleet_sim` / `cache_sweep`): the path of a registry
-/// scenario definition to run instead of the builtin ladder. Exits with an
-/// actionable error when the flag is present without a path.
-pub fn scenario_arg() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
+/// The parsed command line shared by the serving binaries (`serve_sim`,
+/// `fleet_sim`, `cache_sweep`, `magma_server`, `loadgen`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServingCli {
+    /// CI scale requested (`--smoke`, or the binary's mode env var).
+    pub smoke: bool,
+    /// Registry scenario file to run instead of the builtin ladder
+    /// (`--scenario <file>` / `--scenario=<file>`).
+    pub scenario: Option<PathBuf>,
+}
+
+/// Pure parser behind [`serving_cli`]: accepts `--smoke`,
+/// `--scenario <file>` and `--scenario=<file>`; **any other flag is a hard
+/// error** (the serving binaries used to silently ignore typos like
+/// `--smokey` or `--scenrio`, running at full scale instead).
+pub fn parse_serving_args<I>(args: I) -> Result<ServingCli, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut cli = ServingCli::default();
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
-        if arg == "--scenario" {
+        if arg == "--smoke" {
+            cli.smoke = true;
+        } else if arg == "--scenario" {
             match args.next() {
-                Some(path) => return Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("--scenario requires a path to a registry scenario file");
-                    std::process::exit(2);
-                }
+                Some(path) => cli.scenario = Some(PathBuf::from(path)),
+                None => return Err("--scenario requires a path to a registry scenario file".into()),
             }
         } else if let Some(path) = arg.strip_prefix("--scenario=") {
-            return Some(PathBuf::from(path));
+            if path.is_empty() {
+                return Err("--scenario requires a path to a registry scenario file".into());
+            }
+            cli.scenario = Some(PathBuf::from(path));
+        } else {
+            return Err(format!(
+                "unknown argument {arg:?} (expected --smoke, --scenario <file> or \
+                 --scenario=<file>)"
+            ));
         }
     }
-    None
+    Ok(cli)
+}
+
+/// Parses the process arguments of a serving binary, folding in the
+/// binary's smoke-mode environment variable (`MAGMA_SERVE_MODE`,
+/// `MAGMA_FLEET_MODE` or `MAGMA_SERVER_MODE` set to `smoke`). Unknown flags
+/// exit with status 2 and an actionable message.
+pub fn serving_cli(mode_env: &str) -> ServingCli {
+    match parse_serving_args(std::env::args().skip(1)) {
+        Ok(mut cli) => {
+            cli.smoke |= std::env::var(mode_env).map(|v| v == "smoke").unwrap_or(false);
+            cli
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Resolves a `--scenario` path against the registry
@@ -171,6 +210,30 @@ mod tests {
         assert!(s.group_size <= 100);
         assert!(s.budget <= 10_000);
         assert!(Scale::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn serving_cli_accepts_the_shared_flags() {
+        let to_args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_serving_args(to_args(&[])).unwrap(), ServingCli::default());
+        let cli = parse_serving_args(to_args(&["--smoke"])).unwrap();
+        assert!(cli.smoke && cli.scenario.is_none());
+        let cli = parse_serving_args(to_args(&["--scenario", "a/b.json", "--smoke"])).unwrap();
+        assert!(cli.smoke);
+        assert_eq!(cli.scenario.as_deref(), Some(std::path::Path::new("a/b.json")));
+        let cli = parse_serving_args(to_args(&["--scenario=c.json"])).unwrap();
+        assert_eq!(cli.scenario.as_deref(), Some(std::path::Path::new("c.json")));
+    }
+
+    #[test]
+    fn serving_cli_rejects_unknown_and_malformed_flags() {
+        let to_args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert!(parse_serving_args(to_args(&["--smokey"])).unwrap_err().contains("--smokey"));
+        assert!(parse_serving_args(to_args(&["extra"])).is_err());
+        assert!(parse_serving_args(to_args(&["--scenario"])).unwrap_err().contains("path"));
+        assert!(parse_serving_args(to_args(&["--scenario="])).is_err());
+        // The first bad flag wins even after valid ones.
+        assert!(parse_serving_args(to_args(&["--smoke", "--verbose"])).is_err());
     }
 
     #[test]

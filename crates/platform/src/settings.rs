@@ -409,6 +409,104 @@ impl FleetKnobs {
     }
 }
 
+/// The `MAGMA_SERVER_*` knob family configuring the wall-clock RPC serving
+/// daemon (`magma-server` / the `magma_server` and `loadgen` binaries),
+/// layered on top of the [`FleetKnobs`] fleet shape (which itself layers on
+/// the [`ServeKnobs`] budgets).
+///
+/// | Variable | Field | Meaning |
+/// |---|---|---|
+/// | `MAGMA_SERVER_ADDR` | `addr` | TCP listen/connect address of the daemon |
+/// | `MAGMA_SERVER_BACKLOG_SEC` | `max_backlog_sec` | admission threshold: a submit is answered `Busy` when every shard's projected mapper backlog (the router's load metric, in seconds) exceeds this |
+/// | `MAGMA_SERVER_PENDING` | `pending_per_shard` | bounded admission queue: planned groups a shard may hold beyond its live sessions before submits bounce |
+/// | `MAGMA_SERVER_TIMEOUT_SEC` | `timeout_sec` | session timeout: a group still searching this long after admission is cancelled via early `finish()` |
+/// | `MAGMA_SERVER_MAX_FRAME` | `max_frame_bytes` | RPC frame size bound; oversized frames are rejected and the connection dropped |
+/// | `MAGMA_SERVER_RATE` | `rate` | loadgen target submission rate, in groups per wall-clock second |
+/// | `MAGMA_SERVER_REQUESTS` | `requests` | loadgen trace length (arrivals replayed over the wire) |
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerKnobs {
+    /// The underlying fleet shape: shard count and settings, session
+    /// scheduler policy/budgets, dispatch budgets, cache geometry and
+    /// persistence (`MAGMA_SERVE_CACHE_PATH` + `.shard<i>`), shared-tier
+    /// size, seed. The daemon reads everything except the virtual-clock
+    /// trace knobs (`requests` / `offered_load`), which have no wall-clock
+    /// meaning server-side.
+    pub fleet: FleetKnobs,
+    /// TCP address the daemon binds and the loadgen connects to. Port `0`
+    /// binds an ephemeral port (the daemon prints the resolved address).
+    pub addr: String,
+    /// `Busy` threshold on the projected per-shard mapper backlog in
+    /// seconds — the same load metric the shard router balances on
+    /// (session backlog × per-sample overhead + accelerator queue). The
+    /// retry-after hint is the overload beyond this bound.
+    pub max_backlog_sec: f64,
+    /// Bounded admission queue per shard: planned groups waiting for a
+    /// scheduler slot. Submits bounce with `Busy` when every admissible
+    /// shard's queue is full.
+    pub pending_per_shard: usize,
+    /// Wall-clock session timeout in seconds: a group searching longer than
+    /// this after admission is finished early (its best-so-far mapping
+    /// executes) and reported `timed_out`.
+    pub timeout_sec: f64,
+    /// Maximum RPC frame payload size in bytes; larger frames are rejected.
+    pub max_frame_bytes: usize,
+    /// Loadgen target submission rate in groups per second of wall time.
+    pub rate: f64,
+    /// Loadgen trace length: arrivals generated from the scenario and
+    /// replayed over the wire.
+    pub requests: usize,
+}
+
+impl ServerKnobs {
+    /// Full-scale defaults: what `magma_server` / `loadgen` run without
+    /// `--smoke`.
+    pub fn full() -> Self {
+        ServerKnobs {
+            fleet: FleetKnobs::full(),
+            addr: "127.0.0.1:4270".to_string(),
+            max_backlog_sec: 4.0,
+            pending_per_shard: 8,
+            timeout_sec: 30.0,
+            max_frame_bytes: 8 * 1024 * 1024,
+            rate: 8.0,
+            requests: 1_600,
+        }
+    }
+
+    /// CI-friendly smoke defaults: tiny trace, tighter timeout, same shape.
+    pub fn smoke() -> Self {
+        ServerKnobs {
+            fleet: FleetKnobs::smoke(),
+            timeout_sec: 10.0,
+            rate: 16.0,
+            requests: 96,
+            ..Self::full()
+        }
+    }
+
+    /// Reads the knob family from the environment on top of the smoke or
+    /// full defaults (including the underlying `MAGMA_FLEET_*` and
+    /// `MAGMA_SERVE_*` families). Counts and durations are clamped so a
+    /// misconfigured environment can never produce a degenerate server.
+    pub fn from_env(smoke: bool) -> Self {
+        let d = if smoke { Self::smoke() } else { Self::full() };
+        ServerKnobs {
+            fleet: FleetKnobs::from_env(smoke),
+            addr: std::env::var("MAGMA_SERVER_ADDR")
+                .ok()
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .unwrap_or(d.addr),
+            max_backlog_sec: env_parse("MAGMA_SERVER_BACKLOG_SEC", d.max_backlog_sec).max(1e-3),
+            pending_per_shard: env_parse("MAGMA_SERVER_PENDING", d.pending_per_shard).max(1),
+            timeout_sec: env_parse("MAGMA_SERVER_TIMEOUT_SEC", d.timeout_sec).max(1e-3),
+            max_frame_bytes: env_parse("MAGMA_SERVER_MAX_FRAME", d.max_frame_bytes).max(1024),
+            rate: env_parse("MAGMA_SERVER_RATE", d.rate).max(1e-3),
+            requests: env_parse("MAGMA_SERVER_REQUESTS", d.requests).max(1),
+        }
+    }
+}
+
 /// The accelerator settings evaluated in the paper (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Setting {
@@ -750,6 +848,25 @@ mod tests {
         // ambient test environment never sets MAGMA_FLEET_*).
         assert_eq!(FleetKnobs::from_env(true), smoke);
         assert_eq!(FleetKnobs::from_env(false), full);
+    }
+
+    #[test]
+    fn server_knobs_defaults_are_sane() {
+        let full = ServerKnobs::full();
+        let smoke = ServerKnobs::smoke();
+        // Smoke shrinks the wall-clock cost (trace length, timeout), keeps
+        // the shape, and stays on a loopback address.
+        assert!(smoke.requests < full.requests);
+        assert!(smoke.timeout_sec <= full.timeout_sec);
+        assert!(full.addr.starts_with("127.0.0.1") && smoke.addr == full.addr);
+        assert!(full.max_backlog_sec > 0.0 && full.rate > 0.0);
+        assert!(full.pending_per_shard >= 1 && smoke.pending_per_shard >= 1);
+        // A frame must comfortably hold a serialized dispatch group.
+        assert!(full.max_frame_bytes >= 1024 * 1024);
+        // from_env falls back to the defaults when the knobs are unset (the
+        // ambient test environment never sets MAGMA_SERVER_*).
+        assert_eq!(ServerKnobs::from_env(true), smoke);
+        assert_eq!(ServerKnobs::from_env(false), full);
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub fn builtin_mix_defs() -> Vec<MixDef> {
                 ),
             ]),
             synthetic: None,
+            default_sla_multiplier: None,
         },
         MixDef {
             schema: REGISTRY_SCHEMA.to_string(),
@@ -120,6 +121,7 @@ pub fn builtin_mix_defs() -> Vec<MixDef> {
                 vec!["NCF".to_string()],
             )]),
             synthetic: None,
+            default_sla_multiplier: None,
         },
     ]
 }
@@ -143,6 +145,7 @@ pub fn builtin_scenario_defs() -> Vec<ScenarioDef> {
         platform: "S2".to_string(),
         mix: mix.to_string(),
         traffic: inherit_traffic(process),
+        serving: None,
     };
     vec![
         scenario(

@@ -321,6 +321,11 @@ pub struct MixDef {
     pub tenants: Option<Vec<TenantDef>>,
     /// Synthetic mix parameters (exclusive with `tenants`).
     pub synthetic: Option<SyntheticMixDef>,
+    /// SLA contract multiplier applied to every explicit tenant that does
+    /// not pin its own `sla_multiplier`; `null` means the uniform bound.
+    /// Only valid on explicit mixes (synthetic mixes derive contracts from
+    /// their seed).
+    pub default_sla_multiplier: Option<f64>,
 }
 
 impl MixDef {
@@ -352,6 +357,19 @@ impl MixDef {
                 if synth.tenants == 0 {
                     return Err("a synthetic mix needs at least one tenant".into());
                 }
+                if self.default_sla_multiplier.is_some() {
+                    return Err("default SLA multiplier requires an explicit tenants list \
+                         (synthetic mixes derive contracts from their seed)"
+                        .into());
+                }
+            }
+        }
+        if let Some(x) = self.default_sla_multiplier {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(format!(
+                    "mix {:?} has non-positive default SLA multiplier {x}",
+                    self.name
+                ));
             }
         }
         Ok(())
@@ -374,8 +392,14 @@ impl MixDef {
             .as_ref()
             .ok_or_else(|| format!("mix {:?}: unvalidated empty mix", self.name))?
             .iter()
-            .map(TenantDef::build)
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(|t| {
+                let built = t.build()?;
+                Ok(match (t.sla_multiplier, self.default_sla_multiplier) {
+                    (None, Some(x)) => built.with_sla_multiplier(x),
+                    _ => built,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         Ok(TenantMix::new(tenants))
     }
 }
@@ -425,8 +449,55 @@ impl TrafficDef {
     }
 }
 
+/// The optional serving block of a [`ScenarioDef`]: cache/dispatch knobs a
+/// scenario pins so it carries its *full* serving configuration, not just
+/// workload and traffic. Every field is optional — `null` inherits the
+/// ambient `MAGMA_SERVE_*` knobs, so the same file still runs at smoke and
+/// full scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingDef {
+    /// Near-hit probe threshold override (mean per-job signature distance);
+    /// `0` disables the probe. `null` inherits `MAGMA_SERVE_CACHE_EPSILON`.
+    pub cache_epsilon: Option<f64>,
+    /// Refine-budget override for cache hits; `null` inherits
+    /// `MAGMA_SERVE_REFINE_BUDGET`.
+    pub refine_budget: Option<usize>,
+    /// Signature-key quantization step override; `null` inherits
+    /// `MAGMA_SERVE_QUANT`.
+    pub quant_step: Option<f64>,
+    /// Uniform SLA bound multiplier override; `null` inherits
+    /// `MAGMA_SERVE_SLA_X`.
+    pub sla_x: Option<f64>,
+}
+
+impl ServingDef {
+    /// Range-checks the serving block.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(eps) = self.cache_epsilon {
+            if !eps.is_finite() || eps < 0.0 {
+                return Err(format!("cache_epsilon must be finite and >= 0, got {eps}"));
+            }
+        }
+        if self.refine_budget == Some(0) {
+            return Err("refine_budget override must be positive".into());
+        }
+        if let Some(q) = self.quant_step {
+            if !q.is_finite() || q <= 0.0 {
+                return Err(format!("quant_step must be finite and positive, got {q}"));
+            }
+        }
+        if let Some(x) = self.sla_x {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(format!("sla_x must be finite and positive, got {x}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A runnable scenario definition (`"kind": "scenario"`): a platform
-/// reference, a mix reference and a traffic block.
+/// reference, a mix reference, a traffic block and an optional serving
+/// block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioDef {
     /// Must equal [`crate::REGISTRY_SCHEMA`].
@@ -443,6 +514,8 @@ pub struct ScenarioDef {
     pub mix: String,
     /// The traffic block.
     pub traffic: TrafficDef,
+    /// Optional serving-configuration block; `null` inherits every knob.
+    pub serving: Option<ServingDef>,
 }
 
 impl ScenarioDef {
@@ -458,7 +531,11 @@ impl ScenarioDef {
         if self.mix.trim().is_empty() {
             return Err("mix reference is empty".into());
         }
-        self.traffic.validate()
+        self.traffic.validate()?;
+        if let Some(serving) = &self.serving {
+            serving.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -572,6 +649,94 @@ mod tests {
         let mut def = builtin::builtin_mix_defs()[0].clone();
         def.tenants = None;
         assert!(def.validate().unwrap_err().contains("either"));
+
+        let mut def = builtin::builtin_mix_defs()[0].clone();
+        def.default_sla_multiplier = Some(0.0);
+        assert!(def.validate().unwrap_err().contains("default SLA multiplier"));
+
+        let mut def = builtin::builtin_mix_defs()[0].clone();
+        def.default_sla_multiplier = Some(f64::NAN);
+        assert!(def.validate().is_err());
+
+        let mut def = builtin::builtin_mix_defs()[0].clone();
+        def.tenants = None;
+        def.synthetic = Some(SyntheticMixDef { tenants: 8, seed: 1 });
+        def.default_sla_multiplier = Some(2.0);
+        assert!(def.validate().unwrap_err().contains("explicit tenants"));
+    }
+
+    #[test]
+    fn default_sla_multiplier_fills_unpinned_tenants_only() {
+        let mut def = builtin::builtin_mix_defs()[0].clone();
+        let tenants = def.tenants.as_mut().unwrap();
+        tenants[0].sla_multiplier = Some(0.5);
+        def.default_sla_multiplier = Some(2.0);
+        def.validate().expect("valid");
+        let mix = def.build().expect("builds");
+        assert_eq!(mix.tenants()[0].sla_multiplier(), Some(0.5), "pinned tenant keeps its own");
+        for t in &mix.tenants()[1..] {
+            assert_eq!(t.sla_multiplier(), Some(2.0), "unpinned tenant inherits the default");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_serving_values() {
+        let base = builtin::builtin_scenario_defs()[0].clone();
+
+        let mut def = base.clone();
+        def.serving = Some(ServingDef {
+            cache_epsilon: Some(-1.0),
+            refine_budget: None,
+            quant_step: None,
+            sla_x: None,
+        });
+        assert!(def.validate().unwrap_err().contains("cache_epsilon"));
+
+        let mut def = base.clone();
+        def.serving = Some(ServingDef {
+            cache_epsilon: Some(f64::INFINITY),
+            refine_budget: None,
+            quant_step: None,
+            sla_x: None,
+        });
+        assert!(def.validate().is_err());
+
+        let mut def = base.clone();
+        def.serving = Some(ServingDef {
+            cache_epsilon: None,
+            refine_budget: Some(0),
+            quant_step: None,
+            sla_x: None,
+        });
+        assert!(def.validate().unwrap_err().contains("refine_budget"));
+
+        let mut def = base.clone();
+        def.serving = Some(ServingDef {
+            cache_epsilon: None,
+            refine_budget: None,
+            quant_step: Some(0.0),
+            sla_x: None,
+        });
+        assert!(def.validate().unwrap_err().contains("quant_step"));
+
+        let mut def = base.clone();
+        def.serving = Some(ServingDef {
+            cache_epsilon: None,
+            refine_budget: None,
+            quant_step: None,
+            sla_x: Some(-3.0),
+        });
+        assert!(def.validate().unwrap_err().contains("sla_x"));
+
+        // A fully-pinned in-range block passes.
+        let mut def = base;
+        def.serving = Some(ServingDef {
+            cache_epsilon: Some(2.0),
+            refine_budget: Some(12),
+            quant_step: Some(0.5),
+            sla_x: Some(4.0),
+        });
+        def.validate().expect("in-range serving block validates");
     }
 
     // Serialize → load round-trips over randomized definitions: whatever the
@@ -651,6 +816,7 @@ mod tests {
                     description: None,
                     tenants: None,
                     synthetic: Some(SyntheticMixDef { tenants, seed }),
+                    default_sla_multiplier: None,
                 };
                 def.validate().map_err(proptest::TestCaseError::fail)?;
                 let json = serde_json::to_string_pretty(&def).unwrap();
@@ -665,8 +831,13 @@ mod tests {
                 load in 0.05f64..8.0,
                 seed in 0u64..u64::MAX,
                 profile in 0usize..3,
+                pin_flag in 0usize..2,
+                epsilon in 0.0f64..8.0,
+                refine in 1usize..64,
+                quant in 0.25f64..4.0,
             ) {
                 let process = ["poisson", "bursty", "drift"][profile];
+                let pin_serving = pin_flag == 1;
                 let def = ScenarioDef {
                     schema: REGISTRY_SCHEMA.to_string(),
                     kind: "scenario".to_string(),
@@ -680,6 +851,12 @@ mod tests {
                         offered_load: Some(load),
                         seed: Some(seed),
                     },
+                    serving: pin_serving.then_some(ServingDef {
+                        cache_epsilon: Some(epsilon),
+                        refine_budget: Some(refine),
+                        quant_step: Some(quant),
+                        sla_x: None,
+                    }),
                 };
                 def.validate().map_err(proptest::TestCaseError::fail)?;
                 let json = serde_json::to_string_pretty(&def).unwrap();

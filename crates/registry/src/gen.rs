@@ -23,7 +23,7 @@ use serde::Serialize;
 
 use crate::builtin;
 use crate::defs::{
-    CoreDef, MixDef, PlatformDef, ScenarioDef, SyntheticMixDef, TenantDef, TrafficDef,
+    CoreDef, MixDef, PlatformDef, ScenarioDef, ServingDef, SyntheticMixDef, TenantDef, TrafficDef,
 };
 use crate::REGISTRY_SCHEMA;
 use magma_model::zoo;
@@ -146,6 +146,7 @@ pub fn generated_mix_defs() -> Vec<MixDef> {
         description: Some(description.to_string()),
         tenants,
         synthetic,
+        default_sla_multiplier: None,
     };
     let tenant =
         |name: &str, task: &str, models: Vec<String>, weight: f64, sla: Option<f64>| TenantDef {
@@ -251,6 +252,15 @@ pub fn generated_scenario_defs() -> Vec<ScenarioDef> {
                     offered_load: Some(load),
                     seed: None,
                 },
+                // Model-release-day pins its serving config: drift
+                // invalidates cached mappings, so these scenarios widen the
+                // near-hit probe and buy a bigger refine budget.
+                serving: (suffix == "model-release-day").then_some(ServingDef {
+                    cache_epsilon: Some(2.0),
+                    refine_budget: Some(12),
+                    quant_step: None,
+                    sla_x: None,
+                }),
             });
         }
     }

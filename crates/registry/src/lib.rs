@@ -59,7 +59,9 @@ pub mod error;
 pub mod gen;
 mod registry;
 
-pub use defs::{CoreDef, MixDef, PlatformDef, ScenarioDef, SyntheticMixDef, TenantDef, TrafficDef};
+pub use defs::{
+    CoreDef, MixDef, PlatformDef, ScenarioDef, ServingDef, SyntheticMixDef, TenantDef, TrafficDef,
+};
 pub use error::RegistryError;
 pub use registry::{resolve_scenario_file, Registry, RegistryStats, ResolvedScenario};
 

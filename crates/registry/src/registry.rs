@@ -55,6 +55,14 @@ pub struct ResolvedScenario {
     pub offered_load: Option<f64>,
     /// Seed override (`None` inherits the knobs).
     pub seed: Option<u64>,
+    /// Near-hit epsilon override (`None` inherits the knobs).
+    pub cache_epsilon: Option<f64>,
+    /// Refine-budget override (`None` inherits the knobs).
+    pub refine_budget: Option<usize>,
+    /// Quantization-step override (`None` inherits the knobs).
+    pub quant_step: Option<f64>,
+    /// SLA-multiplier override (`None` inherits the knobs).
+    pub sla_x: Option<f64>,
     /// The descriptor embedding the full resolved definitions.
     pub descriptor: ScenarioDescriptor,
 }
@@ -72,6 +80,10 @@ impl ResolvedScenario {
             requests: self.requests,
             offered_load: self.offered_load,
             seed: self.seed,
+            cache_epsilon: self.cache_epsilon,
+            refine_budget: self.refine_budget,
+            quant_step: self.quant_step,
+            sla_x: self.sla_x,
             descriptor: self.descriptor.clone(),
         }
     }
@@ -371,6 +383,10 @@ impl Registry {
             requests: def.traffic.requests,
             offered_load: def.traffic.offered_load,
             seed: def.traffic.seed,
+            cache_epsilon: def.serving.as_ref().and_then(|s| s.cache_epsilon),
+            refine_budget: def.serving.as_ref().and_then(|s| s.refine_budget),
+            quant_step: def.serving.as_ref().and_then(|s| s.quant_step),
+            sla_x: def.serving.as_ref().and_then(|s| s.sla_x),
             descriptor,
         })
     }

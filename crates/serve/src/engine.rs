@@ -1,0 +1,937 @@
+//! The wall-clock serving engine: the fleet's routing/scheduling/dispatch
+//! machinery driven by real time instead of the virtual event loop.
+//!
+//! The simulators ([`crate::sim`], [`crate::fleet`]) own their clock: they
+//! synthesize a trace up front and process arrival/cut/step events in
+//! virtual-time order. A *server* cannot — requests arrive over a socket
+//! whenever clients send them. [`ServeEngine`] is the piece in between: the
+//! same components ([`AdmissionBatcher`] → [`ShardRouter`] →
+//! [`SessionScheduler`] per shard, [`MappingService`] caches with the
+//! optional [`SharedCache`] tier behind them), but every entry point takes
+//! the caller's `now_sec`. The daemon (`magma-server`) feeds it
+//! `Instant`-derived seconds; tests feed it synthetic time, which keeps the
+//! engine deterministic and clock-free to test.
+//!
+//! ```text
+//!  submit(now, …) ─▶ AdmissionBatcher ─┐
+//!                                      │ poll(now): cut ready groups,
+//!                                      ▼ one scheduler step per shard
+//!                        ShardRouter ──▶ shard 0..N: scheduler ⇄ cache ⇄ accel
+//!                                      │
+//!                                      └──▶ Vec<JobCompletion> (token-tagged)
+//! ```
+//!
+//! Three server-specific behaviours sit on top of the fleet machinery:
+//!
+//! * **Admission control** — [`ServeEngine::submit`] rejects with
+//!   [`Admission::Busy`] (and a retry-after hint) when the projected mapper
+//!   backlog — the same seconds-denominated load measure the router places
+//!   by, plus the cost of everything still queued in the batcher — exceeds
+//!   `max_backlog_sec`, or when the bounded admission queue
+//!   (`pending_per_shard × shards` groups) is full.
+//! * **Timeouts** — every admitted group carries a deadline of
+//!   `admission + timeout_sec`; under the Deadline policy an expired
+//!   session is early-finished by the scheduler (a usable mapping built
+//!   from the samples already evaluated — never a discard) and its
+//!   completions are flagged `timed_out`.
+//! * **Cancellation** — [`ServeEngine::cancel`] marks a token cancelled;
+//!   a live session whose jobs are all cancelled is removed immediately
+//!   (finished into the cache when it has evaluated samples, dropped
+//!   outright when it has not), and completions of cancelled tokens are
+//!   flagged so the transport can suppress them.
+//!
+//! [`ServeEngine::drain`] closes the lifecycle: admissions stop, every
+//! queued group is force-cut and every live session run to completion, and
+//! the per-shard mapping caches are persisted to `<cache_path>.shard<i>`
+//! (the same files the fleet simulator and the PR 8 warm-restart path use),
+//! so a drained server restarts warm.
+//!
+//! Determinism: given the same sequence of `submit`/`cancel`/`poll`/`drain`
+//! calls (same arguments, same `now_sec` values), the engine's completions
+//! and stats are bit-identical — searches are seeded per admission with the
+//! same golden-ratio stride as the simulators.
+
+use crate::batcher::{AdmissionBatcher, BatchPolicy};
+use crate::cache::{quantize_signatures, CacheStats, MappingCache, SharedCache};
+use crate::dispatch::{DispatchConfig, DispatchKind, MappingService};
+use crate::fleet::{dominant_tenant, group_value};
+use crate::router::ShardRouter;
+use crate::scheduler::{LiveSession, SchedStep, SchedulerConfig, SessionScheduler};
+use crate::sim::{dispatch_seed, group_problem};
+use crate::trace::Arrival;
+use magma_m3e::StoredSolution;
+use magma_model::{Job, JobSignature, TenantMix};
+use magma_platform::settings::{FleetPolicy, ServerKnobs};
+use magma_platform::{AcceleratorPlatform, PlatformSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+
+/// The full parameter set of a wall-clock engine, derived from the
+/// `MAGMA_SERVER_*` + `MAGMA_FLEET_*` + `MAGMA_SERVE_*` knob families by
+/// [`EngineConfig::from_knobs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// One platform spec per shard.
+    pub shard_settings: Vec<PlatformSpec>,
+    /// Dispatch-group size target.
+    pub group_target: usize,
+    /// Admission deadline of a partial group, in wall-clock seconds.
+    pub max_wait_sec: f64,
+    /// Mapper cost per evaluated sample, in seconds (drives the backlog
+    /// projection and the scheduler's urgency estimate).
+    pub overhead_sec_per_sample: f64,
+    /// Search budgets and cache geometry (per shard).
+    pub dispatch: DispatchConfig,
+    /// Entries in the fleet-wide shared cache tier; `0` disables the tier.
+    pub shared_cache_capacity: usize,
+    /// Per-tenant entry quota over the shared tier; `0` means unlimited.
+    pub shared_tenant_quota: usize,
+    /// Mapping-cache persistence base path: each shard loads/saves
+    /// `<path>.shard<i>` (same layout as the fleet simulator).
+    pub cache_path: Option<PathBuf>,
+    /// Scheduler policy. Timeouts only preempt under
+    /// [`FleetPolicy::Deadline`].
+    pub policy: FleetPolicy,
+    /// Live-session capacity per shard.
+    pub max_live: usize,
+    /// Fixed slice under [`FleetPolicy::Uniform`], in samples.
+    pub base_slice: usize,
+    /// Slice floor under [`FleetPolicy::Deadline`], in samples.
+    pub min_slice: usize,
+    /// Backpressure knob: reject submissions once the projected mapper
+    /// backlog exceeds this many seconds.
+    pub max_backlog_sec: f64,
+    /// Bounded admission queue: at most `pending_per_shard × shards` groups
+    /// worth of jobs may wait in the batcher.
+    pub pending_per_shard: usize,
+    /// Session timeout: an admitted group's deadline is its admission time
+    /// plus this, in wall-clock seconds.
+    pub timeout_sec: f64,
+    /// Search seed (per-admission seeds derive from it).
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Builds a config from the `MAGMA_SERVER_*` knob family (which embeds
+    /// the fleet and serving knobs). The batcher's admission deadline is
+    /// expressed in wall-clock terms by pricing one batch window at the
+    /// server's target rate: `max_wait_x × group_target / rate` seconds.
+    pub fn from_knobs(knobs: &ServerKnobs) -> Self {
+        let fleet = &knobs.fleet;
+        let serve = &fleet.serve;
+        EngineConfig {
+            shard_settings: (0..fleet.shards)
+                .map(|s| fleet.shard_settings[s % fleet.shard_settings.len()].into())
+                .collect(),
+            group_target: serve.group_target,
+            max_wait_sec: serve.max_wait_x * serve.group_target as f64 / knobs.rate,
+            overhead_sec_per_sample: serve.overhead_us_per_sample * 1e-6,
+            dispatch: DispatchConfig::new(
+                serve.cold_budget,
+                serve.refine_budget,
+                serve.quant_step,
+                serve.cache_capacity,
+            )
+            .with_cache_epsilon(serve.cache_epsilon),
+            shared_cache_capacity: fleet.shared_cache_capacity,
+            shared_tenant_quota: fleet.shared_tenant_quota,
+            cache_path: serve.cache_path.as_ref().map(PathBuf::from),
+            policy: fleet.policy,
+            max_live: fleet.max_live,
+            base_slice: serve.search_slice,
+            min_slice: fleet.min_slice,
+            max_backlog_sec: knobs.max_backlog_sec,
+            pending_per_shard: knobs.pending_per_shard,
+            timeout_sec: knobs.timeout_sec,
+            seed: serve.seed,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_settings.len()
+    }
+}
+
+/// The verdict of one [`ServeEngine::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// The jobs joined the admission queue.
+    Accepted,
+    /// Backpressure: the projected backlog exceeds the knob (or the
+    /// admission queue is full). Retry after the hinted delay.
+    Busy {
+        /// Seconds after which the backlog is projected back under the
+        /// knob — a hint, not a promise.
+        retry_after_sec: f64,
+    },
+    /// The engine is draining; no new work is admitted.
+    Draining,
+    /// The request itself was malformed (empty job list, unknown tenant,
+    /// reused token).
+    Invalid {
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+/// One finished job, tagged with the submission token the transport layer
+/// routes completions by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobCompletion {
+    /// The caller's token from [`ServeEngine::submit`].
+    pub token: u64,
+    /// The job's index within its submission (0-based).
+    pub job_index: usize,
+    /// The tenant the job was submitted under.
+    pub tenant: usize,
+    /// The shard that served it.
+    pub shard: usize,
+    /// How the dispatch was served (cold search vs cache hit).
+    pub kind: DispatchKind,
+    /// True when the session was early-finished past its timeout deadline.
+    pub timed_out: bool,
+    /// True when the token was cancelled before this job completed — the
+    /// transport suppresses the completion (the cancel was already acked).
+    pub cancelled: bool,
+    /// Wall-clock completion time (execution end on the shard's virtual
+    /// accelerator timeline), in the caller's `now_sec` domain.
+    pub completed_sec: f64,
+}
+
+/// A point-in-time counter snapshot of the engine — the `Stats` RPC payload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Submissions accepted into the admission queue.
+    pub accepted: u64,
+    /// Submissions rejected with [`Admission::Busy`].
+    pub rejected: u64,
+    /// Cancel calls acknowledged (token known and still open).
+    pub cancelled: u64,
+    /// Jobs completed and reported (cancelled jobs not included).
+    pub completed_jobs: u64,
+    /// Completed jobs whose session was early-finished past its timeout.
+    pub timed_out_jobs: u64,
+    /// Jobs of cancelled tokens (reported-but-suppressed and dropped alike).
+    pub cancelled_jobs: u64,
+    /// Jobs currently waiting in the admission queue.
+    pub queued_jobs: u64,
+    /// Live search sessions across shards.
+    pub live_sessions: u64,
+    /// Sessions admitted to shard schedulers.
+    pub admitted_sessions: u64,
+    /// Sessions that ran to their full budget.
+    pub completed_sessions: u64,
+    /// Sessions early-finished by the scheduler (timeout preemptions).
+    pub preempted_sessions: u64,
+    /// Shard-cache hits (exact + near).
+    pub cache_hits: u64,
+    /// Near-key shard-cache hits (subset of `cache_hits`).
+    pub cache_near_hits: u64,
+    /// Shard-cache misses (cold searches).
+    pub cache_misses: u64,
+}
+
+/// The token tag of one queued/live job, aligned with its group's arrival
+/// order.
+#[derive(Debug, Clone, Copy)]
+struct JobTag {
+    token: u64,
+    job_index: usize,
+}
+
+/// Where a live session's jobs came from.
+struct SessionTags {
+    shard: usize,
+    tags: Vec<JobTag>,
+}
+
+/// The wall-clock serving engine. See the module docs for the lifecycle.
+pub struct ServeEngine {
+    config: EngineConfig,
+    mix: TenantMix,
+    platforms: Vec<AcceleratorPlatform>,
+    batcher: AdmissionBatcher,
+    /// Token tags parallel to the batcher's FIFO queue: `take_group` removes
+    /// the oldest `n` arrivals, so the first `n` tags here are theirs.
+    pending_tags: VecDeque<JobTag>,
+    router: ShardRouter,
+    services: Vec<MappingService>,
+    shared: Option<SharedCache>,
+    scheds: Vec<SessionScheduler>,
+    /// Per-shard virtual accelerator timeline (wall-clock seconds).
+    accel_free: Vec<f64>,
+    session_tags: HashMap<u64, SessionTags>,
+    /// Remaining job count per open token.
+    open_tokens: HashMap<u64, usize>,
+    cancelled: HashSet<u64>,
+    /// Completions produced since the last `poll`/`drain` returned.
+    out: Vec<JobCompletion>,
+    /// Monotonic clamp over caller-supplied time.
+    last_now: f64,
+    admitted: u64,
+    draining: bool,
+    accepted: u64,
+    rejected: u64,
+    cancel_acks: u64,
+    completed_jobs: u64,
+    timed_out_jobs: u64,
+    cancelled_jobs: u64,
+}
+
+impl ServeEngine {
+    /// Creates an engine and warm-restarts each shard's mapping cache from
+    /// `<cache_path>.shard<i>` when the file exists (an unreadable file is
+    /// reported and that shard comes up cold — same contract as the fleet).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config (no shards, zero group target, a
+    /// non-positive timeout or backlog knob).
+    pub fn new(config: EngineConfig, mix: TenantMix) -> Self {
+        let shards = config.shards();
+        assert!(shards > 0, "an engine needs at least one shard");
+        assert!(config.group_target > 0, "the group target must be non-zero");
+        assert!(config.timeout_sec > 0.0, "the session timeout must be positive");
+        assert!(config.max_backlog_sec > 0.0, "the backlog knob must be positive");
+        assert!(config.pending_per_shard > 0, "the admission queue needs capacity");
+        let platforms: Vec<_> = config.shard_settings.iter().map(|s| s.build()).collect();
+        let mut services: Vec<_> =
+            (0..shards).map(|_| MappingService::new(config.dispatch)).collect();
+        if let Some(base) = &config.cache_path {
+            for (i, service) in services.iter_mut().enumerate() {
+                let file = shard_cache_file(base, i);
+                if file.exists() {
+                    match MappingCache::load(&file) {
+                        Ok(cache) => service.install_cache(cache),
+                        Err(e) => {
+                            eprintln!("warning: ignoring mapping cache at {}: {e}", file.display())
+                        }
+                    }
+                }
+            }
+        }
+        let shared = (config.shared_cache_capacity > 0)
+            .then(|| SharedCache::new(config.shared_cache_capacity, config.shared_tenant_quota));
+        let sched_config = SchedulerConfig {
+            policy: config.policy,
+            max_live: config.max_live,
+            base_slice: config.base_slice,
+            min_slice: config.min_slice,
+            // Admission control replaces value preemption on the server
+            // path: overload is shed at the socket (`Busy`), not by
+            // evicting work that was already accepted.
+            preempt_margin: 0.0,
+            overhead_sec_per_sample: config.overhead_sec_per_sample,
+        };
+        let batcher = AdmissionBatcher::new(BatchPolicy::new(
+            config.group_target,
+            config.max_wait_sec.max(0.0),
+        ));
+        ServeEngine {
+            mix,
+            platforms,
+            batcher,
+            pending_tags: VecDeque::new(),
+            router: ShardRouter::new(shards),
+            services,
+            shared,
+            scheds: (0..shards).map(|_| SessionScheduler::new(sched_config)).collect(),
+            accel_free: vec![0.0; shards],
+            session_tags: HashMap::new(),
+            open_tokens: HashMap::new(),
+            cancelled: HashSet::new(),
+            out: Vec::new(),
+            last_now: 0.0,
+            admitted: 0,
+            draining: false,
+            accepted: 0,
+            rejected: 0,
+            cancel_acks: 0,
+            completed_jobs: 0,
+            timed_out_jobs: 0,
+            cancelled_jobs: 0,
+            config,
+        }
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Whether [`ServeEngine::drain`] has been called.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// The projected mapper backlog at `now_sec`, in seconds: the least
+    /// loaded shard's router load measure (queued mapper work plus how far
+    /// its accelerator timeline runs past now) plus the search cost of
+    /// everything still waiting in the admission queue, spread over the
+    /// shards. This is what [`ServeEngine::submit`] compares against
+    /// `max_backlog_sec`.
+    pub fn projected_backlog_sec(&self, now_sec: f64) -> f64 {
+        let now = now_sec.max(self.last_now);
+        let min_load =
+            (0..self.scheds.len()).map(|s| self.shard_load(s, now)).fold(f64::INFINITY, f64::min);
+        let queued_groups = self.batcher.pending() as f64 / self.config.group_target as f64;
+        let queued_cost = queued_groups
+            * self.config.dispatch.cold_budget as f64
+            * self.config.overhead_sec_per_sample
+            / self.scheds.len() as f64;
+        min_load + queued_cost
+    }
+
+    /// One shard's congestion in seconds — the router's load measure.
+    fn shard_load(&self, shard: usize, now_sec: f64) -> f64 {
+        self.scheds[shard].backlog() * self.config.overhead_sec_per_sample
+            + (self.accel_free[shard] - now_sec).max(0.0)
+    }
+
+    /// Submits one group of jobs under `token` (the transport's correlation
+    /// id; must be unique per open submission) for `tenant`. The jobs join
+    /// the admission queue and will be batched, routed and searched by
+    /// subsequent [`ServeEngine::poll`] calls; their completions carry the
+    /// token back.
+    pub fn submit(&mut self, now_sec: f64, token: u64, tenant: usize, jobs: Vec<Job>) -> Admission {
+        let now = self.clamp_now(now_sec);
+        if self.draining {
+            return Admission::Draining;
+        }
+        if jobs.is_empty() {
+            return Admission::Invalid { reason: "a submission needs at least one job".into() };
+        }
+        if tenant >= self.mix.tenants().len() {
+            return Admission::Invalid {
+                reason: format!(
+                    "tenant {tenant} out of range (the mix has {} tenants)",
+                    self.mix.tenants().len()
+                ),
+            };
+        }
+        if self.open_tokens.contains_key(&token) {
+            return Admission::Invalid { reason: format!("token {token} is already open") };
+        }
+        let queue_cap =
+            self.config.pending_per_shard * self.scheds.len() * self.config.group_target;
+        if self.batcher.pending() + jobs.len() > queue_cap {
+            self.rejected += 1;
+            return Admission::Busy { retry_after_sec: self.retry_after(now) };
+        }
+        let projected = self.projected_backlog_sec(now);
+        if projected > self.config.max_backlog_sec {
+            self.rejected += 1;
+            return Admission::Busy {
+                retry_after_sec: (projected - self.config.max_backlog_sec).max(1e-3),
+            };
+        }
+        let n = jobs.len();
+        for (job_index, job) in jobs.into_iter().enumerate() {
+            self.batcher.push(Arrival { time_sec: now, tenant, job });
+            self.pending_tags.push_back(JobTag { token, job_index });
+        }
+        self.open_tokens.insert(token, n);
+        self.accepted += 1;
+        Admission::Accepted
+    }
+
+    /// The retry-after hint of a queue-full rejection: how long the backlog
+    /// is projected to need to fall back under the knob, floored at 1 ms.
+    fn retry_after(&self, now_sec: f64) -> f64 {
+        (self.projected_backlog_sec(now_sec) - self.config.max_backlog_sec).max(1e-3)
+    }
+
+    /// Cancels an open token. Returns `false` when the token is unknown,
+    /// already finished or already cancelled. Jobs of the token still
+    /// produce [`JobCompletion`]s (flagged `cancelled`) so the transport
+    /// can close its books; a live session whose jobs are *all* cancelled
+    /// is removed immediately — finished into the cache when it has
+    /// evaluated samples (the mapping is still worth keeping), dropped
+    /// outright when it has not (an empty history cannot be finished).
+    pub fn cancel(&mut self, now_sec: f64, token: u64) -> bool {
+        let now = self.clamp_now(now_sec);
+        if !self.open_tokens.contains_key(&token) || !self.cancelled.insert(token) {
+            return false;
+        }
+        self.cancel_acks += 1;
+        // Early-finish every live session wholly made of cancelled tokens.
+        let doomed: Vec<u64> = self
+            .session_tags
+            .iter()
+            .filter(|(_, st)| st.tags.iter().all(|t| self.cancelled.contains(&t.token)))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in doomed {
+            let shard = self.session_tags[&id].shard;
+            let Some(session) = self.scheds[shard].remove_by_id(id) else { continue };
+            if session.spent() > 0 {
+                self.complete(session, shard, now, false);
+            } else {
+                // Nothing evaluated: no outcome to build, drop the session
+                // and synthesize cancelled completions directly.
+                let tags = self.session_tags.remove(&id).expect("tags tracked per session");
+                let kind = session.plan.kind();
+                for (k, a) in session.group.arrivals.iter().enumerate() {
+                    let tag = tags.tags[k];
+                    self.push_completion(JobCompletion {
+                        token: tag.token,
+                        job_index: tag.job_index,
+                        tenant: a.tenant,
+                        shard,
+                        kind,
+                        timed_out: false,
+                        cancelled: true,
+                        completed_sec: now,
+                    });
+                }
+            }
+        }
+        true
+    }
+
+    /// Advances the engine at `now_sec`: cuts every ready group the shards
+    /// have room for (routing, planning and opening its search), runs one
+    /// scheduler step per shard with live sessions — this is where search
+    /// compute actually burns CPU — and returns the completions produced
+    /// since the last call.
+    pub fn poll(&mut self, now_sec: f64) -> Vec<JobCompletion> {
+        let now = self.clamp_now(now_sec);
+        while self.batcher.earliest_ready().is_some_and(|r| r <= now)
+            && self.scheds.iter().any(|s| s.has_room())
+        {
+            self.cut_group(now);
+        }
+        for shard in 0..self.scheds.len() {
+            if self.scheds[shard].live() == 0 {
+                continue;
+            }
+            match self.scheds[shard].step(now) {
+                SchedStep::Idle => unreachable!("only shards with live sessions step"),
+                SchedStep::Progress { .. } => {}
+                SchedStep::Finished { session, spent: _, preempted } => {
+                    self.complete(*session, shard, now, preempted);
+                }
+            }
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    /// Stops admissions and runs everything to completion: every queued
+    /// group is force-cut (the batcher's deadline path), every live session
+    /// stepped until it finishes, and the shard caches persisted to
+    /// `<cache_path>.shard<i>`. Returns the completions produced. After
+    /// `drain` the engine is empty; further submissions return
+    /// [`Admission::Draining`].
+    pub fn drain(&mut self, now_sec: f64) -> Vec<JobCompletion> {
+        let now = self.clamp_now(now_sec);
+        self.draining = true;
+        loop {
+            // Cut whatever the shards have room for; force the deadline
+            // path by cutting at the group's own ready time when it lies
+            // beyond `now`.
+            while let Some(ready) = self.batcher.earliest_ready() {
+                if !self.scheds.iter().any(|s| s.has_room()) {
+                    break;
+                }
+                self.cut_group(now.max(ready));
+            }
+            if self.scheds.iter().all(|s| s.live() == 0) {
+                if self.batcher.pending() == 0 {
+                    break;
+                }
+                // Room is guaranteed empty ⇒ the cut loop above will make
+                // progress on the next iteration.
+                continue;
+            }
+            for shard in 0..self.scheds.len() {
+                if self.scheds[shard].live() == 0 {
+                    continue;
+                }
+                match self.scheds[shard].step(now) {
+                    SchedStep::Idle => unreachable!("only shards with live sessions step"),
+                    SchedStep::Progress { .. } => {}
+                    SchedStep::Finished { session, spent: _, preempted } => {
+                        self.complete(*session, shard, now, preempted);
+                    }
+                }
+            }
+        }
+        self.persist_caches();
+        std::mem::take(&mut self.out)
+    }
+
+    /// A counter snapshot (the `Stats` RPC payload).
+    pub fn stats(&self) -> EngineStats {
+        let mut cache = CacheStats::default();
+        for service in &self.services {
+            let s = service.cache_stats();
+            cache.hits += s.hits;
+            cache.misses += s.misses;
+            cache.near_hits += s.near_hits;
+        }
+        let sched =
+            self.scheds.iter().map(|s| s.stats()).fold((0u64, 0u64, 0u64), |(a, c, p), st| {
+                (a + st.admitted, c + st.completed, p + st.preemptions())
+            });
+        EngineStats {
+            accepted: self.accepted,
+            rejected: self.rejected,
+            cancelled: self.cancel_acks,
+            completed_jobs: self.completed_jobs,
+            timed_out_jobs: self.timed_out_jobs,
+            cancelled_jobs: self.cancelled_jobs,
+            queued_jobs: self.batcher.pending() as u64,
+            live_sessions: self.scheds.iter().map(|s| s.live() as u64).sum(),
+            admitted_sessions: sched.0,
+            completed_sessions: sched.1,
+            preempted_sessions: sched.2,
+            cache_hits: cache.hits,
+            cache_near_hits: cache.near_hits,
+            cache_misses: cache.misses,
+        }
+    }
+
+    /// Clamps caller time onto the engine's monotonic clock.
+    fn clamp_now(&mut self, now_sec: f64) -> f64 {
+        assert!(now_sec.is_finite(), "time must be finite");
+        self.last_now = self.last_now.max(now_sec);
+        self.last_now
+    }
+
+    /// Cuts the next group at `t`, routes it and opens its search session.
+    /// Callers verified readiness and room.
+    fn cut_group(&mut self, t: f64) {
+        let group = self.batcher.take_group(t).expect("readiness verified");
+        let tags: Vec<JobTag> = self.pending_tags.drain(..group.arrivals.len()).collect();
+        let sigs: Vec<JobSignature> = group.arrivals.iter().map(|a| a.job.signature()).collect();
+        let key = quantize_signatures(&sigs, self.config.dispatch.quant_step);
+        let admissible: Vec<bool> = self.scheds.iter().map(|s| s.has_room()).collect();
+        let loads: Vec<f64> = (0..self.scheds.len()).map(|s| self.shard_load(s, t)).collect();
+        let shard = if self.shared.as_ref().is_some_and(|tier| tier.contains(&key)) {
+            self.router.place_balanced(&loads, &admissible)
+        } else {
+            self.router.place(&key, &loads, &admissible)
+        };
+        let problem = group_problem(&self.platforms[shard], &group);
+        let mut rng =
+            StdRng::seed_from_u64(dispatch_seed(self.config.seed, self.admitted as usize));
+        let plan = self.services[shard].plan_group_shared(&problem, &mut rng, self.shared.as_mut());
+        let budget = plan.budget();
+        let state = self.services[shard].open_search(&plan, &problem, &mut rng);
+        // The server deadline is the session timeout, not an SLA bound: the
+        // earliest arrival's admission time plus the knob.
+        let deadline_sec = group
+            .arrivals
+            .iter()
+            .map(|a| a.time_sec + self.config.timeout_sec)
+            .fold(f64::INFINITY, f64::min);
+        let value = group_value(group.arrivals.iter(), &self.mix);
+        let session = LiveSession {
+            id: self.admitted,
+            group,
+            plan,
+            problem,
+            rng,
+            state,
+            budget,
+            deadline_sec,
+            value,
+        };
+        self.session_tags.insert(self.admitted, SessionTags { shard, tags });
+        self.scheds[shard].admit(session, t);
+        self.admitted += 1;
+    }
+
+    /// Completes a departed session: stores the mapping, publishes it to
+    /// the shared tier, schedules execution on the shard's accelerator
+    /// timeline and emits one tagged completion per job.
+    fn complete(&mut self, session: LiveSession, shard: usize, now_sec: f64, timed_out: bool) {
+        let tags = self.session_tags.remove(&session.id).expect("tags tracked per session");
+        debug_assert_eq!(tags.shard, shard, "a session completes on its own shard");
+        let LiveSession { group, plan, problem, state, .. } = session;
+        let key = plan.key().clone();
+        let outcome = self.services[shard].complete_group(&problem, plan, state.finish());
+        if let Some(tier) = self.shared.as_mut() {
+            tier.publish(
+                key,
+                StoredSolution::new(outcome.mapping.clone(), Some(problem.signatures().to_vec())),
+                dominant_tenant(&group.arrivals),
+            );
+        }
+        let exec_start = now_sec.max(self.accel_free[shard]);
+        self.accel_free[shard] = exec_start + outcome.schedule.makespan_sec();
+        let mut end_by_job = vec![0.0f64; group.arrivals.len()];
+        for seg in outcome.schedule.segments() {
+            end_by_job[seg.job.0] = seg.end_sec;
+        }
+        for (k, a) in group.arrivals.iter().enumerate() {
+            let tag = tags.tags[k];
+            let cancelled = self.cancelled.contains(&tag.token);
+            self.push_completion(JobCompletion {
+                token: tag.token,
+                job_index: tag.job_index,
+                tenant: a.tenant,
+                shard,
+                kind: outcome.kind,
+                timed_out: timed_out && !cancelled,
+                cancelled,
+                completed_sec: exec_start + end_by_job[k],
+            });
+        }
+    }
+
+    /// Books one completion: counters, open-token bookkeeping, out buffer.
+    fn push_completion(&mut self, completion: JobCompletion) {
+        if completion.cancelled {
+            self.cancelled_jobs += 1;
+        } else {
+            self.completed_jobs += 1;
+            if completion.timed_out {
+                self.timed_out_jobs += 1;
+            }
+        }
+        if let Some(remaining) = self.open_tokens.get_mut(&completion.token) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.open_tokens.remove(&completion.token);
+            }
+        }
+        self.out.push(completion);
+    }
+
+    /// Persists each shard's mapping cache to `<cache_path>.shard<i>`.
+    fn persist_caches(&self) {
+        if let Some(base) = &self.config.cache_path {
+            for (i, service) in self.services.iter().enumerate() {
+                let file = shard_cache_file(base, i);
+                if let Err(e) = service.cache().save(&file) {
+                    eprintln!(
+                        "warning: could not persist mapping cache to {}: {e}",
+                        file.display()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The per-shard persistence file a base path expands to — the same layout
+/// as the fleet simulator's.
+pub fn shard_cache_file(base: &std::path::Path, shard: usize) -> PathBuf {
+    PathBuf::from(format!("{}.shard{shard}", base.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_model::{JobId, LayerShape, TaskType};
+
+    fn tiny_knobs() -> ServerKnobs {
+        let mut knobs = ServerKnobs::smoke();
+        knobs.fleet.serve.cold_budget = 40;
+        knobs.fleet.serve.refine_budget = 4;
+        knobs.fleet.serve.group_target = 4;
+        knobs.fleet.serve.max_wait_x = 1.0;
+        knobs.fleet.shards = 2;
+        knobs.fleet.max_live = 2;
+        knobs.rate = 100.0;
+        knobs
+    }
+
+    fn job(i: usize) -> Job {
+        Job::new(
+            JobId(i),
+            "m",
+            0,
+            LayerShape::FullyConnected { out_features: 64 + (i % 3) * 32, in_features: 64 },
+            4,
+            TaskType::Recommendation,
+        )
+    }
+
+    fn mix(tenants: usize) -> TenantMix {
+        TenantMix::synthetic(tenants, 0)
+    }
+
+    fn run_until_idle(engine: &mut ServeEngine, mut now: f64) -> Vec<JobCompletion> {
+        let mut all = Vec::new();
+        for _ in 0..10_000 {
+            all.extend(engine.poll(now));
+            now += 0.01;
+            if engine.stats().live_sessions == 0 && engine.stats().queued_jobs == 0 {
+                break;
+            }
+        }
+        all.extend(engine.poll(now));
+        all
+    }
+
+    #[test]
+    fn every_submitted_job_completes_exactly_once() {
+        let mut engine = ServeEngine::new(EngineConfig::from_knobs(&tiny_knobs()), mix(4));
+        for t in 0..6 {
+            let jobs = vec![job(t), job(t + 1)];
+            assert_eq!(engine.submit(t as f64 * 0.001, t as u64, t % 4, jobs), Admission::Accepted);
+        }
+        let completions = run_until_idle(&mut engine, 0.01);
+        assert_eq!(completions.len(), 12, "two jobs per token, six tokens");
+        let mut seen = HashSet::new();
+        for c in &completions {
+            assert!(seen.insert((c.token, c.job_index)), "duplicate completion {c:?}");
+            assert!(!c.cancelled);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.accepted, 6);
+        assert_eq!(stats.completed_jobs, 12);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.queued_jobs, 0);
+        assert_eq!(stats.live_sessions, 0);
+        assert_eq!(stats.admitted_sessions, stats.completed_sessions + stats.preempted_sessions);
+    }
+
+    #[test]
+    fn the_engine_is_deterministic() {
+        let run = || {
+            let mut engine = ServeEngine::new(EngineConfig::from_knobs(&tiny_knobs()), mix(4));
+            for t in 0..8 {
+                let _ = engine.submit(t as f64 * 0.002, t as u64, t % 4, vec![job(t)]);
+            }
+            let mut completions = run_until_idle(&mut engine, 0.02);
+            completions.extend(engine.drain(1.0));
+            (completions, engine.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn backpressure_rejects_with_a_retry_after_hint() {
+        let mut knobs = tiny_knobs();
+        knobs.max_backlog_sec = 1e-3;
+        knobs.pending_per_shard = 1;
+        let mut engine = ServeEngine::new(EngineConfig::from_knobs(&knobs), mix(4));
+        // Flood without polling: the bounded queue (1 group × 2 shards ×
+        // 4 jobs) and the backlog knob must start rejecting.
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for t in 0..32 {
+            match engine.submit(0.0, t, 0, vec![job(t as usize)]) {
+                Admission::Accepted => accepted += 1,
+                Admission::Busy { retry_after_sec } => {
+                    assert!(retry_after_sec > 0.0, "the hint must be positive");
+                    rejected += 1;
+                }
+                other => panic!("unexpected admission {other:?}"),
+            }
+        }
+        assert!(accepted > 0 && rejected > 0, "accepted {accepted}, rejected {rejected}");
+        assert_eq!(engine.stats().rejected, rejected);
+        // The engine still completes everything it accepted.
+        let completions = engine.drain(0.1);
+        assert_eq!(completions.len(), accepted as usize);
+    }
+
+    #[test]
+    fn timeouts_preempt_and_flag_completions() {
+        let mut knobs = tiny_knobs();
+        knobs.timeout_sec = 1e-6;
+        knobs.fleet.serve.cold_budget = 4_000;
+        let mut engine = ServeEngine::new(EngineConfig::from_knobs(&knobs), mix(4));
+        for t in 0..4 {
+            assert_eq!(engine.submit(0.0, t, 0, vec![job(t as usize)]), Admission::Accepted);
+        }
+        // Poll well past the timeout: the first step runs the slice floor,
+        // the next selection preempts the expired session.
+        let completions = run_until_idle(&mut engine, 1.0);
+        assert_eq!(completions.len(), 4);
+        assert!(completions.iter().all(|c| c.timed_out), "every session expired: {completions:?}");
+        let stats = engine.stats();
+        assert_eq!(stats.timed_out_jobs, 4);
+        assert!(stats.preempted_sessions > 0);
+    }
+
+    #[test]
+    fn cancel_flags_completions_and_early_finishes_cancelled_sessions() {
+        let mut engine = ServeEngine::new(EngineConfig::from_knobs(&tiny_knobs()), mix(4));
+        assert!(!engine.cancel(0.0, 99), "unknown tokens are not cancellable");
+        for t in 0..4 {
+            assert_eq!(engine.submit(0.0, t, 0, vec![job(t as usize)]), Admission::Accepted);
+        }
+        // One poll cuts the 4-job group and steps it once (spent > 0).
+        let early = engine.poll(0.001);
+        assert!(early.is_empty(), "one slice does not finish a cold search");
+        // All four tokens share the one live session: cancelling them all
+        // early-finishes it.
+        for t in 0..4 {
+            assert!(engine.cancel(0.002, t));
+            assert!(!engine.cancel(0.002, t), "double cancel is not acked");
+        }
+        let completions = engine.poll(0.003);
+        assert_eq!(completions.len(), 4);
+        assert!(completions.iter().all(|c| c.cancelled));
+        let stats = engine.stats();
+        assert_eq!(stats.cancelled, 4);
+        assert_eq!(stats.cancelled_jobs, 4);
+        assert_eq!(stats.completed_jobs, 0);
+        assert_eq!(stats.live_sessions, 0);
+    }
+
+    #[test]
+    fn drain_completes_everything_and_persists_shard_caches() {
+        let base = std::env::temp_dir().join(format!("magma_engine_cache_{}", std::process::id()));
+        let mut knobs = tiny_knobs();
+        knobs.fleet.serve.cache_path = Some(base.display().to_string());
+        for i in 0..2 {
+            let _ = std::fs::remove_file(shard_cache_file(&base, i));
+        }
+        let mut engine = ServeEngine::new(EngineConfig::from_knobs(&knobs), mix(4));
+        for t in 0..10 {
+            assert_eq!(
+                engine.submit(t as f64 * 0.001, t, (t % 4) as usize, vec![job(t as usize)]),
+                Admission::Accepted
+            );
+        }
+        // Drain with work still queued and live: everything must complete.
+        let completions = engine.drain(0.02);
+        assert_eq!(completions.len(), 10);
+        assert_eq!(engine.stats().queued_jobs, 0);
+        assert_eq!(engine.stats().live_sessions, 0);
+        assert!(engine.draining());
+        assert_eq!(engine.submit(0.03, 99, 0, vec![job(0)]), Admission::Draining);
+        for i in 0..2 {
+            let file = shard_cache_file(&base, i);
+            assert!(file.exists(), "every shard persists its cache on drain");
+            let _ = std::fs::remove_file(file);
+        }
+    }
+
+    #[test]
+    fn invalid_submissions_are_rejected_with_reasons() {
+        let mut engine = ServeEngine::new(EngineConfig::from_knobs(&tiny_knobs()), mix(2));
+        match engine.submit(0.0, 0, 0, vec![]) {
+            Admission::Invalid { reason } => assert!(reason.contains("at least one job")),
+            other => panic!("unexpected admission {other:?}"),
+        }
+        match engine.submit(0.0, 0, 7, vec![job(0)]) {
+            Admission::Invalid { reason } => assert!(reason.contains("tenant")),
+            other => panic!("unexpected admission {other:?}"),
+        }
+        assert_eq!(engine.submit(0.0, 0, 0, vec![job(0)]), Admission::Accepted);
+        match engine.submit(0.0, 0, 0, vec![job(1)]) {
+            Admission::Invalid { reason } => assert!(reason.contains("already open")),
+            other => panic!("unexpected admission {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let engine = ServeEngine::new(EngineConfig::from_knobs(&tiny_knobs()), mix(2));
+        let stats = engine.stats();
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: EngineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -201,7 +201,7 @@ fn group_deadline(arrivals: &[Arrival], mix: &TenantMix, sla_sec: f64) -> f64 {
 
 /// A group's preemption value: Σ `1 / sla_multiplier` over its arrivals —
 /// tighter contracts are worth more, bigger groups are worth more.
-fn group_value<'a>(arrivals: impl Iterator<Item = &'a Arrival>, mix: &TenantMix) -> f64 {
+pub(crate) fn group_value<'a>(arrivals: impl Iterator<Item = &'a Arrival>, mix: &TenantMix) -> f64 {
     arrivals.map(|a| 1.0 / mix.tenants()[a.tenant].sla_multiplier().unwrap_or(1.0)).sum()
 }
 
@@ -234,7 +234,7 @@ fn gate_is_open(
 /// A group's dominant tenant: the most frequent tenant among its arrivals,
 /// smallest index on ties — the tenant the shared tier charges the
 /// published entry to.
-fn dominant_tenant(arrivals: &[Arrival]) -> usize {
+pub(crate) fn dominant_tenant(arrivals: &[Arrival]) -> usize {
     let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     for a in arrivals {
         *counts.entry(a.tenant).or_insert(0) += 1;
@@ -918,6 +918,9 @@ pub fn run_fleet_ladder(knobs: &FleetKnobs, smoke: bool) -> FleetReport {
 /// the scenario's optional `requests` / `offered_load` / `seed` override the
 /// knob defaults.
 pub fn run_fleet_custom(knobs: &FleetKnobs, smoke: bool, custom: &CustomScenario) -> FleetReport {
+    let mut knobs = knobs.clone();
+    knobs.serve = custom.apply_serving(&knobs.serve);
+    let knobs = &knobs;
     let ladder = shard_ladder(knobs, smoke);
     let mut template = FleetConfig::from_knobs(knobs, knobs.shards, custom.scenario);
     if let Some(requests) = custom.requests {

@@ -104,6 +104,7 @@ pub mod batcher;
 pub mod cache;
 pub mod descriptor;
 pub mod dispatch;
+pub mod engine;
 pub mod fleet;
 pub mod metrics;
 pub mod report;
@@ -117,6 +118,7 @@ pub use batcher::{AdmissionBatcher, BatchPolicy, DispatchGroup};
 pub use cache::{quantize_signatures, CacheStats, MappingCache, SharedCache, SignatureKey};
 pub use descriptor::{CustomScenario, ScenarioDescriptor};
 pub use dispatch::{DispatchConfig, DispatchKind, DispatchOutcome, MappingService};
+pub use engine::{Admission, EngineConfig, EngineStats, JobCompletion, ServeEngine};
 pub use fleet::{
     fleet_simulate, run_fleet_custom, run_fleet_ladder, write_fleet_json, FleetConfig, FleetReport,
     FleetResult, FLEET_SCHEMA,

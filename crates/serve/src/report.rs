@@ -310,13 +310,16 @@ pub fn run_standard_scenarios(knobs: &ServeKnobs, smoke: bool) -> ServeReport {
 /// Runs one registry-defined scenario in **both** serving modes and
 /// assembles a single-scenario report embedding its descriptor. Knob-level
 /// budgets and cache geometry come from `knobs`; the scenario supplies the
-/// platform, mix and arrival process, and its optional `requests` /
-/// `offered_load` / `seed` override the knob defaults.
+/// platform, mix and arrival process, its optional `requests` /
+/// `offered_load` / `seed` override the knob defaults, and a pinned
+/// `serving` block overrides the cache/SLA knobs
+/// ([`CustomScenario::apply_serving`]).
 pub fn run_custom_scenario(
     knobs: &ServeKnobs,
     smoke: bool,
     custom: &CustomScenario,
 ) -> ServeReport {
+    let knobs = &custom.apply_serving(knobs);
     let run_one = |overlap: bool| -> ScenarioResult {
         let mut config = SimConfig::from_knobs(knobs, custom.scenario).with_overlap(overlap);
         config.platform = custom.platform.clone();
@@ -502,6 +505,10 @@ mod tests {
             requests: Some(32),
             offered_load: None,
             seed: Some(9),
+            cache_epsilon: None,
+            refine_budget: None,
+            quant_step: None,
+            sla_x: None,
             descriptor,
         };
         let report = run_custom_scenario(&knobs, true, &custom);
@@ -512,5 +519,34 @@ mod tests {
         assert_eq!(report.scenarios[0].name, "test_custom");
         assert_eq!(report.scenarios[0].requests, 32);
         assert_eq!(report.scenarios[0].metrics.jobs, 32);
+    }
+
+    #[test]
+    fn pinned_serving_block_overrides_the_knobs_in_the_report() {
+        use crate::descriptor::ScenarioDescriptor;
+        use magma_platform::{PlatformSpec, Setting};
+        let knobs = tiny_knobs();
+        let descriptor = ScenarioDescriptor::new("registry", "pinned", serde::Value::Null);
+        let custom = CustomScenario {
+            name: "pinned".into(),
+            scenario: Scenario::Poisson,
+            mix: TenantMix::standard(),
+            platform: PlatformSpec::Setting(Setting::S1),
+            requests: Some(16),
+            offered_load: None,
+            seed: None,
+            cache_epsilon: Some(2.5),
+            refine_budget: Some(7),
+            quant_step: None,
+            sla_x: None,
+            descriptor,
+        };
+        let effective = custom.apply_serving(&knobs);
+        assert_eq!(effective.cache_epsilon, 2.5);
+        assert_eq!(effective.refine_budget, 7);
+        assert_eq!(effective.quant_step, knobs.quant_step, "unpinned knob inherits");
+        let report = run_custom_scenario(&knobs, true, &custom);
+        report.validate().expect("self-check");
+        assert_eq!(report.refine_budget, 7, "report reflects the pinned serving config");
     }
 }

@@ -218,6 +218,14 @@ impl SessionScheduler {
         self.victim_index().map(|i| self.live[i].value)
     }
 
+    /// Removes the live session with `id`, if any — the wall-clock engine's
+    /// cancellation path ([`crate::engine`]). The departing session is not
+    /// counted as completed or preempted; the caller owns its accounting.
+    pub(crate) fn remove_by_id(&mut self, id: u64) -> Option<LiveSession> {
+        let idx = self.live.iter().position(|s| s.id == id)?;
+        Some(self.remove(idx))
+    }
+
     /// Early-finishes the cheapest preemptable session to make room.
     ///
     /// # Panics

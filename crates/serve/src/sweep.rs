@@ -407,6 +407,7 @@ pub fn run_cache_sweep_custom(
     profile_ab: bool,
     custom: &CustomScenario,
 ) -> CacheSweepReport {
+    let knobs = &custom.apply_serving(knobs);
     let mut template = SimConfig::from_knobs(knobs, custom.scenario);
     template.platform = custom.platform.clone();
     if let Some(requests) = custom.requests {

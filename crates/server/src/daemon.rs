@@ -1,0 +1,378 @@
+//! The serving daemon: a threaded TCP front-end over
+//! [`magma_serve::ServeEngine`].
+//!
+//! Thread layout:
+//!
+//! ```text
+//!   accept thread ──▶ per-connection reader threads ──▶ command channel
+//!                                                            │
+//!                                                            ▼
+//!                                        engine thread (owns ServeEngine,
+//!                                        wall clock = Instant::elapsed)
+//!                                                            │
+//!                                              per-connection write halves
+//! ```
+//!
+//! The engine thread is the only place simulation state lives: readers
+//! decode frames into commands, the engine thread applies them against the
+//! wall clock (`submit`/`cancel`/`drain`/`stats`), polls the engine for
+//! completions between commands, and writes responses back through each
+//! connection's cloned write half. A `drain` command finishes every live
+//! session, persists shard caches, answers with the final stats and shuts
+//! the whole daemon down — [`Server::join`] then returns those stats.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use magma_model::TenantMix;
+use magma_serve::{Admission, EngineConfig, EngineStats, JobCompletion, ServeEngine};
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{
+    decode, encode, RequestMsg, ResponseMsg, KIND_ACCEPTED, KIND_BUSY, KIND_CANCELLED, KIND_DONE,
+    KIND_DRAINED, KIND_STATS, VERB_CANCEL, VERB_DRAIN, VERB_STATS, VERB_SUBMIT,
+};
+
+/// How long the engine thread sleeps waiting for commands before polling
+/// the engine again. Bounds completion-delivery latency when idle.
+const POLL_TICK: Duration = Duration::from_millis(2);
+
+/// Commands flowing from connection readers to the engine thread.
+enum Cmd {
+    /// A connection opened; carries its write half.
+    Connect { conn: u64, stream: TcpStream },
+    /// A decoded request from `conn`.
+    Request { conn: u64, msg: RequestMsg },
+    /// A frame that failed to decode (answered with an `error` if it had
+    /// a parseable id — here it did not, so the connection is dropped).
+    Malformed { conn: u64, reason: String },
+    /// The connection closed or errored; forget its write half.
+    Gone { conn: u64 },
+}
+
+/// An accepted submit the engine is still executing.
+struct Book {
+    conn: u64,
+    request_id: u64,
+    total: usize,
+    finished: usize,
+    any_timed_out: bool,
+    cancelled: bool,
+}
+
+/// A running serving daemon. Dropping the handle does not stop it; send a
+/// `drain` request (e.g. [`crate::client::Client::drain`]) and call
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    engine_thread: JoinHandle<EngineStats>,
+    accept_thread: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spins up the
+    /// accept and engine threads and returns immediately.
+    pub fn start(
+        addr: &str,
+        max_frame_bytes: usize,
+        config: EngineConfig,
+        mix: TenantMix,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Cmd>();
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let tx = tx.clone();
+            std::thread::spawn(move || accept_loop(listener, tx, shutdown, max_frame_bytes))
+        };
+        let engine_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                engine_loop(ServeEngine::new(config, mix), rx, shutdown, max_frame_bytes)
+            })
+        };
+        Ok(Server { addr: bound, engine_thread, accept_thread })
+    }
+
+    /// The address the daemon actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a drain shuts the daemon down; returns the engine's
+    /// final counters.
+    pub fn join(self) -> EngineStats {
+        let stats = self.engine_thread.join().expect("engine thread panicked");
+        self.accept_thread.join().expect("accept thread panicked");
+        stats
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Cmd>,
+    shutdown: Arc<AtomicBool>,
+    max_frame_bytes: usize,
+) {
+    let mut next_conn: u64 = 0;
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = next_conn;
+                next_conn += 1;
+                let _ = stream.set_nodelay(true);
+                let write_half = match stream.try_clone() {
+                    Ok(half) => half,
+                    Err(_) => continue,
+                };
+                if tx.send(Cmd::Connect { conn, stream: write_half }).is_err() {
+                    break;
+                }
+                let tx = tx.clone();
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(conn, stream, tx, max_frame_bytes)
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(_) => break,
+        }
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+}
+
+fn reader_loop(conn: u64, stream: TcpStream, tx: Sender<Cmd>, max_frame_bytes: usize) {
+    let mut r = BufReader::new(stream);
+    loop {
+        match read_frame(&mut r, max_frame_bytes) {
+            Ok(Some(payload)) => match decode::<RequestMsg>(&payload) {
+                Ok(msg) => {
+                    if tx.send(Cmd::Request { conn, msg }).is_err() {
+                        return;
+                    }
+                }
+                Err(reason) => {
+                    let _ = tx.send(Cmd::Malformed { conn, reason });
+                    return;
+                }
+            },
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Cmd::Gone { conn });
+                return;
+            }
+        }
+    }
+}
+
+/// The engine thread body: applies commands against the wall clock,
+/// delivers completions, and on drain finishes everything and exits.
+fn engine_loop(
+    mut engine: ServeEngine,
+    rx: Receiver<Cmd>,
+    shutdown: Arc<AtomicBool>,
+    max_frame_bytes: usize,
+) -> EngineStats {
+    let start = Instant::now();
+    let mut conns: HashMap<u64, BufWriter<TcpStream>> = HashMap::new();
+    // Engine tokens are daemon-assigned; books map them back to the
+    // originating (connection, request id) pair.
+    let mut next_token: u64 = 0;
+    let mut books: HashMap<u64, Book> = HashMap::new();
+    let mut submit_index: HashMap<(u64, u64), u64> = HashMap::new();
+
+    'serve: loop {
+        let cmd = match rx.recv_timeout(POLL_TICK) {
+            Ok(cmd) => Some(cmd),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break 'serve,
+        };
+        let mut batch: Vec<Cmd> = cmd.into_iter().collect();
+        while let Ok(more) = rx.try_recv() {
+            batch.push(more);
+        }
+        for cmd in batch {
+            let now = start.elapsed().as_secs_f64();
+            match cmd {
+                Cmd::Connect { conn, stream } => {
+                    conns.insert(conn, BufWriter::new(stream));
+                }
+                Cmd::Gone { conn } => {
+                    if let Some(w) = conns.remove(&conn) {
+                        let _ = w.get_ref().shutdown(Shutdown::Both);
+                    }
+                }
+                Cmd::Malformed { conn, reason } => {
+                    eprintln!("magma-server: dropping connection {conn}: {reason}");
+                    if let Some(w) = conns.remove(&conn) {
+                        let _ = w.get_ref().shutdown(Shutdown::Both);
+                    }
+                }
+                Cmd::Request { conn, msg } => match msg.verb.as_str() {
+                    VERB_SUBMIT => {
+                        let (tenant, jobs) = (msg.tenant, msg.jobs);
+                        let resp = match (tenant, jobs) {
+                            (Some(tenant), Some(jobs)) => {
+                                let token = next_token;
+                                let total = jobs.len();
+                                match engine.submit(now, token, tenant, jobs) {
+                                    Admission::Accepted => {
+                                        next_token += 1;
+                                        books.insert(
+                                            token,
+                                            Book {
+                                                conn,
+                                                request_id: msg.id,
+                                                total,
+                                                finished: 0,
+                                                any_timed_out: false,
+                                                cancelled: false,
+                                            },
+                                        );
+                                        submit_index.insert((conn, msg.id), token);
+                                        ResponseMsg::new(msg.id, KIND_ACCEPTED)
+                                    }
+                                    Admission::Busy { retry_after_sec } => ResponseMsg {
+                                        retry_after_sec: Some(retry_after_sec),
+                                        ..ResponseMsg::new(msg.id, KIND_BUSY)
+                                    },
+                                    Admission::Draining => {
+                                        ResponseMsg::error(msg.id, "draining: admissions closed")
+                                    }
+                                    Admission::Invalid { reason } => {
+                                        ResponseMsg::error(msg.id, &reason)
+                                    }
+                                }
+                            }
+                            _ => ResponseMsg::error(msg.id, "submit_group needs tenant and jobs"),
+                        };
+                        send_to(&mut conns, conn, &resp, max_frame_bytes);
+                    }
+                    VERB_CANCEL => {
+                        let resp = match msg.target.and_then(|t| submit_index.get(&(conn, t))) {
+                            Some(&token) => {
+                                if engine.cancel(now, token) {
+                                    if let Some(book) = books.get_mut(&token) {
+                                        book.cancelled = true;
+                                    }
+                                    ResponseMsg::new(msg.id, KIND_CANCELLED)
+                                } else {
+                                    ResponseMsg::error(msg.id, "target is not cancellable")
+                                }
+                            }
+                            None => ResponseMsg::error(msg.id, "cancel target unknown"),
+                        };
+                        send_to(&mut conns, conn, &resp, max_frame_bytes);
+                        // Cancellation may synthesize completions immediately.
+                        let completions = engine.poll(start.elapsed().as_secs_f64());
+                        deliver(
+                            &mut conns,
+                            &mut books,
+                            &mut submit_index,
+                            completions,
+                            max_frame_bytes,
+                        );
+                    }
+                    VERB_STATS => {
+                        let resp = ResponseMsg {
+                            stats: Some(engine.stats()),
+                            ..ResponseMsg::new(msg.id, KIND_STATS)
+                        };
+                        send_to(&mut conns, conn, &resp, max_frame_bytes);
+                    }
+                    VERB_DRAIN => {
+                        let completions = engine.drain(now);
+                        deliver(
+                            &mut conns,
+                            &mut books,
+                            &mut submit_index,
+                            completions,
+                            max_frame_bytes,
+                        );
+                        let stats = engine.stats();
+                        let resp = ResponseMsg {
+                            jobs: Some(stats.completed_jobs as usize),
+                            stats: Some(stats),
+                            ..ResponseMsg::new(msg.id, KIND_DRAINED)
+                        };
+                        send_to(&mut conns, conn, &resp, max_frame_bytes);
+                        break 'serve;
+                    }
+                    other => {
+                        let resp = ResponseMsg::error(msg.id, &format!("unknown verb {other:?}"));
+                        send_to(&mut conns, conn, &resp, max_frame_bytes);
+                    }
+                },
+            }
+        }
+        let completions = engine.poll(start.elapsed().as_secs_f64());
+        deliver(&mut conns, &mut books, &mut submit_index, completions, max_frame_bytes);
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    for (_, w) in conns.drain() {
+        let _ = w.get_ref().shutdown(Shutdown::Both);
+    }
+    engine.stats()
+}
+
+/// Folds engine completions into their books; emits the terminal `done`
+/// (or `cancelled`) once a submit's whole group has executed.
+fn deliver(
+    conns: &mut HashMap<u64, BufWriter<TcpStream>>,
+    books: &mut HashMap<u64, Book>,
+    submit_index: &mut HashMap<(u64, u64), u64>,
+    completions: Vec<JobCompletion>,
+    max_frame_bytes: usize,
+) {
+    for completion in completions {
+        let Some(book) = books.get_mut(&completion.token) else { continue };
+        book.finished += 1;
+        book.any_timed_out |= completion.timed_out;
+        book.cancelled |= completion.cancelled;
+        if book.finished < book.total {
+            continue;
+        }
+        let book = books.remove(&completion.token).expect("book exists");
+        submit_index.remove(&(book.conn, book.request_id));
+        let resp = if book.cancelled {
+            ResponseMsg::new(book.request_id, KIND_CANCELLED)
+        } else {
+            ResponseMsg {
+                jobs: Some(book.total),
+                timed_out: Some(book.any_timed_out),
+                ..ResponseMsg::new(book.request_id, KIND_DONE)
+            }
+        };
+        send_to(conns, book.conn, &resp, max_frame_bytes);
+    }
+}
+
+/// Writes a response to a connection, dropping the connection on error
+/// (its reader will notice the shutdown and report `Gone`).
+fn send_to(
+    conns: &mut HashMap<u64, BufWriter<TcpStream>>,
+    conn: u64,
+    resp: &ResponseMsg,
+    max_frame_bytes: usize,
+) {
+    let Some(w) = conns.get_mut(&conn) else { return };
+    if write_frame(w, &encode(resp), max_frame_bytes).is_err() {
+        if let Some(w) = conns.remove(&conn) {
+            let _ = w.get_ref().shutdown(Shutdown::Both);
+        }
+    }
+}

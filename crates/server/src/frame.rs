@@ -1,0 +1,133 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message on the wire is one **frame**: a 4-byte big-endian payload
+//! length followed by that many bytes of compact JSON. Framing is the only
+//! layer that touches raw sockets; everything above it works on whole
+//! payloads. The codec is deliberately dependency-free (no async runtime,
+//! no protobuf) — the serving protocol is small enough that hand-rolled
+//! framing plus the vendored `serde_json` covers it.
+//!
+//! Robustness contract, pinned by the unit tests:
+//!
+//! * reads tolerate arbitrary splits (a 1-byte-at-a-time reader decodes the
+//!   same frames);
+//! * a clean EOF *between* frames decodes as `None` (the peer hung up);
+//! * an EOF *inside* a frame (header or payload) is an
+//!   [`io::ErrorKind::UnexpectedEof`] error — never a silent truncation;
+//! * a frame longer than the limit is rejected with
+//!   [`io::ErrorKind::InvalidData`] before any payload byte is read, so a
+//!   corrupt or malicious length prefix cannot balloon memory.
+
+use std::io::{self, Read, Write};
+
+/// Writes one frame (4-byte big-endian length + payload).
+///
+/// Refuses payloads longer than `max_frame_bytes` with
+/// [`io::ErrorKind::InvalidData`] — the sender hits the same limit the
+/// receiver would, with a better error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], max_frame_bytes: usize) -> io::Result<()> {
+    if payload.len() > max_frame_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds the {max_frame_bytes}-byte limit", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, "frame length does not fit in 32 bits")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed the connection between messages).
+pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_frame_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_frame_bytes}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-frame")
+        } else {
+            e
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that hands out at most one byte per `read` call — the
+    /// worst-case TCP segmentation.
+    struct OneByte<R>(R);
+
+    impl<R: Read> Read for OneByte<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.read(&mut buf[..1])
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_even_one_byte_at_a_time() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello", 64).unwrap();
+        write_frame(&mut wire, b"", 64).unwrap();
+        write_frame(&mut wire, b"{\"id\":1}", 64).unwrap();
+        let mut r = OneByte(&wire[..]);
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some(&b"{\"id\":1}"[..]));
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn a_partial_frame_is_an_unexpected_eof_not_a_truncation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"truncated payload", 64).unwrap();
+        // Cut inside the payload.
+        let cut = &wire[..wire.len() - 3];
+        let err = read_frame(&mut &cut[..], 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Cut inside the header.
+        let err = read_frame(&mut &wire[..2], 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_on_both_sides() {
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &[0u8; 100], 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(wire.is_empty(), "nothing is written past the limit");
+        // A hostile length prefix is rejected before allocating the payload.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut &hostile[..], 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

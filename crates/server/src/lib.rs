@@ -1,0 +1,54 @@
+//! magma-server — a wall-clock RPC serving daemon and load-generator
+//! client over the serving core.
+//!
+//! The simulator crates (`magma-serve`) answer *what-if* questions on a
+//! virtual clock; this crate runs the same machinery — admission
+//! batching, signature-affine placement, concurrent mapper sessions,
+//! the mapping cache — as a **real server**: a TCP daemon whose clock is
+//! `Instant::now()` and whose requests arrive over a socket.
+//!
+//! ```text
+//!   loadgen / any client ── length-prefixed JSON frames ──▶ daemon
+//!        │ submit_group / cancel / drain / stats               │
+//!        │ ◀── accepted/busy ... done (multiplexed ids) ◀──────┘
+//!        ▼
+//!   BENCH_rpc.json (magma-rpc/v1): client-measured p50/p95/p99,
+//!   admission outcomes, final server counters, scenario descriptor
+//! ```
+//!
+//! * [`frame`] — 4-byte big-endian length-prefixed framing with hard
+//!   size limits; tolerant of arbitrary read splits.
+//! * [`proto`] — the JSON message shapes and verbs
+//!   (`submit_group`/`cancel`/`drain`/`stats`) with per-request ids.
+//! * [`daemon`] — [`Server`]: accept thread + per-connection readers +
+//!   one engine thread owning a
+//!   [`ServeEngine`](magma_serve::ServeEngine); graceful drain finishes
+//!   every admitted group and persists shard caches before shutdown.
+//! * [`client`] — [`Client`] and the pure [`Mux`] state machine that
+//!   guarantees no response is lost or double-counted.
+//! * [`loadgen`] — wall-clock trace replay emitting [`RpcReport`].
+//! * [`report`] — the schema-stable `BENCH_rpc.json` contract
+//!   (`magma-rpc/v1`), self-checked by [`RpcReport::validate`].
+//!
+//! Backpressure is part of the protocol: when the projected mapper
+//! backlog exceeds the configured bound (the same load measure the
+//! fleet router balances on), submits get `busy` with a
+//! `retry_after_sec` hint instead of queueing without bound.
+//!
+//! The end-to-end localhost suite lives in `tests/integration_rpc.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod frame;
+pub mod loadgen;
+pub mod proto;
+pub mod report;
+
+pub use client::{Client, Event, Mux, PendingKind};
+pub use daemon::Server;
+pub use loadgen::LoadgenParams;
+pub use proto::{RequestMsg, ResponseMsg};
+pub use report::{write_rpc_json, RpcReport, RPC_SCHEMA};

@@ -1,0 +1,172 @@
+//! The wire protocol: request/response message shapes and verbs.
+//!
+//! Each frame (see [`crate::frame`]) carries one compact-JSON
+//! [`RequestMsg`] (client → server) or [`ResponseMsg`] (server → client).
+//! The protocol is **multiplexed**: the client tags every request with a
+//! connection-unique `id` and the server echoes it on every response, so
+//! many requests can be in flight on one socket and responses may arrive
+//! in any order. A `submit_group` gets *two* responses over its lifetime —
+//! an immediate admission verdict (`accepted` / `busy` / `error`) and,
+//! for accepted groups, a terminal `done` (or `cancelled`) once every job
+//! in the group has executed.
+//!
+//! The vendored serde stack has no field attributes, so both messages are
+//! flat structs whose verb-specific fields are `Option`s; the constructors
+//! below are the only intended way to build well-formed requests.
+
+use magma_model::Job;
+use magma_serve::EngineStats;
+use serde::{Deserialize, Serialize};
+
+/// Verb: submit a group of jobs for mapping + execution.
+pub const VERB_SUBMIT: &str = "submit_group";
+/// Verb: cancel a previously accepted `submit_group` by its request id.
+pub const VERB_CANCEL: &str = "cancel";
+/// Verb: stop admissions, finish all live work, persist caches, shut down.
+pub const VERB_DRAIN: &str = "drain";
+/// Verb: snapshot the engine's counters.
+pub const VERB_STATS: &str = "stats";
+
+/// Response kind: the group was admitted; a terminal `done` will follow.
+pub const KIND_ACCEPTED: &str = "accepted";
+/// Response kind: backpressure — retry after `retry_after_sec`.
+pub const KIND_BUSY: &str = "busy";
+/// Response kind: every job in an accepted group finished executing.
+pub const KIND_DONE: &str = "done";
+/// Response kind: a cancel was acknowledged (terminal for the target).
+pub const KIND_CANCELLED: &str = "cancelled";
+/// Response kind: the drain completed; carries the final [`EngineStats`].
+pub const KIND_DRAINED: &str = "drained";
+/// Response kind: a stats snapshot.
+pub const KIND_STATS: &str = "stats";
+/// Response kind: the request was rejected outright (see `error`).
+pub const KIND_ERROR: &str = "error";
+
+/// One client → server message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestMsg {
+    /// Connection-unique request id, echoed on every response.
+    pub id: u64,
+    /// One of the `VERB_*` constants.
+    pub verb: String,
+    /// `submit_group`: the submitting tenant's index in the server's mix.
+    pub tenant: Option<usize>,
+    /// `submit_group`: the jobs forming the group.
+    pub jobs: Option<Vec<Job>>,
+    /// `cancel`: the `id` of the `submit_group` to cancel.
+    pub target: Option<u64>,
+}
+
+impl RequestMsg {
+    /// Builds a `submit_group` request.
+    pub fn submit(id: u64, tenant: usize, jobs: Vec<Job>) -> Self {
+        Self {
+            id,
+            verb: VERB_SUBMIT.to_string(),
+            tenant: Some(tenant),
+            jobs: Some(jobs),
+            target: None,
+        }
+    }
+
+    /// Builds a `cancel` request targeting an earlier submit's id.
+    pub fn cancel(id: u64, target: u64) -> Self {
+        Self { id, verb: VERB_CANCEL.to_string(), tenant: None, jobs: None, target: Some(target) }
+    }
+
+    /// Builds a `drain` request.
+    pub fn drain(id: u64) -> Self {
+        Self { id, verb: VERB_DRAIN.to_string(), tenant: None, jobs: None, target: None }
+    }
+
+    /// Builds a `stats` request.
+    pub fn stats(id: u64) -> Self {
+        Self { id, verb: VERB_STATS.to_string(), tenant: None, jobs: None, target: None }
+    }
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseMsg {
+    /// The request id this response answers.
+    pub id: u64,
+    /// One of the `KIND_*` constants.
+    pub kind: String,
+    /// `busy`: suggested wait before resubmitting, in seconds.
+    pub retry_after_sec: Option<f64>,
+    /// `done` / `drained`: number of jobs that executed.
+    pub jobs: Option<usize>,
+    /// `done`: whether any job in the group blew its deadline.
+    pub timed_out: Option<bool>,
+    /// `stats` / `drained`: an engine counter snapshot.
+    pub stats: Option<EngineStats>,
+    /// `error`: human-readable rejection reason.
+    pub error: Option<String>,
+}
+
+impl ResponseMsg {
+    /// Builds a bare response of `kind` answering request `id`.
+    pub fn new(id: u64, kind: &str) -> Self {
+        Self {
+            id,
+            kind: kind.to_string(),
+            retry_after_sec: None,
+            jobs: None,
+            timed_out: None,
+            stats: None,
+            error: None,
+        }
+    }
+
+    /// Builds an `error` response with a reason.
+    pub fn error(id: u64, reason: &str) -> Self {
+        Self { error: Some(reason.to_string()), ..Self::new(id, KIND_ERROR) }
+    }
+}
+
+/// Encodes a message as a compact-JSON frame payload.
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_string(msg).expect("protocol messages always serialize").into_bytes()
+}
+
+/// Decodes a frame payload; the error string names the parse failure.
+pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| format!("malformed message: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_model::{LayerShape, TaskType};
+
+    #[test]
+    fn requests_round_trip_with_job_payloads() {
+        let job = Job::new(
+            magma_model::JobId(0),
+            "mlp",
+            0,
+            LayerShape::FullyConnected { out_features: 128, in_features: 64 },
+            4,
+            TaskType::Recommendation,
+        );
+        let req = RequestMsg::submit(7, 1, vec![job]);
+        let back: RequestMsg = decode(&encode(&req)).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.verb, VERB_SUBMIT);
+        assert_eq!(back.tenant, Some(1));
+        assert_eq!(back.jobs.as_ref().map(Vec::len), Some(1));
+
+        let resp = ResponseMsg { retry_after_sec: Some(0.25), ..ResponseMsg::new(7, KIND_BUSY) };
+        let back: ResponseMsg = decode(&encode(&resp)).unwrap();
+        assert_eq!(back.kind, KIND_BUSY);
+        assert_eq!(back.retry_after_sec, Some(0.25));
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_errors_not_panics() {
+        assert!(decode::<RequestMsg>(b"not json").is_err());
+        assert!(decode::<RequestMsg>(&[0xff, 0xfe]).is_err());
+        assert!(decode::<RequestMsg>(b"{\"id\":1}").is_err(), "missing verb");
+    }
+}

@@ -1,0 +1,187 @@
+//! The schema-stable `BENCH_rpc.json` contract (`magma-rpc/v1`).
+//!
+//! The load generator ([`crate::loadgen`]) emits one [`RpcReport`] per
+//! run: client-measured latency percentiles over the wire, admission
+//! outcomes, the server's final counter snapshot and the resolved
+//! scenario descriptor — so a report is self-describing and
+//! re-runnable. [`RpcReport::validate`] is the self-check CI gates on.
+
+use std::path::PathBuf;
+
+use magma_serve::{EngineStats, ScenarioDescriptor};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag every `BENCH_rpc.json` carries.
+pub const RPC_SCHEMA: &str = "magma-rpc/v1";
+
+/// One load-generator run against a live daemon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RpcReport {
+    /// Always [`RPC_SCHEMA`].
+    pub schema: String,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// The daemon address the client dialed.
+    pub addr: String,
+    /// Offered request rate, requests per wall-clock second.
+    pub rate: f64,
+    /// Requests the client attempted to submit.
+    pub requests: usize,
+    /// Submits the daemon admitted.
+    pub accepted: usize,
+    /// Submits rejected with `busy` backpressure.
+    pub rejected: usize,
+    /// Submits rejected outright (`error` responses).
+    pub errored: usize,
+    /// Accepted submits that reached a terminal `done`.
+    pub completed: usize,
+    /// Completed submits whose group blew its deadline server-side.
+    pub timed_out: usize,
+    /// Accepted submits that terminated as `cancelled`.
+    pub cancelled: usize,
+    /// Accepted submits that never reached a terminal response —
+    /// the drain guarantee makes this zero on a healthy run.
+    pub dropped_in_flight: usize,
+    /// Mean accepted-submit latency (submit sent → `done` received), ms.
+    pub mean_latency_ms: f64,
+    /// Median accepted-submit latency, ms.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile accepted-submit latency, ms.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile accepted-submit latency, ms.
+    pub p99_latency_ms: f64,
+    /// Jobs the drain reported completed over the daemon's lifetime.
+    pub drained_jobs: usize,
+    /// The daemon's final counter snapshot (from the `drained` response).
+    pub server: EngineStats,
+    /// The resolved scenario this run replayed.
+    pub scenario_descriptor: ScenarioDescriptor,
+}
+
+impl RpcReport {
+    /// Self-checks the report's internal consistency. Returns the first
+    /// violation found, if any.
+    pub fn validate(&self) -> Option<String> {
+        if self.schema != RPC_SCHEMA {
+            return Some(format!("schema is {:?}, expected {RPC_SCHEMA:?}", self.schema));
+        }
+        if self.mode != "full" && self.mode != "smoke" {
+            return Some(format!("mode is {:?}, expected \"full\" or \"smoke\"", self.mode));
+        }
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Some(format!("rate {} is not positive", self.rate));
+        }
+        if self.accepted + self.rejected + self.errored != self.requests {
+            return Some(format!(
+                "admission outcomes do not partition requests: {} accepted + {} rejected + {} \
+                 errored != {} requests",
+                self.accepted, self.rejected, self.errored, self.requests
+            ));
+        }
+        if self.completed + self.cancelled + self.dropped_in_flight != self.accepted {
+            return Some(format!(
+                "terminal outcomes do not partition accepted submits: {} completed + {} \
+                 cancelled + {} dropped != {} accepted",
+                self.completed, self.cancelled, self.dropped_in_flight, self.accepted
+            ));
+        }
+        if self.timed_out > self.completed {
+            return Some(format!(
+                "{} timed out exceeds {} completed",
+                self.timed_out, self.completed
+            ));
+        }
+        let percentiles =
+            [self.mean_latency_ms, self.p50_latency_ms, self.p95_latency_ms, self.p99_latency_ms];
+        if percentiles.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Some("latency statistics must be finite and non-negative".to_string());
+        }
+        if self.p50_latency_ms > self.p95_latency_ms || self.p95_latency_ms > self.p99_latency_ms {
+            return Some(format!(
+                "latency percentiles are not monotone: p50 {} > p95 {} or p95 > p99 {}",
+                self.p50_latency_ms, self.p95_latency_ms, self.p99_latency_ms
+            ));
+        }
+        if let Err(violation) = self.scenario_descriptor.validate() {
+            return Some(format!("scenario descriptor: {violation}"));
+        }
+        None
+    }
+}
+
+/// Writes the report to `BENCH_rpc.json` in `MAGMA_BENCH_DIR` (default:
+/// the current directory); returns the path written.
+pub fn write_rpc_json(report: &RpcReport) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("MAGMA_BENCH_DIR").map(PathBuf::from).unwrap_or_else(|_| ".".into());
+    let path = dir.join("BENCH_rpc.json");
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::other(format!("serializing the RPC report: {e}")))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RpcReport {
+        RpcReport {
+            schema: RPC_SCHEMA.to_string(),
+            mode: "smoke".to_string(),
+            addr: "127.0.0.1:4270".to_string(),
+            rate: 16.0,
+            requests: 10,
+            accepted: 8,
+            rejected: 1,
+            errored: 1,
+            completed: 7,
+            timed_out: 1,
+            cancelled: 1,
+            dropped_in_flight: 0,
+            mean_latency_ms: 12.0,
+            p50_latency_ms: 10.0,
+            p95_latency_ms: 20.0,
+            p99_latency_ms: 25.0,
+            drained_jobs: 7,
+            server: EngineStats::default(),
+            scenario_descriptor: ScenarioDescriptor::new(
+                "builtin",
+                "loadgen_poisson",
+                serde::Value::Map(vec![("rate".into(), serde::Value::F64(16.0))]),
+            ),
+        }
+    }
+
+    #[test]
+    fn a_consistent_report_validates_and_round_trips() {
+        let report = sample();
+        assert_eq!(report.validate(), None);
+        let back: RpcReport =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(back.validate(), None);
+        assert_eq!(back.requests, report.requests);
+    }
+
+    #[test]
+    fn every_partition_violation_is_caught() {
+        let mut r = sample();
+        r.schema = "bogus".into();
+        assert!(r.validate().is_some());
+
+        let mut r = sample();
+        r.accepted += 1;
+        assert!(r.validate().unwrap().contains("partition requests"));
+
+        let mut r = sample();
+        r.dropped_in_flight = 1;
+        assert!(r.validate().unwrap().contains("partition accepted"));
+
+        let mut r = sample();
+        r.p50_latency_ms = 30.0;
+        assert!(r.validate().unwrap().contains("monotone"));
+
+        let mut r = sample();
+        r.timed_out = 9;
+        assert!(r.validate().is_some());
+    }
+}

@@ -1,0 +1,328 @@
+//! End-to-end RPC suite: a real daemon on a localhost socket, driven by
+//! the real client over TCP.
+//!
+//! What is locked down here:
+//!
+//! * **No lost or duplicated responses** — every submit gets exactly one
+//!   admission verdict and every accepted submit exactly one terminal,
+//!   enforced structurally by the client's `Mux` (any violation surfaces
+//!   as an `InvalidData` error from `poll_event`) and re-counted here.
+//! * **Backpressure engages under flood** — with tiny queue bounds the
+//!   daemon answers `busy` with a positive retry hint while accepted
+//!   requests still complete within the timeout.
+//! * **Graceful drain** — every in-flight group reaches its terminal
+//!   `done` *before* the `drained` response, shard caches are persisted
+//!   to disk, and the final stats account for every job.
+//! * **Cancellation over the wire** — a cancel is acknowledged and the
+//!   target submit terminates as `cancelled`, never `done`.
+//! * **The loadgen → `BENCH_rpc.json` pipeline** — a wall-clock replay
+//!   produces a report that passes its own `magma-rpc/v1` self-check
+//!   with zero dropped in-flight submits.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use magma_model::{Job, JobId, LayerShape, TaskType, TenantMix};
+use magma_platform::settings::ServerKnobs;
+use magma_serve::engine::shard_cache_file;
+use magma_serve::trace::{generate_trace, Scenario, TraceParams};
+use magma_serve::{EngineConfig, ScenarioDescriptor};
+use magma_server::client::{Client, Event};
+use magma_server::daemon::Server;
+use magma_server::loadgen::{self, LoadgenParams};
+
+const MAX_FRAME: usize = 1 << 20;
+const STEP: Duration = Duration::from_millis(20);
+
+fn tiny_knobs() -> ServerKnobs {
+    let mut knobs = ServerKnobs::smoke();
+    knobs.addr = "127.0.0.1:0".to_string();
+    knobs.fleet.serve.cold_budget = 40;
+    knobs.fleet.serve.refine_budget = 4;
+    knobs.fleet.serve.group_target = 4;
+    knobs.fleet.serve.max_wait_x = 1.0;
+    knobs.fleet.shards = 2;
+    knobs.fleet.max_live = 2;
+    knobs.rate = 100.0;
+    knobs.timeout_sec = 30.0;
+    knobs
+}
+
+fn job(i: usize) -> Job {
+    Job::new(
+        JobId(i),
+        "m",
+        0,
+        LayerShape::FullyConnected { out_features: 64 + (i % 3) * 32, in_features: 64 },
+        4,
+        TaskType::Recommendation,
+    )
+}
+
+fn start_server(knobs: &ServerKnobs) -> (Server, String) {
+    let config = EngineConfig::from_knobs(knobs);
+    let mix = TenantMix::synthetic(knobs.fleet.tenants.max(2), 0);
+    let server = Server::start(&knobs.addr, MAX_FRAME, config, mix)
+        .expect("daemon binds an ephemeral localhost port");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+/// Polls the client until no request is outstanding, collecting events.
+fn pump_until_settled(client: &mut Client, events: &mut Vec<Event>, deadline: Instant) {
+    while client.outstanding() > 0 {
+        assert!(Instant::now() < deadline, "timed out waiting; events so far: {events:#?}");
+        if let Some(event) = client.poll_event(STEP).expect("no protocol violations") {
+            events.push(event);
+        }
+    }
+}
+
+/// Polls the client until `stop(events)` holds, collecting events.
+fn pump_until(
+    client: &mut Client,
+    events: &mut Vec<Event>,
+    deadline: Instant,
+    mut stop: impl FnMut(&[Event]) -> bool,
+) {
+    while !stop(events) {
+        assert!(Instant::now() < deadline, "timed out waiting; events so far: {events:#?}");
+        if let Some(event) = client.poll_event(STEP).expect("no protocol violations") {
+            events.push(event);
+        }
+    }
+}
+
+fn drain_and_join(mut client: Client, server: Server) -> magma_serve::EngineStats {
+    client.drain().expect("drain request sends");
+    let mut post = Vec::new();
+    pump_until(&mut client, &mut post, Instant::now() + Duration::from_secs(120), |evs| {
+        evs.iter().any(|e| matches!(e, Event::Drained { .. }))
+    });
+    drop(client);
+    server.join()
+}
+
+#[test]
+fn submits_round_trip_with_no_lost_or_duplicated_responses() {
+    let knobs = tiny_knobs();
+    let (server, addr) = start_server(&knobs);
+    let mut client = Client::connect(&addr, MAX_FRAME).expect("client connects");
+
+    let mut submit_ids = Vec::new();
+    for t in 0..6usize {
+        let id = client.submit(t % 2, vec![job(t), job(t + 1)]).expect("submit");
+        submit_ids.push(id);
+    }
+    let mut events = Vec::new();
+    pump_until_settled(&mut client, &mut events, Instant::now() + Duration::from_secs(120));
+
+    let mut verdicts: HashMap<u64, usize> = HashMap::new();
+    let mut terminals: HashMap<u64, usize> = HashMap::new();
+    for event in &events {
+        match event {
+            Event::Accepted { id } | Event::Busy { id, .. } | Event::Error { id, .. } => {
+                *verdicts.entry(*id).or_default() += 1;
+            }
+            Event::Done { id, jobs, .. } => {
+                assert_eq!(*jobs, 2, "group size echoes back");
+                *terminals.entry(*id).or_default() += 1;
+            }
+            Event::Cancelled { id } => {
+                *terminals.entry(*id).or_default() += 1;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    for id in &submit_ids {
+        assert_eq!(verdicts.get(id), Some(&1), "exactly one verdict for submit {id}");
+    }
+    let accepted: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Accepted { id } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    assert!(!accepted.is_empty(), "the unloaded daemon accepts work");
+    for id in &accepted {
+        assert_eq!(terminals.get(id), Some(&1), "exactly one terminal for accepted {id}");
+    }
+
+    let stats = drain_and_join(client, server);
+    assert_eq!(stats.completed_jobs, 2 * accepted.len() as u64);
+    assert_eq!(stats.queued_jobs, 0);
+    assert_eq!(stats.live_sessions, 0);
+}
+
+#[test]
+fn flooding_engages_backpressure_while_accepted_work_stays_bounded() {
+    let mut knobs = tiny_knobs();
+    knobs.fleet.serve.cold_budget = 400;
+    knobs.max_backlog_sec = 1e-3;
+    knobs.pending_per_shard = 1;
+    let (server, addr) = start_server(&knobs);
+    let mut client = Client::connect(&addr, MAX_FRAME).expect("client connects");
+
+    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    for t in 0..32usize {
+        let id = client.submit(0, vec![job(t)]).expect("submit");
+        sent_at.insert(id, Instant::now());
+    }
+
+    let mut events = Vec::new();
+    let mut latencies = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while client.outstanding() > 0 {
+        assert!(Instant::now() < deadline, "flood never settled; events: {events:#?}");
+        if let Some(event) = client.poll_event(STEP).expect("no protocol violations") {
+            if let Event::Done { id, .. } = &event {
+                latencies.push(sent_at[id].elapsed());
+            }
+            events.push(event);
+        }
+    }
+    let accepted = events.iter().filter(|e| matches!(e, Event::Accepted { .. })).count();
+    let busy: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Busy { retry_after_sec, .. } => Some(*retry_after_sec),
+            _ => None,
+        })
+        .collect();
+    assert!(accepted > 0, "some of the flood is admitted");
+    assert!(!busy.is_empty(), "backpressure engages under flood");
+    assert!(busy.iter().all(|&hint| hint > 0.0), "retry hints are positive: {busy:?}");
+    assert_eq!(latencies.len(), accepted, "every accepted submit completed");
+    let worst = latencies.iter().max().copied().unwrap_or_default();
+    assert!(
+        worst < Duration::from_secs_f64(knobs.timeout_sec),
+        "accepted-request tail latency {worst:?} stays under the {}s timeout",
+        knobs.timeout_sec
+    );
+
+    let stats = drain_and_join(client, server);
+    assert_eq!(stats.rejected as usize, busy.len());
+}
+
+#[test]
+fn drain_completes_in_flight_groups_first_and_persists_shard_caches() {
+    let dir = std::env::temp_dir().join(format!("magma_rpc_drain_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cache_base = dir.join("serve_cache.json");
+
+    let mut knobs = tiny_knobs();
+    knobs.fleet.serve.cold_budget = 800;
+    let mut config = EngineConfig::from_knobs(&knobs);
+    config.cache_path = Some(cache_base.clone());
+    let mix = TenantMix::synthetic(2, 0);
+    let server = Server::start("127.0.0.1:0", MAX_FRAME, config, mix).expect("daemon starts");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr, MAX_FRAME).expect("client connects");
+
+    // Submit groups and drain while they are still in flight.
+    for t in 0..8usize {
+        client.submit(t % 2, vec![job(t)]).expect("submit");
+    }
+    let mut events = Vec::new();
+    pump_until(&mut client, &mut events, Instant::now() + Duration::from_secs(60), |evs| {
+        evs.iter().filter(|e| matches!(e, Event::Accepted { .. })).count() == 8
+    });
+    client.drain().expect("drain");
+    pump_until(&mut client, &mut events, Instant::now() + Duration::from_secs(120), |evs| {
+        evs.iter().any(|e| matches!(e, Event::Drained { .. }))
+    });
+
+    // Ordering: every Done precedes the Drained response.
+    let drained_pos =
+        events.iter().position(|e| matches!(e, Event::Drained { .. })).expect("drained");
+    let dones_before =
+        events.iter().take(drained_pos).filter(|e| matches!(e, Event::Done { .. })).count();
+    assert_eq!(dones_before, 8, "all eight in-flight groups complete before drained");
+    let Event::Drained { jobs, stats, .. } = &events[drained_pos] else { unreachable!() };
+    assert_eq!(*jobs, 8);
+    let final_stats = stats.expect("drained carries the final stats");
+    assert_eq!(final_stats.completed_jobs, 8);
+    assert_eq!(final_stats.live_sessions, 0);
+    assert_eq!(final_stats.queued_jobs, 0);
+
+    drop(client);
+    server.join();
+    for shard in 0..knobs.fleet.shards {
+        let file = shard_cache_file(&cache_base, shard);
+        assert!(file.exists(), "drain persists {}", file.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelling_over_the_wire_acknowledges_and_terminates_the_target() {
+    let mut knobs = tiny_knobs();
+    // Long searches so the target is still live when the cancel lands.
+    knobs.fleet.serve.cold_budget = 200_000;
+    knobs.fleet.serve.group_target = 1;
+    let (server, addr) = start_server(&knobs);
+    let mut client = Client::connect(&addr, MAX_FRAME).expect("client connects");
+
+    let target = client.submit(0, vec![job(0)]).expect("submit");
+    let mut events = Vec::new();
+    pump_until(&mut client, &mut events, Instant::now() + Duration::from_secs(30), |evs| {
+        evs.iter().any(|e| matches!(e, Event::Accepted { .. }))
+    });
+    // Give the scheduler a moment to start the session.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let cancel_id = client.cancel(target).expect("cancel");
+    pump_until(&mut client, &mut events, Instant::now() + Duration::from_secs(60), |evs| {
+        evs.iter().any(|e| matches!(e, Event::Cancelled { id } if *id == cancel_id))
+            && evs.iter().any(|e| matches!(e, Event::Cancelled { id } if *id == target))
+    });
+    assert!(
+        !events.iter().any(|e| matches!(e, Event::Done { id, .. } if *id == target)),
+        "a cancelled submit never reports done: {events:#?}"
+    );
+
+    let stats = drain_and_join(client, server);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed_jobs, 0);
+    assert_eq!(stats.cancelled_jobs, 1);
+}
+
+#[test]
+fn the_loadgen_pipeline_emits_a_self_consistent_report() {
+    let knobs = tiny_knobs();
+    let (server, addr) = start_server(&knobs);
+
+    let mix = TenantMix::synthetic(knobs.fleet.tenants.max(2), 0);
+    let rate = 200.0;
+    let trace = generate_trace(
+        &TraceParams {
+            scenario: Scenario::Poisson,
+            requests: 24,
+            mean_interarrival_sec: 1.0 / rate,
+            mini_batch: magma_model::workload::DEFAULT_MINI_BATCH,
+            seed: 7,
+        },
+        &mix,
+    );
+    let descriptor = ScenarioDescriptor::new(
+        "builtin",
+        "loadgen_poisson",
+        serde::Value::Map(vec![("requests".into(), serde::Value::U64(24))]),
+    );
+    let params = LoadgenParams {
+        addr: addr.clone(),
+        rate,
+        max_frame_bytes: MAX_FRAME,
+        timeout_sec: 60.0,
+        speedup: 1.0,
+    };
+    let report = loadgen::run(&params, &trace, descriptor, "smoke").expect("loadgen runs");
+    assert_eq!(report.validate(), None, "magma-rpc/v1 self-check passes");
+    assert_eq!(report.requests, 24);
+    assert_eq!(report.dropped_in_flight, 0, "the drain guarantee holds");
+    assert!(report.accepted > 0);
+    // One job per request: accepted submits and accounted jobs line up.
+    assert_eq!(report.server.completed_jobs + report.server.cancelled_jobs, report.accepted as u64);
+    server.join();
+}
